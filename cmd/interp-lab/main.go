@@ -1,0 +1,42 @@
+// interp-lab runs the study's experiments: each id regenerates one table or
+// figure of the paper from the four interpreters and the compiled
+// baselines.
+//
+// Usage:
+//
+//	interp-lab [-scale f] [table1|table2|table3|fig1|fig2|fig3|fig4|memmodel|ablation|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"interplab/internal/harness"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1, "workload size multiplier")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: interp-lab [-scale f] experiment...\nexperiments: %v, all\n", harness.Experiments)
+	}
+	flag.Parse()
+	ids := flag.Args()
+	if len(ids) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = harness.Experiments
+	}
+	opt := harness.Options{Scale: *scale, Out: os.Stdout}
+	for k, id := range ids {
+		if k > 0 {
+			fmt.Println()
+		}
+		if err := harness.Run(id, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "interp-lab: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// javai compiles a mini-C program with the JVM backend and interprets the
+// bytecode, like running a class file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"interplab/internal/gfx"
+	"interplab/internal/jvm"
+	"interplab/internal/minicc"
+	"interplab/internal/vfs"
+)
+
+func main() {
+	dis := flag.Bool("stats", false, "print bytecode module statistics")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: javai [-stats] file.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := minicc.CompileJVM(flag.Arg(0), minicc.WithStdlibJVM(string(src)))
+	if err != nil {
+		fatal(err)
+	}
+	if *dis {
+		fmt.Fprintf(os.Stderr, "[%d functions, %d natives, %d statics, %d bytecode bytes]\n",
+			len(mod.Funcs), len(mod.Natives), len(mod.Statics), mod.CodeBytes())
+	}
+	osys := vfs.New()
+	if err := mod.Bind(jvm.OSNatives(osys)); err != nil {
+		fatal(err)
+	}
+	if err := mod.Bind(jvm.GfxNatives(gfx.New(nil, nil, 320, 200))); err != nil {
+		fatal(err)
+	}
+	if missing := mod.Unbound(); len(missing) > 0 {
+		fatal(fmt.Errorf("unbound natives: %v", missing))
+	}
+	vm, err := jvm.New(mod, nil, nil)
+	if err != nil {
+		fatal(err)
+	}
+	ret, err := vm.Run("main", 0)
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(osys.Stdout.Bytes())
+	fmt.Fprintf(os.Stderr, "[%d bytecodes, exit %d]\n", vm.Steps, ret)
+	os.Exit(int(ret))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "javai:", err)
+	os.Exit(1)
+}

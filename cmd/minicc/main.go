@@ -1,0 +1,75 @@
+// minicc compiles a mini-C source file to MIPS assembly (-S), a loaded
+// image summary, or runs it directly (-run) on the native machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"interplab/internal/minicc"
+	"interplab/internal/mipsi"
+	"interplab/internal/trace"
+	"interplab/internal/vfs"
+)
+
+func main() {
+	asmOut := flag.Bool("S", false, "print generated assembly instead of assembling")
+	run := flag.Bool("run", false, "compile and execute on the native machine")
+	noStdlib := flag.Bool("nostdlib", false, "do not append the runtime library")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minicc [-S] [-run] [-nostdlib] file.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	text := string(src)
+	if !*noStdlib {
+		text = minicc.WithStdlib(text)
+	}
+
+	if *asmOut {
+		unit, err := minicc.Parse(text)
+		if err != nil {
+			fatal(err)
+		}
+		if err := minicc.Check(unit); err != nil {
+			fatal(err)
+		}
+		asm, err := minicc.GenMIPS(unit)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(asm)
+		return
+	}
+
+	prog, err := minicc.CompileMIPS(flag.Arg(0), text)
+	if err != nil {
+		fatal(err)
+	}
+	if !*run {
+		fmt.Printf("%s: %d text words, %d data bytes, entry %#x\n",
+			prog.Name, len(prog.Text), len(prog.Data), prog.Entry)
+		return
+	}
+	osys := vfs.New()
+	nat, err := mipsi.NewNative(prog, osys, trace.Discard)
+	if err != nil {
+		fatal(err)
+	}
+	if err := nat.Run(0); err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(osys.Stdout.Bytes())
+	fmt.Fprintf(os.Stderr, "[%d instructions, exit %d]\n", nat.M.Steps, nat.M.ExitCode)
+	os.Exit(int(nat.M.ExitCode))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minicc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+// mipsi interprets a mini-C program the way the paper's MIPSI interpreted
+// MIPS binaries, reporting the virtual-command accounting afterwards.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"interplab/internal/atom"
+	"interplab/internal/minicc"
+	"interplab/internal/mipsi"
+	"interplab/internal/trace"
+	"interplab/internal/vfs"
+)
+
+func main() {
+	stats := flag.Bool("stats", false, "print per-command statistics")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mipsi [-stats] file.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := minicc.CompileMIPS(flag.Arg(0), minicc.WithStdlib(string(src)))
+	if err != nil {
+		fatal(err)
+	}
+	img := atom.NewImage()
+	probe := atom.NewProbe(img, trace.Discard)
+	osys := vfs.New()
+	osys.Instrument(img, probe)
+	ip, err := mipsi.New(prog, osys, img, probe)
+	if err != nil {
+		fatal(err)
+	}
+	if err := ip.Run(0); err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(osys.Stdout.Bytes())
+	st := probe.Stats()
+	fd, ex := st.InstructionsPerCommand()
+	fmt.Fprintf(os.Stderr, "[%d commands, %d native instructions, fd/cmd %.1f, ex/cmd %.1f]\n",
+		st.Commands, st.Instructions, fd, ex)
+	if *stats {
+		for _, op := range st.Ops {
+			fmt.Fprintf(os.Stderr, "  %-10s %10d cmds %12d instr\n", op.Name, op.Count, op.Total())
+		}
+	}
+	os.Exit(int(ip.M.ExitCode))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mipsi:", err)
+	os.Exit(1)
+}

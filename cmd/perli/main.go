@@ -1,0 +1,52 @@
+// perli runs a script under the Perl-analog interpreter.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"interplab/internal/perl"
+	"interplab/internal/vfs"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: perli script.pl")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perli:", err)
+		os.Exit(1)
+	}
+	osys := vfs.New()
+	loadCwd(osys)
+	ip, err := perl.New(string(src), osys, nil, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perli:", err)
+		os.Exit(1)
+	}
+	if err := ip.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "perli:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(osys.Stdout.Bytes())
+	os.Exit(ip.ExitCode())
+}
+
+func loadCwd(osys *vfs.OS) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if data, err := os.ReadFile(e.Name()); err == nil && len(data) < 1<<20 {
+			osys.AddFile(e.Name(), data)
+		}
+	}
+}

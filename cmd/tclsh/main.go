@@ -1,0 +1,54 @@
+// tclsh runs a script under the Tcl-analog interpreter (with Tk attached),
+// like the stand-alone wish shell.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"interplab/internal/gfx"
+	"interplab/internal/tcl"
+	"interplab/internal/tk"
+	"interplab/internal/vfs"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tclsh script.tcl")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tclsh:", err)
+		os.Exit(1)
+	}
+	osys := vfs.New()
+	loadCwd(osys)
+	i := tcl.New(osys, nil, nil)
+	tk.Attach(i, gfx.New(nil, nil, 320, 240))
+	if _, err := i.Eval(string(src)); err != nil {
+		fmt.Fprintln(os.Stderr, "tclsh:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(osys.Stdout.Bytes())
+	os.Exit(i.ExitCode())
+}
+
+// loadCwd mirrors the current directory's regular files into the vfs so
+// scripts can open them.
+func loadCwd(osys *vfs.OS) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if data, err := os.ReadFile(e.Name()); err == nil && len(data) < 1<<20 {
+			osys.AddFile(e.Name(), data)
+		}
+	}
+}

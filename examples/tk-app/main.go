@@ -1,0 +1,62 @@
+// Tk-app: build a small Tk interface on the framebuffer toolkit, interact
+// with it, and dump the rendering as ASCII art — the Tk substrate of the
+// paper's demos/ical/xf workloads, driven through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"interplab/internal/gfx"
+	"interplab/internal/tcl"
+	"interplab/internal/tk"
+	"interplab/internal/vfs"
+)
+
+const app = `
+wm title . "counter"
+label .title -text "Clicks:" -height 20
+label .count -text "0" -height 20
+button .more -text "+1" -command {
+    set n [.count cget -text]
+    .count configure -text [expr $n + 1]
+}
+pack .title
+pack .count
+pack .more
+update
+.more invoke
+.more invoke
+.more invoke
+update
+puts "count is [.count cget -text]"
+canvas .art -width 120 -height 60
+pack .art
+for {set i 0} {$i < 6} {incr i} {
+    .art create line 0 [expr $i * 10] 119 [expr 59 - $i * 10] -fill [expr $i + 2]
+}
+update
+`
+
+func main() {
+	osys := vfs.New()
+	i := tcl.New(osys, nil, nil)
+	d := gfx.New(nil, nil, 96, 140)
+	toolkit := tk.Attach(i, d)
+	if _, err := i.Eval(app); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(osys.Stdout.String())
+	fmt.Printf("display checksum: %#x, %d redraws\n\n", d.Checksum(), toolkit.Updates)
+
+	// ASCII rendering (downsampled 2x vertically).
+	shades := []byte(" .:-=+*#%@")
+	for y := 0; y < d.H; y += 4 {
+		line := make([]byte, d.W/2)
+		for x := range line {
+			px := d.Pix[y*d.W+x*2]
+			line[x] = shades[int(px)%len(shades)]
+		}
+		fmt.Println(string(line))
+	}
+}

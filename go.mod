@@ -1,0 +1,3 @@
+module interplab
+
+go 1.22

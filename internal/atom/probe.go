@@ -1,0 +1,378 @@
+package atom
+
+import (
+	"interplab/internal/trace"
+)
+
+// Phase classifies where in the interpretation cycle an instruction belongs.
+// The split mirrors Table 2 of the paper: instructions spent fetching and
+// decoding a virtual command versus instructions spent executing it, with
+// Perl's one-time program precompilation reported separately.
+type Phase uint8
+
+const (
+	// PhaseFetchDecode covers the dispatch loop and command decoding.
+	PhaseFetchDecode Phase = iota
+	// PhaseExecute covers the work the virtual command specifies.
+	PhaseExecute
+	// PhaseStartup covers one-time program precompilation (Perl's parse,
+	// MIPSI's binary load, ...).
+	PhaseStartup
+
+	numPhases = int(PhaseStartup) + 1
+)
+
+// OpID names a virtual command, interned on a Probe.
+type OpID int
+
+// RegionID names an attribution region (e.g. the memory-model machinery),
+// interned on a Probe.
+type RegionID int
+
+// Probe is the measurement context for one run: interpreters report work to
+// it, and it emits the native-instruction stream while keeping per-command
+// and per-region accounts.
+type Probe struct {
+	img  *Image
+	sink trace.Sink
+
+	cur      *Routine
+	frames   []frame
+	sp       uint32
+	stackReg *DataRegion
+
+	lastDep bool
+	depRng  uint32
+
+	phase    Phase
+	curOp    OpID
+	ops      []opStat
+	opNames  map[string]OpID
+	commands uint64
+
+	regions     []regionStat
+	regionNames map[string]RegionID
+	regionStack []RegionID
+
+	total   uint64
+	byPhase [numPhases]uint64
+	loads   uint64
+	stores  uint64
+	// opTotals accumulate only while a command is open.
+	unattributed uint64
+}
+
+type frame struct {
+	r      *Routine
+	cursor int
+}
+
+type opStat struct {
+	name  string
+	count uint64
+	fd    uint64
+	ex    uint64
+}
+
+type regionStat struct {
+	name     string
+	instr    uint64
+	accesses uint64
+}
+
+// NewProbe returns a probe over img writing events to sink.  Use
+// trace.Discard to count without simulating.
+func NewProbe(img *Image, sink trace.Sink) *Probe {
+	if sink == nil {
+		sink = trace.Discard
+	}
+	p := &Probe{
+		img:         img,
+		sink:        sink,
+		curOp:       -1,
+		opNames:     make(map[string]OpID),
+		regionNames: make(map[string]RegionID),
+		depRng:      0x9e3779b9,
+		sp:          StackTop,
+	}
+	p.stackReg = &DataRegion{Name: "native-stack", Base: StackTop - 1<<20, Size: 1 << 20}
+	return p
+}
+
+// Image returns the image the probe executes against.
+func (p *Probe) Image() *Image { return p.img }
+
+// --- virtual command accounting -------------------------------------------
+
+// OpName interns a virtual-command name.  Interpreters should intern once,
+// at setup, and use the returned id on the hot path.
+func (p *Probe) OpName(name string) OpID {
+	if id, ok := p.opNames[name]; ok {
+		return id
+	}
+	id := OpID(len(p.ops))
+	p.ops = append(p.ops, opStat{name: name})
+	p.opNames[name] = id
+	return id
+}
+
+// BeginCommand opens a virtual command: the command count increments and
+// subsequent instructions are attributed to the command's fetch/decode
+// phase until BeginExecute.
+func (p *Probe) BeginCommand(op OpID) {
+	p.curOp = op
+	p.ops[op].count++
+	p.commands++
+	p.phase = PhaseFetchDecode
+}
+
+// BeginExecute switches attribution of the open command to its execute
+// phase.
+func (p *Probe) BeginExecute() { p.phase = PhaseExecute }
+
+// EndCommand closes the open command; instructions between commands belong
+// to fetch/decode (the dispatch loop).
+func (p *Probe) EndCommand() {
+	p.curOp = -1
+	p.phase = PhaseFetchDecode
+}
+
+// SetStartup switches the probe in or out of the startup (precompilation)
+// phase.
+func (p *Probe) SetStartup(on bool) {
+	if on {
+		p.phase = PhaseStartup
+	} else {
+		p.phase = PhaseFetchDecode
+	}
+}
+
+// Commands returns the number of virtual commands begun so far.
+func (p *Probe) Commands() uint64 { return p.commands }
+
+// Total returns the number of native instructions emitted so far.
+func (p *Probe) Total() uint64 { return p.total }
+
+// --- region accounting ------------------------------------------------------
+
+// RegionName interns an attribution region name.
+func (p *Probe) RegionName(name string) RegionID {
+	if id, ok := p.regionNames[name]; ok {
+		return id
+	}
+	id := RegionID(len(p.regions))
+	p.regions = append(p.regions, regionStat{name: name})
+	p.regionNames[name] = id
+	return id
+}
+
+// Enter pushes an attribution region; instructions emitted until the
+// matching Leave are credited to it (inclusively, through nesting).
+func (p *Probe) Enter(id RegionID) { p.regionStack = append(p.regionStack, id) }
+
+// Leave pops the innermost attribution region.
+func (p *Probe) Leave() { p.regionStack = p.regionStack[:len(p.regionStack)-1] }
+
+// CountAccess records one memory-model access against a region, for the
+// §3.3 per-access averages.
+func (p *Probe) CountAccess(id RegionID) { p.regions[id].accesses++ }
+
+// --- instruction emission ---------------------------------------------------
+
+func (p *Probe) account(n uint64) {
+	p.total += n
+	p.byPhase[p.phase] += n
+	if p.curOp >= 0 {
+		switch p.phase {
+		case PhaseFetchDecode:
+			p.ops[p.curOp].fd += n
+		case PhaseExecute:
+			p.ops[p.curOp].ex += n
+		}
+	} else if p.phase == PhaseFetchDecode {
+		p.unattributed += n
+	}
+	for _, id := range p.regionStack {
+		p.regions[id].instr += n
+	}
+}
+
+// emit sends one event, handling dependence flags.
+func (p *Probe) emit(e trace.Event) {
+	if p.lastDep {
+		// Roughly half of the instructions that follow a load or a
+		// long-latency op consume its result; the deterministic
+		// generator keeps runs repeatable.
+		x := p.depRng
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		p.depRng = x
+		if x&1 == 0 {
+			e.Flags |= trace.FlagDep
+		}
+	}
+	p.lastDep = e.Kind == trace.Load || e.Kind == trace.ShortInt || e.Kind == trace.Mul
+	p.sink.Emit(e)
+}
+
+// Exec reports n executed instructions inside routine r.  The probe walks
+// r's address range from its current cursor, emitting integer instructions
+// seasoned with the routine's short-integer and conditional-branch mix, and
+// loops back to the top when it falls off the end — modelling the inner
+// loops that make a routine's dynamic instruction count exceed its static
+// size.
+func (p *Probe) Exec(r *Routine, n int) {
+	if n <= 0 {
+		return
+	}
+	p.cur = r
+	p.account(uint64(n))
+	for i := 0; i < n; i++ {
+		pc := r.pc()
+		r.cursor++
+		r.sinceBr++
+		r.sinceSh++
+		if r.cursor >= r.Size {
+			// Loop back to the routine top: a taken backward branch.
+			r.cursor = 0
+			r.sinceBr = 0
+			p.emit(trace.Event{PC: pc, Addr: r.Base, Kind: trace.Branch, Flags: trace.FlagTaken})
+			continue
+		}
+		if r.sinceBr >= r.branchEvery {
+			r.sinceBr = 0
+			// Branch direction: most sites are strongly biased (loops and
+			// error checks repeat their direction, which a 1-bit predictor
+			// learns); a minority of data-dependent sites flip randomly.
+			site := (pc>>2)*2654435761 ^ pc>>13
+			var taken bool
+			if site%8 == 0 {
+				taken = r.next32()&1 != 0 // data-dependent site
+			} else {
+				taken = site&8 != 0 // stable per-site direction
+			}
+			fl := trace.Flags(0)
+			var target uint32
+			if taken {
+				fl = trace.FlagTaken
+				// Short backward branch: stay inside the routine.
+				back := (site/16)%uint32(r.branchEvery) + 1
+				if int(back) > r.cursor {
+					back = uint32(r.cursor)
+				}
+				r.cursor -= int(back)
+				target = r.Base + uint32(r.cursor)*4
+			} else {
+				target = pc + 16
+			}
+			p.emit(trace.Event{PC: pc, Addr: target, Kind: trace.Branch, Flags: fl})
+			continue
+		}
+		if r.sinceSh >= r.shortEvery {
+			r.sinceSh = 0
+			p.emit(trace.Event{PC: pc, Kind: trace.ShortInt})
+			continue
+		}
+		p.emit(trace.Event{PC: pc, Kind: trace.Int})
+	}
+}
+
+// ExecMul reports n long-latency (multiply/divide) instructions in r.
+func (p *Probe) ExecMul(r *Routine, n int) {
+	p.cur = r
+	p.account(uint64(n))
+	for i := 0; i < n; i++ {
+		pc := r.pc()
+		r.cursor = (r.cursor + 1) % r.Size
+		p.emit(trace.Event{PC: pc, Kind: trace.Mul})
+	}
+}
+
+// step advances the current routine's cursor and returns the instruction
+// address for a memory or control event.
+func (p *Probe) step() uint32 {
+	r := p.cur
+	if r == nil {
+		return CodeBase
+	}
+	pc := r.pc()
+	r.cursor = (r.cursor + 1) % r.Size
+	return pc
+}
+
+// Load reports one load at addr issued from the current routine.
+func (p *Probe) Load(addr uint32) {
+	p.account(1)
+	p.loads++
+	p.emit(trace.Event{PC: p.step(), Addr: addr, Kind: trace.Load})
+}
+
+// Store reports one store at addr issued from the current routine.
+func (p *Probe) Store(addr uint32) {
+	p.account(1)
+	p.stores++
+	p.emit(trace.Event{PC: p.step(), Addr: addr, Kind: trace.Store})
+}
+
+// LoadRange reports n word loads walking forward from addr — an array or
+// string traversal.
+func (p *Probe) LoadRange(addr uint32, n int) {
+	for i := 0; i < n; i++ {
+		p.Load(addr + uint32(i)*4)
+	}
+}
+
+// StoreRange reports n word stores walking forward from addr.
+func (p *Probe) StoreRange(addr uint32, n int) {
+	for i := 0; i < n; i++ {
+		p.Store(addr + uint32(i)*4)
+	}
+}
+
+// Call reports a subroutine call into r: a jump event, callee-save stores on
+// the native stack, and the callee starts executing at its top.
+func (p *Probe) Call(r *Routine) {
+	var retpc uint32 = CodeBase
+	if p.cur != nil {
+		retpc = p.cur.pc()
+	}
+	p.account(1)
+	p.emit(trace.Event{PC: retpc, Addr: r.Base, Kind: trace.Jump, Flags: trace.FlagCall})
+	p.frames = append(p.frames, frame{r: p.cur, cursor: cursorOf(p.cur)})
+	p.cur = r
+	r.cursor = 0
+	// Frame setup: push return address and a saved register.
+	p.sp -= 16
+	p.Store(p.sp)
+	p.Store(p.sp + 8)
+}
+
+// Ret reports a subroutine return to the calling routine.
+func (p *Probe) Ret() {
+	if len(p.frames) == 0 {
+		return
+	}
+	// Frame teardown: restore saved registers.
+	p.Load(p.sp)
+	p.Load(p.sp + 8)
+	p.sp += 16
+	f := p.frames[len(p.frames)-1]
+	p.frames = p.frames[:len(p.frames)-1]
+	pc := p.step()
+	var ret uint32 = CodeBase
+	if f.r != nil {
+		f.r.cursor = f.cursor
+		ret = f.r.pc()
+	}
+	p.account(1)
+	p.emit(trace.Event{PC: pc, Addr: ret, Kind: trace.Return})
+	p.cur = f.r
+}
+
+func cursorOf(r *Routine) int {
+	if r == nil {
+		return 0
+	}
+	return r.cursor
+}

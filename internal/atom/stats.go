@@ -1,0 +1,103 @@
+package atom
+
+import "sort"
+
+// OpStats reports the accounting for one virtual command.
+type OpStats struct {
+	Name        string
+	Count       uint64
+	FetchDecode uint64 // native instructions spent fetching/decoding
+	Execute     uint64 // native instructions spent executing
+}
+
+// Total returns the command's combined instruction count.
+func (o OpStats) Total() uint64 { return o.FetchDecode + o.Execute }
+
+// RegionStats reports the accounting for one attribution region.
+type RegionStats struct {
+	Name         string
+	Instructions uint64
+	Accesses     uint64
+}
+
+// PerAccess returns the average instructions per recorded access, the §3.3
+// metric ("each variable reference costs N native instructions").
+func (r RegionStats) PerAccess() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Accesses)
+}
+
+// Stats is the complete account of one measured run.
+type Stats struct {
+	Commands     uint64
+	Instructions uint64 // everything, including startup
+	Startup      uint64
+	FetchDecode  uint64
+	Execute      uint64
+	Loads        uint64
+	Stores       uint64
+	Ops          []OpStats     // sorted by descending total instructions
+	Regions      []RegionStats // in registration order
+}
+
+// InstructionsPerCommand returns the average native instructions per virtual
+// command, split as in Table 2.  Startup (precompilation) instructions are
+// excluded, as the paper excludes them.
+func (s Stats) InstructionsPerCommand() (fetchDecode, execute float64) {
+	if s.Commands == 0 {
+		return 0, 0
+	}
+	return float64(s.FetchDecode) / float64(s.Commands), float64(s.Execute) / float64(s.Commands)
+}
+
+// Stats snapshots the probe's accounts.
+func (p *Probe) Stats() Stats {
+	s := Stats{
+		Commands:     p.commands,
+		Instructions: p.total,
+		Startup:      p.byPhase[PhaseStartup],
+		FetchDecode:  p.byPhase[PhaseFetchDecode],
+		Execute:      p.byPhase[PhaseExecute],
+		Loads:        p.loads,
+		Stores:       p.stores,
+	}
+	for _, o := range p.ops {
+		if o.count == 0 && o.fd == 0 && o.ex == 0 {
+			continue
+		}
+		s.Ops = append(s.Ops, OpStats{Name: o.name, Count: o.count, FetchDecode: o.fd, Execute: o.ex})
+	}
+	sort.Slice(s.Ops, func(i, j int) bool {
+		ti, tj := s.Ops[i].Total(), s.Ops[j].Total()
+		if ti != tj {
+			return ti > tj
+		}
+		return s.Ops[i].Name < s.Ops[j].Name
+	})
+	for _, r := range p.regions {
+		s.Regions = append(s.Regions, RegionStats{Name: r.name, Instructions: r.instr, Accesses: r.accesses})
+	}
+	return s
+}
+
+// Region returns the stats for a named region and whether it exists.
+func (s Stats) Region(name string) (RegionStats, bool) {
+	for _, r := range s.Regions {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return RegionStats{}, false
+}
+
+// Op returns the stats for a named virtual command and whether it exists.
+func (s Stats) Op(name string) (OpStats, bool) {
+	for _, o := range s.Ops {
+		if o.Name == name {
+			return o, true
+		}
+	}
+	return OpStats{}, false
+}

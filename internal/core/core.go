@@ -1,0 +1,177 @@
+// Package core is the laboratory's public face: it ties workload programs,
+// the instrumentation layer (internal/atom), and the processor simulator
+// (internal/alphasim) into the measurement pipeline the paper's numbers
+// come from.
+//
+// A Program knows how to run some benchmark under one of the five systems
+// (compiled C, MIPSI, Java, Perl, Tcl).  Measure runs it against a fresh
+// image/probe/OS and returns a Result holding the paper's software metrics
+// (virtual commands, native instructions, fetch/decode vs. execute,
+// per-command and per-region accounts).  MeasureWithPipeline additionally
+// streams the native-instruction trace through the simulated 2-issue
+// processor and reports cycles and stall breakdowns (Figure 3), and
+// MeasureWithSweep drives the Figure 4 instruction-cache sweeps.
+package core
+
+import (
+	"fmt"
+
+	"interplab/internal/alphasim"
+	"interplab/internal/atom"
+	"interplab/internal/gfx"
+	"interplab/internal/trace"
+	"interplab/internal/vfs"
+)
+
+// System identifies one of the measured execution systems.
+type System string
+
+// The five systems of the paper.
+const (
+	SysC     System = "C"
+	SysMIPSI System = "MIPSI"
+	SysJava  System = "Java"
+	SysPerl  System = "Perl"
+	SysTcl   System = "Tcl"
+)
+
+// Ctx is the per-run environment handed to a program.
+type Ctx struct {
+	Image *atom.Image
+	Probe *atom.Probe
+	Sink  trace.Sink
+	OS    *vfs.OS
+
+	display *gfx.Display
+	size    int
+}
+
+// Display lazily creates the run's framebuffer (native graphics library).
+func (c *Ctx) Display(w, h int) *gfx.Display {
+	if c.display == nil {
+		c.display = gfx.New(c.Image, c.Probe, w, h)
+	}
+	return c.display
+}
+
+// SetProgramSize records the interpreted program's input size in bytes —
+// Table 2's "Size" column.
+func (c *Ctx) SetProgramSize(n int) { c.size = n }
+
+// Program is one benchmark under one system.
+type Program struct {
+	System System
+	Name   string
+	Desc   string
+	Run    func(ctx *Ctx) error
+}
+
+// ID returns "system/name".
+func (p Program) ID() string { return fmt.Sprintf("%s/%s", p.System, p.Name) }
+
+// Result is the outcome of a measured run.
+type Result struct {
+	Program Program
+
+	// Stats holds the probe's books: commands, instruction phases,
+	// per-op and per-region accounts.  For SysC runs the probe is unused
+	// and Stats is zero except where noted.
+	Stats atom.Stats
+
+	// Counter tallies the emitted native-instruction stream.
+	Counter trace.Counter
+
+	// SizeBytes is the interpreted program's input size.
+	SizeBytes int
+
+	// Pipe holds processor-simulation results when requested.
+	Pipe *alphasim.Stats
+
+	// Display output digest, when the workload drew.
+	FrameChecksum uint32
+
+	// Stdout is the run's captured console output.
+	Stdout string
+}
+
+// Commands returns the virtual-command count.  For compiled C the paper
+// equates commands with native instructions (Table 2's C row).
+func (r Result) Commands() uint64 {
+	if r.Program.System == SysC {
+		return r.Counter.Total
+	}
+	return r.Stats.Commands
+}
+
+// NativeInstructions returns the total native instructions executed,
+// excluding startup (precompilation), matching Table 2's accounting.
+func (r Result) NativeInstructions() uint64 {
+	if r.Program.System == SysC {
+		return r.Counter.Total
+	}
+	return r.Stats.Instructions - r.Stats.Startup
+}
+
+// StartupInstructions returns the precompilation charge (Perl's
+// parenthesized column in Table 2).
+func (r Result) StartupInstructions() uint64 { return r.Stats.Startup }
+
+// PerCommand returns the fetch/decode and execute averages of Table 2.
+func (r Result) PerCommand() (fd, ex float64) {
+	if r.Program.System == SysC {
+		return 0, 1
+	}
+	return r.Stats.InstructionsPerCommand()
+}
+
+// run executes p against a fresh environment with the given sink.
+func run(p Program, sink trace.Sink) (Result, error) {
+	res := Result{Program: p}
+	var counter trace.Counter
+	var fan trace.Sink = &counter
+	if sink != nil {
+		fan = trace.Multi{&counter, sink}
+	}
+	img := atom.NewImage()
+	probe := atom.NewProbe(img, fan)
+	osys := vfs.New()
+	// Compiled-C runs emit their own synthetic kernel path (mipsi.Native);
+	// instrumenting the vfs as well would double-charge system time.
+	if p.System != SysC {
+		osys.Instrument(img, probe)
+	}
+	ctx := &Ctx{Image: img, Probe: probe, Sink: fan, OS: osys}
+	if err := p.Run(ctx); err != nil {
+		return res, fmt.Errorf("%s: %w", p.ID(), err)
+	}
+	res.Stats = probe.Stats()
+	res.Counter = counter
+	res.SizeBytes = ctx.size
+	res.Stdout = osys.Stdout.String()
+	if ctx.display != nil {
+		res.FrameChecksum = ctx.display.Checksum()
+	}
+	return res, nil
+}
+
+// Measure runs p and collects the software metrics only.
+func Measure(p Program) (Result, error) { return run(p, nil) }
+
+// MeasureWithPipeline runs p with the trace streaming through a simulated
+// processor.
+func MeasureWithPipeline(p Program, cfg alphasim.Config) (Result, error) {
+	pipe := alphasim.New(cfg)
+	res, err := run(p, pipe)
+	if err != nil {
+		return res, err
+	}
+	st := pipe.Stats()
+	res.Pipe = &st
+	return res, nil
+}
+
+// MeasureWithSweep runs p once while probing every geometry of the
+// instruction-cache sweep (Figure 4).
+func MeasureWithSweep(p Program, sweep *alphasim.ICacheSweep) (Result, error) {
+	return run(p, sweep)
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"interplab/internal/alphasim"
+	"interplab/internal/atom"
+)
+
+// toyProgram emits a deterministic instruction stream through the probe.
+func toyProgram(sys System) Program {
+	return Program{
+		System: sys, Name: "toy", Desc: "toy workload",
+		Run: func(ctx *Ctx) error {
+			r := ctx.Image.Routine("toy.loop", 64)
+			op := ctx.Probe.OpName("work")
+			for i := 0; i < 100; i++ {
+				ctx.Probe.BeginCommand(op)
+				ctx.Probe.Exec(r, 10)
+				ctx.Probe.BeginExecute()
+				ctx.Probe.Exec(r, 20)
+				ctx.Probe.EndCommand()
+			}
+			ctx.SetProgramSize(123)
+			if _, err := ctx.OS.Write(1, []byte("toy done\n")); err != nil {
+				return err
+			}
+			return nil
+		},
+	}
+}
+
+func TestMeasureCollectsEverything(t *testing.T) {
+	res, err := Measure(toyProgram(SysPerl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commands() != 100 {
+		t.Errorf("commands = %d", res.Commands())
+	}
+	if res.NativeInstructions() < 3000 || res.NativeInstructions() > 3300 {
+		t.Errorf("instructions = %d, want 3000 + a small stdout-write charge", res.NativeInstructions())
+	}
+	// The dispatch-phase average also absorbs the stdout write (charged
+	// between commands), so check the per-op account exactly and the
+	// phase average loosely.
+	work, ok := res.Stats.Op("work")
+	if !ok || work.FetchDecode != 1000 || work.Execute != 2000 {
+		t.Errorf("work op stats = %+v", work)
+	}
+	fd, ex := res.PerCommand()
+	if fd < 10 || fd > 13 || ex != 20 {
+		t.Errorf("fd=%v ex=%v", fd, ex)
+	}
+	if res.SizeBytes != 123 {
+		t.Errorf("size = %d", res.SizeBytes)
+	}
+	if !strings.Contains(res.Stdout, "toy done") {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+	if res.Program.ID() != "Perl/toy" {
+		t.Errorf("id = %q", res.Program.ID())
+	}
+}
+
+func TestMeasureCSemantics(t *testing.T) {
+	// For compiled C, commands equal native instructions and per-command
+	// execute is 1.0 (Table 2's C row convention).
+	p := Program{
+		System: SysC, Name: "toy",
+		Run: func(ctx *Ctx) error {
+			r := ctx.Image.Routine("main", 32)
+			ctx.Probe.Exec(r, 500)
+			return nil
+		},
+	}
+	res, err := Measure(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commands() != res.Counter.Total || res.Commands() == 0 {
+		t.Errorf("C commands = %d, counter = %d", res.Commands(), res.Counter.Total)
+	}
+	fd, ex := res.PerCommand()
+	if fd != 0 || ex != 1 {
+		t.Errorf("C per-command = %v/%v", fd, ex)
+	}
+}
+
+func TestMeasureWithPipeline(t *testing.T) {
+	res, err := MeasureWithPipeline(toyProgram(SysTcl), alphasim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pipe == nil {
+		t.Fatal("pipe stats missing")
+	}
+	if res.Pipe.Instructions != res.Counter.Total {
+		t.Errorf("pipeline saw %d events, counter %d", res.Pipe.Instructions, res.Counter.Total)
+	}
+	if res.Pipe.Cycles == 0 || res.Pipe.CPI() <= 0 {
+		t.Error("no cycles simulated")
+	}
+}
+
+func TestMeasureWithSweep(t *testing.T) {
+	sweep := alphasim.DefaultICacheSweep()
+	res, err := MeasureWithSweep(toyProgram(SysJava), sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := sweep.Points()
+	if len(pts) != 12 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Instructions != res.Counter.Total {
+			t.Errorf("%s saw %d events, want %d", pt.Label(), pt.Instructions, res.Counter.Total)
+		}
+	}
+}
+
+func TestMeasureErrorPropagates(t *testing.T) {
+	p := Program{
+		System: SysPerl, Name: "boom",
+		Run: func(ctx *Ctx) error { return errBoom },
+	}
+	if _, err := Measure(p); err == nil || !strings.Contains(err.Error(), "Perl/boom") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+var errBoom = &atomErr{}
+
+type atomErr struct{}
+
+func (*atomErr) Error() string { return "boom" }
+
+func TestDisplayChecksumCaptured(t *testing.T) {
+	p := Program{
+		System: SysJava, Name: "draw",
+		Run: func(ctx *Ctx) error {
+			d := ctx.Display(32, 32)
+			d.FillRect(0, 0, 16, 16, 5)
+			return nil
+		},
+	}
+	res, err := Measure(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FrameChecksum == 0 {
+		t.Error("frame checksum missing")
+	}
+}
+
+var _ = atom.CodeBase

@@ -1,0 +1,289 @@
+// Package gfx is the laboratory's native graphics runtime library — the
+// analog of the precompiled windowing/AWT code that the paper's Java
+// benchmarks (hanoi, asteroids, mand) and Tcl/Tk programs spend much of
+// their time in.
+//
+// It is a real software rasterizer over an indexed-color framebuffer: when
+// a workload draws, actual pixels change, and the instrumentation cost is
+// the pixel work performed.  Calls arrive through the JVM's native-method
+// registry or the Tk widget layer; the instructions they execute are
+// precompiled-library instructions ("native" in Figure 2), not interpreted
+// ones — which is exactly the effect the paper measures.
+package gfx
+
+import (
+	"interplab/internal/atom"
+)
+
+// Display is a framebuffer with instrumented drawing primitives.
+type Display struct {
+	W, H int
+	Pix  []byte // indexed color, row-major
+
+	probe *atom.Probe
+	fb    *atom.DataRegion
+	font  *atom.DataRegion
+
+	rClear *atom.Routine
+	rFill  *atom.Routine
+	rLine  *atom.Routine
+	rText  *atom.Routine
+	rBlit  *atom.Routine
+
+	region atom.RegionID
+
+	// Ops counts drawing calls, for tests and reports.
+	Ops uint64
+}
+
+// New creates a w×h display.  img/p may be nil for uninstrumented use.
+func New(img *atom.Image, p *atom.Probe, w, h int) *Display {
+	d := &Display{W: w, H: h, Pix: make([]byte, w*h), probe: p}
+	if img != nil && p != nil {
+		// Static footprints of the rasterizer: these routines are what
+		// makes native-heavy workloads behave like big compiled programs
+		// in the instruction cache.
+		d.rClear = img.Routine("gfx.clear", 220)
+		d.rFill = img.Routine("gfx.fillrect", 760, atom.WithShortEvery(6))
+		d.rLine = img.Routine("gfx.line", 1080, atom.WithShortEvery(8))
+		d.rText = img.Routine("gfx.text", 1700, atom.WithShortEvery(5))
+		d.rBlit = img.Routine("gfx.blit", 940, atom.WithShortEvery(6))
+		d.fb = img.Data("gfx.framebuffer", uint32(w*h))
+		d.font = img.Data("gfx.font", 96*8)
+		d.region = p.RegionName("native")
+	}
+	d.Ops++ // allocation counts as setup work
+	return d
+}
+
+func (d *Display) enter(r *atom.Routine, setup int) bool {
+	if d.probe == nil {
+		return false
+	}
+	d.probe.Enter(d.region)
+	d.probe.Call(r)
+	d.probe.Exec(r, setup)
+	return true
+}
+
+func (d *Display) leave() {
+	d.probe.Ret()
+	d.probe.Leave()
+}
+
+// pixels charges the per-pixel cost of writing n consecutive framebuffer
+// bytes starting at off: one word store per 4 pixels plus loop arithmetic.
+func (d *Display) pixels(r *atom.Routine, off, n int) {
+	words := (n + 3) / 4
+	for w := 0; w < words; w++ {
+		d.probe.Exec(r, 2)
+		d.probe.Store(d.fb.Addr(uint32(off + w*4)))
+	}
+}
+
+// Clear fills the whole framebuffer with color c.
+func (d *Display) Clear(c byte) {
+	d.Ops++
+	for i := range d.Pix {
+		d.Pix[i] = c
+	}
+	if d.enter(d.rClear, 20) {
+		d.pixels(d.rClear, 0, len(d.Pix))
+		d.leave()
+	}
+}
+
+// Plot sets one pixel (clipped).
+func (d *Display) Plot(x, y int, c byte) {
+	d.Ops++
+	if d.probe != nil {
+		d.probe.Enter(d.region)
+		d.probe.Call(d.rLine)
+		d.probe.Exec(d.rLine, 6)
+		if x >= 0 && x < d.W && y >= 0 && y < d.H {
+			d.probe.Store(d.fb.Addr(uint32(y*d.W + x)))
+		}
+		d.probe.Ret()
+		d.probe.Leave()
+	}
+	if x >= 0 && x < d.W && y >= 0 && y < d.H {
+		d.Pix[y*d.W+x] = c
+	}
+}
+
+// FillRect fills a rectangle (clipped).
+func (d *Display) FillRect(x, y, w, h int, c byte) {
+	d.Ops++
+	x0, y0, x1, y1 := clip(x, y, w, h, d.W, d.H)
+	ins := d.enter(d.rFill, 30)
+	for yy := y0; yy < y1; yy++ {
+		row := yy*d.W + x0
+		for xx := x0; xx < x1; xx++ {
+			d.Pix[yy*d.W+xx] = c
+		}
+		if ins {
+			d.probe.Exec(d.rFill, 4) // row setup
+			d.pixels(d.rFill, row, x1-x0)
+		}
+	}
+	if ins {
+		d.leave()
+	}
+}
+
+// Line draws with Bresenham's algorithm (clipped per pixel).
+func (d *Display) Line(x0, y0, x1, y1 int, c byte) {
+	d.Ops++
+	ins := d.enter(d.rLine, 24)
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	x, y := x0, y0
+	for {
+		if x >= 0 && x < d.W && y >= 0 && y < d.H {
+			d.Pix[y*d.W+x] = c
+			if ins {
+				d.probe.Exec(d.rLine, 5)
+				d.probe.Store(d.fb.Addr(uint32(y*d.W + x)))
+			}
+		} else if ins {
+			d.probe.Exec(d.rLine, 3)
+		}
+		if x == x1 && y == y1 {
+			break
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y += sy
+		}
+	}
+	if ins {
+		d.leave()
+	}
+}
+
+// Text draws a string with a synthetic 6×8 glyph set derived from the
+// character codes; each glyph reads the font table and writes its pixels.
+func (d *Display) Text(x, y int, s string, c byte) {
+	d.Ops++
+	ins := d.enter(d.rText, 20)
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		if ins {
+			d.probe.Exec(d.rText, 8)
+			d.probe.Load(d.font.Addr(uint32(ch%96) * 8))
+		}
+		glyph := glyphBits(ch)
+		for ry := 0; ry < 8; ry++ {
+			bits := glyph[ry]
+			for rx := 0; rx < 6; rx++ {
+				if bits&(1<<rx) != 0 {
+					px, py := x+i*6+rx, y+ry
+					if px >= 0 && px < d.W && py >= 0 && py < d.H {
+						d.Pix[py*d.W+px] = c
+						if ins {
+							d.probe.Exec(d.rText, 2)
+							d.probe.Store(d.fb.Addr(uint32(py*d.W + px)))
+						}
+					}
+				}
+			}
+		}
+	}
+	if ins {
+		d.leave()
+	}
+}
+
+// Blit copies a w×h sprite (row-major bytes; 0 is transparent).
+func (d *Display) Blit(x, y, w, h int, sprite []byte) {
+	d.Ops++
+	ins := d.enter(d.rBlit, 24)
+	for ry := 0; ry < h; ry++ {
+		if ins {
+			d.probe.Exec(d.rBlit, 4)
+		}
+		for rx := 0; rx < w; rx++ {
+			c := sprite[ry*w+rx]
+			if c == 0 {
+				continue
+			}
+			px, py := x+rx, y+ry
+			if px >= 0 && px < d.W && py >= 0 && py < d.H {
+				d.Pix[py*d.W+px] = c
+				if ins {
+					d.probe.Exec(d.rBlit, 2)
+					d.probe.Store(d.fb.Addr(uint32(py*d.W + px)))
+				}
+			}
+		}
+	}
+	if ins {
+		d.leave()
+	}
+}
+
+// Checksum returns a deterministic digest of the framebuffer, so tests can
+// assert that two runs drew the same picture.
+func (d *Display) Checksum() uint32 {
+	var h uint32 = 2166136261
+	for _, b := range d.Pix {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return h
+}
+
+// glyphBits derives a deterministic 6×8 pattern for a character.
+func glyphBits(ch byte) [8]byte {
+	var g [8]byte
+	seed := uint32(ch)*2654435761 + 12345
+	for i := range g {
+		seed ^= seed << 13
+		seed ^= seed >> 17
+		seed ^= seed << 5
+		g[i] = byte(seed) & 0x3f
+	}
+	return g
+}
+
+func clip(x, y, w, h, maxW, maxH int) (x0, y0, x1, y1 int) {
+	x0, y0, x1, y1 = x, y, x+w, y+h
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > maxW {
+		x1 = maxW
+	}
+	if y1 > maxH {
+		y1 = maxH
+	}
+	if x1 < x0 {
+		x1 = x0
+	}
+	if y1 < y0 {
+		y1 = y0
+	}
+	return
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

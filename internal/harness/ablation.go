@@ -1,0 +1,218 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"interplab/internal/alphasim"
+	"interplab/internal/core"
+	"interplab/internal/jvm"
+	"interplab/internal/minicc"
+	"interplab/internal/mipsi"
+	"interplab/internal/tcl"
+	"interplab/internal/workloads"
+)
+
+// Ablation quantifies the design choices DESIGN.md calls out:
+//
+//  1. iTLB size 8 vs 32 — the paper's footnote: a 32-entry iTLB
+//     effectively eliminates iTLB stalls.
+//  2. MIPSI's simulated page tables vs a flat guest memory — the §3.3
+//     share attributable to the memory model.
+//  3. Dispatch implementation — threaded interpretation for the
+//     low-level VMs and parse caching (the Tcl 8 direction) for Tcl,
+//     the §5 software optimizations, implemented as knobs.
+//  4. Dispatch (fetch/decode) share per interpreter — the bound on what
+//     those optimizations can ever save.
+func Ablation(opt Options) error {
+	w := opt.Out
+	scale := opt.scale()
+
+	fmt.Fprintf(w, "Ablation 1: iTLB size (Tcl/Tk tkdiff through the pipeline)\n")
+	var tkdiff core.Program
+	for _, p := range workloads.TclSuite(scale) {
+		if p.Name == "tkdiff" {
+			tkdiff = p
+		}
+	}
+	for _, entries := range []int{8, 32} {
+		cfg := alphasim.DefaultConfig()
+		cfg.ITLBEntries = entries
+		res, err := core.MeasureWithPipeline(tkdiff, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  iTLB %2d entries: itlb stalls %.2f%% of issue slots, CPI %.2f\n",
+			entries, 100*res.Pipe.StallFrac(alphasim.CauseITLB, 2), res.Pipe.CPI())
+	}
+
+	fmt.Fprintf(w, "\nAblation 2: MIPSI simulated page tables vs flat memory (des)\n")
+	blocks := int(150 * scale)
+	if blocks < 8 {
+		blocks = 8
+	}
+	for _, flat := range []bool{false, true} {
+		flat := flat
+		p := core.Program{
+			System: core.SysMIPSI, Name: "des",
+			Run: func(ctx *core.Ctx) error {
+				prog, err := minicc.CompileMIPS("des", minicc.WithStdlib(desSourceForAblation(blocks)))
+				if err != nil {
+					return err
+				}
+				ip, err := mipsi.New(prog, ctx.OS, ctx.Image, ctx.Probe)
+				if err != nil {
+					return err
+				}
+				ip.FlatMemory = flat
+				return ip.Run(0)
+			},
+		}
+		res, err := core.Measure(p)
+		if err != nil {
+			return err
+		}
+		fd, ex := res.PerCommand()
+		mm, _ := res.Stats.Region("memmodel")
+		label := "page tables"
+		if flat {
+			label = "flat memory"
+		}
+		fmt.Fprintf(w, "  %-12s: %8s native instr, fd/cmd %.0f, ex/cmd %.1f, memmodel %4.1f%%\n",
+			label, fmtK(res.NativeInstructions()), fd, ex,
+			100*float64(mm.Instructions)/float64(res.NativeInstructions()))
+	}
+
+	fmt.Fprintf(w, "\nAblation 3: dispatch implementation (§5: threaded code, bytecode caching)\n")
+	if err := dispatchAblation(w, blocks, scale); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\nAblation 4: fetch/decode share (the dispatch-optimization bound, §5)\n")
+	for _, p := range []core.Program{
+		workloads.DESMIPSI(blocks),
+		workloads.DESJava(int(260 * scale)),
+		workloads.DESPerl(int(18 * scale)),
+		workloads.DESTcl(int(6 * scale)),
+	} {
+		res, err := core.Measure(p)
+		if err != nil {
+			return err
+		}
+		fdShare := float64(res.Stats.FetchDecode) / float64(res.NativeInstructions())
+		fmt.Fprintf(w, "  %-10s fetch/decode is %4.1f%% of native instructions\n",
+			res.Program.System, 100*fdShare)
+	}
+	return nil
+}
+
+// desSourceForAblation re-exposes the shared des source (kept in the
+// workloads package) for the flat-memory run.
+func desSourceForAblation(blocks int) string {
+	return workloads.DESMiniCSource(blocks)
+}
+
+// dispatchAblation measures the §5 software optimizations as implemented
+// knobs: threaded dispatch for the low-level VMs, and parse caching (the
+// Tcl 8 direction) for Tcl.
+func dispatchAblation(w io.Writer, blocks int, scale float64) error {
+	// MIPSI: switch vs. threaded dispatch.
+	for _, threaded := range []bool{false, true} {
+		threaded := threaded
+		p := core.Program{
+			System: core.SysMIPSI, Name: "des",
+			Run: func(ctx *core.Ctx) error {
+				prog, err := minicc.CompileMIPS("des", minicc.WithStdlib(desSourceForAblation(blocks)))
+				if err != nil {
+					return err
+				}
+				ip, err := mipsi.New(prog, ctx.OS, ctx.Image, ctx.Probe)
+				if err != nil {
+					return err
+				}
+				ip.Threaded = threaded
+				return ip.Run(0)
+			},
+		}
+		res, err := core.Measure(p)
+		if err != nil {
+			return err
+		}
+		fd, _ := res.PerCommand()
+		label := "switch  "
+		if threaded {
+			label = "threaded"
+		}
+		fmt.Fprintf(w, "  MIPSI %s dispatch: fd/cmd %5.1f, total %s native instr\n",
+			label, fd, fmtK(res.NativeInstructions()))
+	}
+
+	// Java: switch vs. threaded dispatch.
+	jblocks := int(260 * scale)
+	if jblocks < 16 {
+		jblocks = 16
+	}
+	for _, threaded := range []bool{false, true} {
+		threaded := threaded
+		p := core.Program{
+			System: core.SysJava, Name: "des",
+			Run: func(ctx *core.Ctx) error {
+				mod, err := minicc.CompileJVM("des", minicc.WithStdlibJVM(desSourceForAblation(jblocks)))
+				if err != nil {
+					return err
+				}
+				if err := mod.Bind(jvm.OSNatives(ctx.OS)); err != nil {
+					return err
+				}
+				vm, err := jvm.New(mod, ctx.Image, ctx.Probe)
+				if err != nil {
+					return err
+				}
+				vm.Threaded = threaded
+				_, err = vm.Run("main", 0)
+				return err
+			},
+		}
+		res, err := core.Measure(p)
+		if err != nil {
+			return err
+		}
+		fd, _ := res.PerCommand()
+		label := "switch  "
+		if threaded {
+			label = "threaded"
+		}
+		fmt.Fprintf(w, "  Java  %s dispatch: fd/cmd %5.1f, total %s native instr\n",
+			label, fd, fmtK(res.NativeInstructions()))
+	}
+
+	// Tcl: direct string interpretation vs. cached parse (Tcl 8 model).
+	tblocks := int(6 * scale)
+	if tblocks < 2 {
+		tblocks = 2
+	}
+	for _, cached := range []bool{false, true} {
+		cached := cached
+		p := core.Program{
+			System: core.SysTcl, Name: "des",
+			Run: func(ctx *core.Ctx) error {
+				i := tcl.New(ctx.OS, ctx.Image, ctx.Probe)
+				i.CachedParse = cached
+				_, err := i.Eval(workloads.DESTclSource(tblocks))
+				return err
+			},
+		}
+		res, err := core.Measure(p)
+		if err != nil {
+			return err
+		}
+		fd, _ := res.PerCommand()
+		label := "re-parse"
+		if cached {
+			label = "cached  "
+		}
+		fmt.Fprintf(w, "  Tcl   %s bodies:   fd/cmd %5.0f, total %s native instr\n",
+			label, fd, fmtK(res.NativeInstructions()))
+	}
+	return nil
+}

@@ -1,0 +1,420 @@
+// Package harness drives the paper's experiments: each exported function
+// regenerates one table or figure from the measured systems and renders it
+// as text.  EXPERIMENTS.md records a captured run against the paper's
+// numbers.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"interplab/internal/alphasim"
+	"interplab/internal/atom"
+	"interplab/internal/core"
+	"interplab/internal/workloads"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale multiplies workload sizes (1 = default).
+	Scale float64
+	// Out receives the rendered table/figure.
+	Out io.Writer
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 1
+	}
+	return o.Scale
+}
+
+// Experiments lists the runnable experiment ids.
+var Experiments = []string{
+	"table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "memmodel", "ablation",
+}
+
+// Run dispatches an experiment by id.
+func Run(id string, opt Options) error {
+	switch id {
+	case "table1":
+		return Table1(opt)
+	case "table2":
+		return Table2(opt)
+	case "table3":
+		return Table3(opt)
+	case "fig1":
+		return Fig1(opt)
+	case "fig2":
+		return Fig2(opt)
+	case "fig3":
+		return Fig3(opt)
+	case "fig4":
+		return Fig4(opt)
+	case "memmodel":
+		return MemModel(opt)
+	case "ablation":
+		return Ablation(opt)
+	}
+	return fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(Experiments, ", "))
+}
+
+// systems is the presentation order.
+var systems = []core.System{core.SysMIPSI, core.SysJava, core.SysPerl, core.SysTcl}
+
+// Table1 regenerates the microbenchmark slowdown table.  Slowdowns are
+// ratios of simulated machine cycles against the compiled-C run of the
+// same operation count.
+func Table1(opt Options) error {
+	w := opt.Out
+	fmt.Fprintf(w, "Table 1: microbenchmark slowdowns relative to C (simulated cycles)\n\n")
+	fmt.Fprintf(w, "%-14s %-50s %9s %9s %9s %9s\n", "Benchmark", "Description", "MIPSI", "Java", "Perl", "Tcl")
+	for _, m := range workloads.Micros(opt.scale()) {
+		base, err := core.MeasureWithPipeline(m.Progs[core.SysC], alphasim.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		cCycles := float64(base.Pipe.Cycles)
+		fmt.Fprintf(w, "%-14s %-50s", m.Name, m.Desc)
+		for _, sys := range systems {
+			res, err := core.MeasureWithPipeline(m.Progs[sys], alphasim.DefaultConfig())
+			if err != nil {
+				return err
+			}
+			slow := float64(res.Pipe.Cycles) / cCycles
+			fmt.Fprintf(w, " %9s", fmtSlowdown(slow))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func fmtSlowdown(s float64) string {
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0f", s)
+	case s >= 10:
+		return fmt.Sprintf("%.0f", s)
+	default:
+		return fmt.Sprintf("%.1f", s)
+	}
+}
+
+// Table2 regenerates the baseline performance table: commands, native
+// instructions, fetch/decode and execute averages, and simulated cycles.
+func Table2(opt Options) error {
+	w := opt.Out
+	fmt.Fprintf(w, "Table 2: baseline interpreter performance\n\n")
+	fmt.Fprintf(w, "%-6s %-10s %8s %10s %14s %10s %8s %8s %12s\n",
+		"Lang", "Benchmark", "Size(KB)", "VCmds(K)", "NativeI(K)", "(startup)", "FD/cmd", "Ex/cmd", "Cycles(K)")
+	for _, p := range table2Order(opt.scale()) {
+		res, err := core.MeasureWithPipeline(p, alphasim.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		fd, ex := res.PerCommand()
+		startup := ""
+		if res.StartupInstructions() > 0 && res.Program.System == core.SysPerl {
+			startup = fmt.Sprintf("(%s)", fmtK(res.StartupInstructions()))
+		}
+		fmt.Fprintf(w, "%-6s %-10s %8.1f %10s %14s %10s %8.0f %8.1f %12s\n",
+			res.Program.System, res.Program.Name,
+			float64(res.SizeBytes)/1024,
+			fmtK(res.Commands()), fmtK(res.NativeInstructions()), startup,
+			fd, ex, fmtK(res.Pipe.Cycles))
+	}
+	return nil
+}
+
+// table2Order interleaves C des first, then per-language groups, as the
+// paper's table does.
+func table2Order(scale float64) []core.Program {
+	all := workloads.Suite(scale)
+	var out []core.Program
+	pick := func(sys core.System) {
+		for _, p := range all {
+			if p.System == sys {
+				out = append(out, p)
+			}
+		}
+	}
+	pick(core.SysC)
+	pick(core.SysMIPSI)
+	pick(core.SysJava)
+	pick(core.SysPerl)
+	pick(core.SysTcl)
+	return out
+}
+
+func fmtK(v uint64) string {
+	switch {
+	case v >= 10_000_000:
+		return fmt.Sprintf("%d,%03dK", v/1_000_000, v%1_000_000/1000)
+	case v >= 1000:
+		return fmt.Sprintf("%dK", v/1000)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
+
+// Table3 prints the simulated machine description.
+func Table3(opt Options) error {
+	w := opt.Out
+	cfg := alphasim.DefaultConfig()
+	fmt.Fprintf(w, "Table 3: simulated processor (2-issue, 21064-like)\n\n")
+	fmt.Fprintf(w, "%-12s %-10s %s\n", "Cause", "Latency", "Description")
+	rows := []struct{ c, l, d string }{
+		{"other", "variable", "control hazards, long-latency multiply results"},
+		{"short int", fmt.Sprint(cfg.ShortIntDelay + 1), "integer shift and byte instructions"},
+		{"load delay", fmt.Sprint(cfg.LoadDelay + 1), "pipeline delay with first-level cache hit"},
+		{"mispredict", fmt.Sprint(cfg.Mispredict), "branch misprediction"},
+		{"dtlb", fmt.Sprint(cfg.TLBMiss), fmt.Sprintf("miss in the %d-entry data tlb", cfg.DTLBEntries)},
+		{"itlb", fmt.Sprint(cfg.TLBMiss), fmt.Sprintf("miss in the %d-entry instruction tlb", cfg.ITLBEntries)},
+		{"dmiss", fmt.Sprintf("%d or %d", cfg.L1Miss, cfg.L1Miss+cfg.L2Miss), "miss in L1 data cache / L2"},
+		{"imiss", fmt.Sprintf("%d or %d", cfg.L1Miss, cfg.L1Miss+cfg.L2Miss), "miss in L1 instruction cache / L2"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-10s %s\n", r.c, r.l, r.d)
+	}
+	fmt.Fprintf(w, "\ncaches: %dKB/%dKB direct-mapped L1 I/D, %dKB L2; %d-byte lines; %dKB pages\n",
+		cfg.ICache.Size>>10, cfg.DCache.Size>>10, cfg.L2.Size>>10, cfg.ICache.LineSize, cfg.PageSize>>10)
+	fmt.Fprintf(w, "branch logic: %d-entry 1-bit BHT, %d-entry return stack, %d-entry BTC\n",
+		cfg.BHTEntries, cfg.ReturnStack, cfg.BTCEntries)
+	return nil
+}
+
+// Fig1 regenerates the cumulative execute-instruction distributions: the
+// share of execute instructions covered by the top-x virtual commands.
+func Fig1(opt Options) error {
+	w := opt.Out
+	fmt.Fprintf(w, "Figure 1: cumulative native instruction count distributions\n")
+	fmt.Fprintf(w, "(execute instructions covered by the top-x virtual commands)\n\n")
+	fmt.Fprintf(w, "%-18s %6s %6s %6s %6s %6s\n", "Benchmark", "top1", "top2", "top3", "top5", "top10")
+	for _, p := range workloads.Suite(opt.scale()) {
+		if p.System == core.SysC {
+			continue
+		}
+		res, err := core.Measure(p)
+		if err != nil {
+			return err
+		}
+		ops := res.Stats.Ops
+		sort.Slice(ops, func(a, b int) bool { return ops[a].Execute > ops[b].Execute })
+		var cum [5]float64
+		idx := map[int]int{1: 0, 2: 1, 3: 2, 5: 3, 10: 4}
+		total := float64(res.Stats.Execute)
+		running := 0.0
+		for k, op := range ops {
+			running += float64(op.Execute)
+			if slot, ok := idx[k+1]; ok {
+				cum[slot] = 100 * running / total
+			}
+		}
+		// Fill trailing slots when there are fewer commands than the cut.
+		last := 0.0
+		for k := range cum {
+			if cum[k] == 0 {
+				cum[k] = max(last, 100*running/total)
+			}
+			last = cum[k]
+		}
+		fmt.Fprintf(w, "%-18s %5.0f%% %5.0f%% %5.0f%% %5.0f%% %5.0f%%\n",
+			p.ID(), cum[0], cum[1], cum[2], cum[3], cum[4])
+	}
+	return nil
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Fig2 regenerates the per-command histograms: for each benchmark, the
+// top virtual commands with their share of commands and of execute
+// instructions.
+func Fig2(opt Options) error {
+	w := opt.Out
+	fmt.Fprintf(w, "Figure 2: virtual command and execute-instruction distributions\n\n")
+	for _, p := range workloads.Suite(opt.scale()) {
+		if p.System == core.SysC {
+			continue
+		}
+		res, err := core.Measure(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s:\n", p.ID())
+		ops := res.Stats.Ops
+		if p.System == core.SysJava {
+			ops = groupJavaOps(ops)
+		}
+		sort.Slice(ops, func(a, b int) bool { return ops[a].Execute > ops[b].Execute })
+		n := len(ops)
+		if n > 6 {
+			n = 6
+		}
+		for _, op := range ops[:n] {
+			cmdShare := 100 * float64(op.Count) / float64(res.Stats.Commands)
+			exShare := 100 * float64(op.Execute) / float64(res.Stats.Execute)
+			fmt.Fprintf(w, "  %-14s %5.1f%% of commands  %5.1f%% of execute  %s\n",
+				op.Name, cmdShare, exShare, bar(exShare))
+		}
+	}
+	return nil
+}
+
+func bar(pct float64) string {
+	n := int(pct / 2.5)
+	if n > 40 {
+		n = 40
+	}
+	return strings.Repeat("#", n)
+}
+
+// MemModel regenerates the §3.3 memory-model measurements.
+func MemModel(opt Options) error {
+	w := opt.Out
+	fmt.Fprintf(w, "Section 3.3: memory model costs\n\n")
+	fmt.Fprintf(w, "%-18s %-12s %10s %12s %8s\n", "Benchmark", "Region", "Accesses", "Instr/access", "%total")
+	for _, p := range workloads.Suite(opt.scale()) {
+		if p.System == core.SysC {
+			continue
+		}
+		res, err := core.Measure(p)
+		if err != nil {
+			return err
+		}
+		total := float64(res.NativeInstructions())
+		for _, region := range res.Stats.Regions {
+			if region.Accesses == 0 {
+				continue
+			}
+			switch region.Name {
+			case "memmodel", "java.stack", "java.field":
+				fmt.Fprintf(w, "%-18s %-12s %10d %12.0f %7.1f%%\n",
+					p.ID(), region.Name, region.Accesses, region.PerAccess(),
+					100*float64(region.Instructions)/total)
+			}
+		}
+	}
+	return nil
+}
+
+// Fig3 regenerates the issue-slot stall distributions for the interpreted
+// suite and the native baselines.
+func Fig3(opt Options) error {
+	w := opt.Out
+	fmt.Fprintf(w, "Figure 3: overall execution behavior (%% of issue slots)\n\n")
+	fmt.Fprintf(w, "%-18s %5s %6s %6s %6s %6s %6s %6s %6s %6s\n",
+		"Benchmark", "busy", "other", "shint", "load", "mispr", "dtlb", "itlb", "dmiss", "imiss")
+	progs := append(workloads.NativeSuite(opt.scale()), workloads.Suite(opt.scale())...)
+	for _, p := range progs {
+		if err := fig3Row(w, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fig3Row(w io.Writer, p core.Program) error {
+	res, err := core.MeasureWithPipeline(p, alphasim.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	st := res.Pipe
+	width := 2
+	fmt.Fprintf(w, "%-18s %4.0f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%%\n",
+		p.ID(),
+		100*st.BusyFrac(width),
+		100*st.OtherFrac(width),
+		100*st.StallFrac(alphasim.CauseShortInt, width),
+		100*st.StallFrac(alphasim.CauseLoadDelay, width),
+		100*st.StallFrac(alphasim.CauseMispredict, width),
+		100*st.StallFrac(alphasim.CauseDTLB, width),
+		100*st.StallFrac(alphasim.CauseITLB, width),
+		100*st.StallFrac(alphasim.CauseDMiss, width),
+		100*st.StallFrac(alphasim.CauseIMiss, width))
+	return nil
+}
+
+// Fig4 regenerates the instruction-cache sweeps: miss rate per 100
+// instructions across sizes and associativities for the Java, Perl and
+// Tcl suites (plus MIPSI des for contrast).
+func Fig4(opt Options) error {
+	w := opt.Out
+	fmt.Fprintf(w, "Figure 4: instruction cache behavior (misses per 100 instructions)\n\n")
+	fmt.Fprintf(w, "%-18s", "Benchmark")
+	sweepCfg := alphasim.DefaultICacheSweep()
+	for _, pt := range sweepCfg.Points() {
+		fmt.Fprintf(w, " %9s", pt.Label())
+	}
+	fmt.Fprintln(w)
+	for _, p := range workloads.Suite(opt.scale()) {
+		switch p.System {
+		case core.SysC:
+			continue
+		case core.SysMIPSI:
+			if p.Name != "des" {
+				continue
+			}
+		}
+		sweep := alphasim.DefaultICacheSweep()
+		if _, err := core.MeasureWithSweep(p, sweep); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-18s", p.ID())
+		for _, pt := range sweep.Points() {
+			fmt.Fprintf(w, " %9.2f", pt.MissPer100())
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// groupJavaOps folds raw bytecodes into the primary categories Figure 2
+// uses for Java (st_load, st_store, alu, branch, call, field, native).
+func groupJavaOps(ops []atom.OpStats) []atom.OpStats {
+	cat := func(name string) string {
+		switch {
+		case name == "iload" || name == "iconst" || name == "ldc":
+			return "st_load"
+		case name == "istore" || name == "iinc":
+			return "st_store"
+		case name == "invokenative":
+			return "native"
+		case strings.HasPrefix(name, "get") || strings.HasPrefix(name, "put"):
+			return "field"
+		case strings.HasPrefix(name, "if") || name == "goto":
+			return "branch"
+		case name == "invokestatic" || name == "return" || name == "ireturn":
+			return "call"
+		case strings.Contains(name, "array") || strings.Contains(name, "aload") ||
+			strings.Contains(name, "astore") || name == "new":
+			return "array"
+		}
+		return "alu"
+	}
+	grouped := make(map[string]*atom.OpStats)
+	var order []string
+	for _, op := range ops {
+		c := cat(op.Name)
+		g, ok := grouped[c]
+		if !ok {
+			g = &atom.OpStats{Name: c}
+			grouped[c] = g
+			order = append(order, c)
+		}
+		g.Count += op.Count
+		g.FetchDecode += op.FetchDecode
+		g.Execute += op.Execute
+	}
+	out := make([]atom.OpStats, 0, len(order))
+	for _, c := range order {
+		out = append(out, *grouped[c])
+	}
+	return out
+}

@@ -1,0 +1,436 @@
+package jvm
+
+import (
+	"strings"
+	"testing"
+
+	"interplab/internal/atom"
+	"interplab/internal/trace"
+	"interplab/internal/vfs"
+)
+
+// buildFn assembles one function.
+func buildFn(t *testing.T, name string, nargs, nlocals int, build func(a *Asm)) *Function {
+	t.Helper()
+	a := NewAsm()
+	build(a)
+	code, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Function{Name: name, NArgs: nargs, NLocals: nlocals, Code: code}
+}
+
+func TestOpcodeMetadata(t *testing.T) {
+	if OpIconst.OperandBytes() != 4 || OpIload.OperandBytes() != 1 ||
+		OpGoto.OperandBytes() != 2 || OpIadd.OperandBytes() != 0 || OpIinc.OperandBytes() != 2 {
+		t.Error("operand sizes wrong")
+	}
+	if !OpIfeq.IsBranch() || !OpIfIcmpge.IsBranch() || OpGoto.IsBranch() || OpIadd.IsBranch() {
+		t.Error("IsBranch wrong")
+	}
+	if OpIload.Category() != "st_load" || OpInvokeNative.Category() != "native" ||
+		OpGetStatic.Category() != "field" || OpIadd.Category() != "alu" {
+		t.Error("categories wrong")
+	}
+	if OpIconst.String() != "iconst" || OpIfIcmplt.String() != "if_icmplt" {
+		t.Error("names wrong")
+	}
+}
+
+func TestArithmeticLoop(t *testing.T) {
+	// sum = 0; for i = 10 downto 1: sum += i; return sum
+	main := buildFn(t, "main", 0, 2, func(a *Asm) {
+		a.I32(OpIconst, 0).U8(OpIstore, 0) // sum
+		a.I32(OpIconst, 10).U8(OpIstore, 1)
+		a.Label("loop")
+		a.U8(OpIload, 0).U8(OpIload, 1).Op(OpIadd).U8(OpIstore, 0)
+		a.Iinc(1, -1)
+		a.U8(OpIload, 1).Br(OpIfgt, "loop")
+		a.U8(OpIload, 0).Op(OpIreturn)
+	})
+	vm, err := New(&Module{Funcs: []*Function{main}}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, err := vm.Run("main", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 55 {
+		t.Errorf("result = %d, want 55", ret)
+	}
+}
+
+func TestAluOps(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		a, b int32
+		want int32
+	}{
+		{OpIadd, 7, 3, 10},
+		{OpIsub, 7, 3, 4},
+		{OpImul, 7, 3, 21},
+		{OpIdiv, 7, 3, 2},
+		{OpIdiv, -7, 3, -2},
+		{OpIrem, 7, 3, 1},
+		{OpIand, 6, 3, 2},
+		{OpIor, 6, 3, 7},
+		{OpIxor, 6, 3, 5},
+		{OpIshl, 3, 2, 12},
+		{OpIshr, -8, 1, -4},
+		{OpIushr, -8, 1, 0x7ffffffc},
+	}
+	for _, c := range cases {
+		main := buildFn(t, "main", 0, 0, func(a *Asm) {
+			a.I32(OpIconst, c.a).I32(OpIconst, c.b).Op(c.op).Op(OpIreturn)
+		})
+		vm, _ := New(&Module{Funcs: []*Function{main}}, nil, nil)
+		ret, err := vm.Run("main", 0)
+		if err != nil {
+			t.Fatalf("%v: %v", c.op, err)
+		}
+		if ret != c.want {
+			t.Errorf("%v(%d,%d) = %d, want %d", c.op, c.a, c.b, ret, c.want)
+		}
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	main := buildFn(t, "main", 0, 0, func(a *Asm) {
+		a.I32(OpIconst, 1).I32(OpIconst, 0).Op(OpIdiv).Op(OpIreturn)
+	})
+	vm, _ := New(&Module{Funcs: []*Function{main}}, nil, nil)
+	if _, err := vm.Run("main", 0); err == nil || !strings.Contains(err.Error(), "zero") {
+		t.Errorf("expected division-by-zero error, got %v", err)
+	}
+}
+
+func TestCallsAndRecursion(t *testing.T) {
+	// fact(n): n < 2 ? 1 : n * fact(n-1)
+	fact := buildFn(t, "fact", 1, 1, func(a *Asm) {
+		a.U8(OpIload, 0).I32(OpIconst, 2).Br(OpIfIcmplt, "base")
+		a.U8(OpIload, 0)
+		a.U8(OpIload, 0).I32(OpIconst, 1).Op(OpIsub)
+		a.U16(OpInvokeStatic, 1)
+		a.Op(OpImul).Op(OpIreturn)
+		a.Label("base")
+		a.I32(OpIconst, 1).Op(OpIreturn)
+	})
+	main := buildFn(t, "main", 0, 0, func(a *Asm) {
+		a.I32(OpIconst, 6).U16(OpInvokeStatic, 1).Op(OpIreturn)
+	})
+	vm, _ := New(&Module{Funcs: []*Function{main, fact}}, nil, nil)
+	ret, err := vm.Run("main", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 720 {
+		t.Errorf("fact(6) = %d, want 720", ret)
+	}
+}
+
+func TestStaticsAndArrays(t *testing.T) {
+	mod := &Module{
+		Statics: []*Static{
+			{Name: "counter", Init: 5},
+			{Name: "table", ElemSize: 4, Len: 8, InitInts: []int32{1, 2, 3}},
+			{Name: "text", ElemSize: 1, Len: 4, InitData: []byte("ab")},
+		},
+	}
+	main := buildFn(t, "main", 0, 0, func(a *Asm) {
+		// counter += table[2] + text[1]  ->  5 + 3 + 'b'
+		a.U16(OpGetStatic, 0)
+		a.U16(OpGetStatic, 1).I32(OpIconst, 2).Op(OpIaload)
+		a.Op(OpIadd)
+		a.U16(OpGetStatic, 2).I32(OpIconst, 1).Op(OpBaload)
+		a.Op(OpIadd)
+		a.U16(OpPutStatic, 0)
+		a.U16(OpGetStatic, 0).Op(OpIreturn)
+	})
+	mod.Funcs = []*Function{main}
+	vm, _ := New(mod, nil, nil)
+	ret, err := vm.Run("main", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 5+3+'b' {
+		t.Errorf("result = %d, want %d", ret, 5+3+'b')
+	}
+}
+
+func TestDynamicArrays(t *testing.T) {
+	main := buildFn(t, "main", 0, 1, func(a *Asm) {
+		a.I32(OpIconst, 10).Op(OpNewArrayI).U8(OpIstore, 0)
+		// a[3] = 99
+		a.U8(OpIload, 0).I32(OpIconst, 3).I32(OpIconst, 99).Op(OpIastore)
+		// return a[3] + arraylength(a)
+		a.U8(OpIload, 0).I32(OpIconst, 3).Op(OpIaload)
+		a.U8(OpIload, 0).Op(OpArrayLen)
+		a.Op(OpIadd).Op(OpIreturn)
+	})
+	vm, _ := New(&Module{Funcs: []*Function{main}}, nil, nil)
+	ret, err := vm.Run("main", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 109 {
+		t.Errorf("result = %d, want 109", ret)
+	}
+}
+
+func TestArrayBounds(t *testing.T) {
+	main := buildFn(t, "main", 0, 1, func(a *Asm) {
+		a.I32(OpIconst, 4).Op(OpNewArrayI).U8(OpIstore, 0)
+		a.U8(OpIload, 0).I32(OpIconst, 4).Op(OpIaload).Op(OpIreturn)
+	})
+	vm, _ := New(&Module{Funcs: []*Function{main}}, nil, nil)
+	if _, err := vm.Run("main", 0); err == nil || !strings.Contains(err.Error(), "bounds") {
+		t.Errorf("expected bounds error, got %v", err)
+	}
+}
+
+func TestObjectsFields(t *testing.T) {
+	main := buildFn(t, "main", 0, 1, func(a *Asm) {
+		a.U16(OpNew, 3).U8(OpIstore, 0)
+		// o.f1 = 42
+		a.U8(OpIload, 0).I32(OpIconst, 42).U16(OpPutField, 1)
+		// return o.f1
+		a.U8(OpIload, 0).U16(OpGetField, 1).Op(OpIreturn)
+	})
+	vm, _ := New(&Module{Funcs: []*Function{main}}, nil, nil)
+	ret, err := vm.Run("main", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 42 {
+		t.Errorf("field round trip = %d, want 42", ret)
+	}
+}
+
+func TestNullReference(t *testing.T) {
+	main := buildFn(t, "main", 0, 0, func(a *Asm) {
+		a.I32(OpIconst, 0).U16(OpGetField, 0).Op(OpIreturn)
+	})
+	vm, _ := New(&Module{Funcs: []*Function{main}}, nil, nil)
+	if _, err := vm.Run("main", 0); err == nil {
+		t.Error("expected null-reference error")
+	}
+}
+
+func TestNativesAndLdc(t *testing.T) {
+	osys := vfs.New()
+	mod := &Module{
+		Consts:  [][]byte{[]byte("hi\n")},
+		Natives: []*NativeFn{{Name: "_write", Arity: 3}},
+	}
+	main := buildFn(t, "main", 0, 0, func(a *Asm) {
+		a.I32(OpIconst, 1).U16(OpLdc, 0).I32(OpIconst, 3).U16(OpInvokeNative, 0).Op(OpIreturn)
+	})
+	mod.Funcs = []*Function{main}
+	if err := mod.Bind(OSNatives(osys)); err != nil {
+		t.Fatal(err)
+	}
+	vm, _ := New(mod, nil, nil)
+	ret, err := vm.Run("main", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 3 || osys.Stdout.String() != "hi\n" {
+		t.Errorf("write = %d, stdout = %q", ret, osys.Stdout.String())
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	mod := &Module{Natives: []*NativeFn{{Name: "nosuch", Arity: 1}}}
+	if err := mod.Bind(nil); err != nil {
+		t.Errorf("partial binding is allowed: %v", err)
+	}
+	if u := mod.Unbound(); len(u) != 1 || u[0] != "nosuch" {
+		t.Errorf("Unbound = %v, want [nosuch]", u)
+	}
+	mod = &Module{Natives: []*NativeFn{{Name: "_close", Arity: 3}}}
+	if err := mod.Bind(OSNatives(vfs.New())); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}
+
+func TestStackUnderflow(t *testing.T) {
+	main := buildFn(t, "main", 0, 0, func(a *Asm) {
+		a.Op(OpIadd).Op(OpIreturn)
+	})
+	vm, _ := New(&Module{Funcs: []*Function{main}}, nil, nil)
+	if _, err := vm.Run("main", 0); err == nil || !strings.Contains(err.Error(), "underflow") {
+		t.Errorf("expected underflow, got %v", err)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	main := buildFn(t, "main", 0, 0, func(a *Asm) {
+		a.Label("x").Br(OpGoto, "x")
+	})
+	vm, _ := New(&Module{Funcs: []*Function{main}}, nil, nil)
+	if _, err := vm.Run("main", 500); err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("expected budget error, got %v", err)
+	}
+}
+
+func TestInstrumentationBands(t *testing.T) {
+	// Table 2: Java fetch/decode ≈ 16 instructions per bytecode, nearly
+	// fixed; §3.3: each stack reference ~2 instructions.
+	main := buildFn(t, "main", 0, 2, func(a *Asm) {
+		a.I32(OpIconst, 0).U8(OpIstore, 0)
+		a.I32(OpIconst, 2000).U8(OpIstore, 1)
+		a.Label("loop")
+		a.U8(OpIload, 0).U8(OpIload, 1).Op(OpIadd).U8(OpIstore, 0)
+		a.Iinc(1, -1)
+		a.U8(OpIload, 1).Br(OpIfgt, "loop")
+		a.U8(OpIload, 0).Op(OpIreturn)
+	})
+	img := atom.NewImage()
+	p := atom.NewProbe(img, trace.Discard)
+	vm, err := New(&Module{Funcs: []*Function{main}}, img, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.Run("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Commands != vm.Steps {
+		t.Fatalf("commands %d != steps %d", st.Commands, vm.Steps)
+	}
+	fd, ex := st.InstructionsPerCommand()
+	if fd < 12 || fd > 20 {
+		t.Errorf("fetch/decode per bytecode = %.1f, want ~16", fd)
+	}
+	if ex < 2 || ex > 25 {
+		t.Errorf("execute per bytecode = %.1f implausible", ex)
+	}
+	stk, ok := st.Region("java.stack")
+	if !ok || stk.Accesses == 0 {
+		t.Fatal("stack region must be tracked")
+	}
+	per := stk.PerAccess()
+	if per < 1 || per > 4 {
+		t.Errorf("per-stack-reference cost = %.2f, want ~2", per)
+	}
+}
+
+func TestFieldAccessCost(t *testing.T) {
+	// §3.3: each object field reference ~11 instructions.
+	mod := &Module{Statics: []*Static{{Name: "x"}}}
+	main := buildFn(t, "main", 0, 0, func(a *Asm) {
+		a.I32(OpIconst, 1000).U8(OpIstore+0, 0) // istore needs a local... use statics loop instead
+		a.Op(OpIreturn)
+	})
+	_ = main
+	loop := buildFn(t, "main", 0, 1, func(a *Asm) {
+		a.I32(OpIconst, 500).U8(OpIstore, 0)
+		a.Label("l")
+		a.U16(OpGetStatic, 0).I32(OpIconst, 1).Op(OpIadd).U16(OpPutStatic, 0)
+		a.Iinc(0, -1)
+		a.U8(OpIload, 0).Br(OpIfgt, "l")
+		a.U16(OpGetStatic, 0).Op(OpIreturn)
+	})
+	mod.Funcs = []*Function{loop}
+	img := atom.NewImage()
+	p := atom.NewProbe(img, trace.Discard)
+	vm, err := New(mod, img, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, err := vm.Run("main", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 500 {
+		t.Fatalf("result = %d, want 500", ret)
+	}
+	st := p.Stats()
+	fld, ok := st.Region("java.field")
+	if !ok || fld.Accesses < 1000 {
+		t.Fatalf("field accesses = %+v, want >= 1000", fld)
+	}
+	per := fld.PerAccess()
+	if per < 4 || per > 16 {
+		t.Errorf("per-field-reference cost = %.2f, want ~11", per)
+	}
+}
+
+func TestThreadedDispatch(t *testing.T) {
+	mk := func(threaded bool) float64 {
+		main := buildFn(t, "main", 0, 2, func(a *Asm) {
+			a.I32(OpIconst, 0).U8(OpIstore, 0)
+			a.I32(OpIconst, 500).U8(OpIstore, 1)
+			a.Label("loop")
+			a.U8(OpIload, 0).U8(OpIload, 1).Op(OpIadd).U8(OpIstore, 0)
+			a.Iinc(1, -1)
+			a.U8(OpIload, 1).Br(OpIfgt, "loop")
+			a.U8(OpIload, 0).Op(OpIreturn)
+		})
+		img := atom.NewImage()
+		p := atom.NewProbe(img, trace.Discard)
+		vm, err := New(&Module{Funcs: []*Function{main}}, img, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm.Threaded = threaded
+		if _, err := vm.Run("main", 0); err != nil {
+			t.Fatal(err)
+		}
+		fd, _ := p.Stats().InstructionsPerCommand()
+		return fd
+	}
+	if sw, thr := mk(false), mk(true); thr >= sw {
+		t.Errorf("threaded fd/cmd (%.1f) must beat switch (%.1f)", thr, sw)
+	}
+}
+
+func TestLdcInterning(t *testing.T) {
+	mod := &Module{Consts: [][]byte{[]byte("abc")}}
+	main := buildFn(t, "main", 0, 2, func(a *Asm) {
+		a.U16(OpLdc, 0).U8(OpIstore, 0)
+		a.U16(OpLdc, 0).U8(OpIstore, 1)
+		// Equal references: ref1 - ref0 == 0.
+		a.U8(OpIload, 1).U8(OpIload, 0).Op(OpIsub).Op(OpIreturn)
+	})
+	mod.Funcs = []*Function{main}
+	vm, _ := New(mod, nil, nil)
+	ret, err := vm.Run("main", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 0 {
+		t.Errorf("ldc must intern: refs differ by %d", ret)
+	}
+}
+
+func TestStackShuffles(t *testing.T) {
+	main := buildFn(t, "main", 0, 0, func(a *Asm) {
+		a.I32(OpIconst, 7).I32(OpIconst, 3)
+		a.Op(OpSwap)                         // 3 7
+		a.Op(OpIsub)                         // 3 - 7 = -4
+		a.Op(OpDup).Op(OpIadd).Op(OpIreturn) // -8
+	})
+	vm, _ := New(&Module{Funcs: []*Function{main}}, nil, nil)
+	ret, err := vm.Run("main", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != -8 {
+		t.Errorf("ret = %d, want -8", ret)
+	}
+}
+
+func TestPopAndNop(t *testing.T) {
+	main := buildFn(t, "main", 0, 0, func(a *Asm) {
+		a.Op(OpNop)
+		a.I32(OpIconst, 9).I32(OpIconst, 1).Op(OpPop).Op(OpIreturn)
+	})
+	vm, _ := New(&Module{Funcs: []*Function{main}}, nil, nil)
+	ret, err := vm.Run("main", 0)
+	if err != nil || ret != 9 {
+		t.Errorf("ret = %d, %v", ret, err)
+	}
+}

@@ -1,0 +1,114 @@
+package jvm
+
+import (
+	"interplab/internal/gfx"
+	"interplab/internal/vfs"
+)
+
+// OSNatives returns the native-method bindings for the OS intrinsics of the
+// mini-C JVM backend (_exit, _read, _write, _open, _close).  Buffer
+// arguments are byte-array references; the vfs layer charges its own
+// precompiled-code costs.
+func OSNatives(os *vfs.OS) []*NativeFn {
+	return []*NativeFn{
+		{Name: "_exit", Arity: 1, F: func(vm *VM, a []int32) int32 {
+			vm.Exited = true
+			vm.ExitCode = a[0]
+			return 0
+		}},
+		{Name: "_read", Arity: 3, F: func(vm *VM, a []int32) int32 {
+			o, err := vm.Obj(a[1])
+			if err != nil || o.Bytes == nil {
+				return -1
+			}
+			n := int(a[2])
+			if n > len(o.Bytes) {
+				n = len(o.Bytes)
+			}
+			b, err := os.Read(int(a[0]), n)
+			if err != nil {
+				return -1
+			}
+			copy(o.Bytes, b)
+			return int32(len(b))
+		}},
+		{Name: "_write", Arity: 3, F: func(vm *VM, a []int32) int32 {
+			o, err := vm.Obj(a[1])
+			if err != nil || o.Bytes == nil {
+				return -1
+			}
+			n := int(a[2])
+			if n > len(o.Bytes) {
+				n = len(o.Bytes)
+			}
+			w, err := os.Write(int(a[0]), o.Bytes[:n])
+			if err != nil {
+				return -1
+			}
+			return int32(w)
+		}},
+		{Name: "_open", Arity: 2, F: func(vm *VM, a []int32) int32 {
+			o, err := vm.Obj(a[0])
+			if err != nil || o.Bytes == nil {
+				return -1
+			}
+			// Path is the NUL-terminated prefix of the byte array.
+			path := o.Bytes
+			for i, c := range path {
+				if c == 0 {
+					path = path[:i]
+					break
+				}
+			}
+			fd, err := os.Open(string(path), a[1] != 0)
+			if err != nil {
+				return -1
+			}
+			return int32(fd)
+		}},
+		{Name: "_close", Arity: 1, F: func(vm *VM, a []int32) int32 {
+			if err := os.Close(int(a[0])); err != nil {
+				return -1
+			}
+			return 0
+		}},
+	}
+}
+
+// GfxNatives returns native bindings to the graphics runtime library — the
+// AWT analog the paper's graphics-heavy Java benchmarks lean on.
+func GfxNatives(d *gfx.Display) []*NativeFn {
+	return []*NativeFn{
+		{Name: "gfx_clear", Arity: 1, F: func(vm *VM, a []int32) int32 {
+			d.Clear(byte(a[0]))
+			return 0
+		}},
+		{Name: "gfx_plot", Arity: 3, F: func(vm *VM, a []int32) int32 {
+			d.Plot(int(a[0]), int(a[1]), byte(a[2]))
+			return 0
+		}},
+		{Name: "gfx_fillrect", Arity: 5, F: func(vm *VM, a []int32) int32 {
+			d.FillRect(int(a[0]), int(a[1]), int(a[2]), int(a[3]), byte(a[4]))
+			return 0
+		}},
+		{Name: "gfx_line", Arity: 5, F: func(vm *VM, a []int32) int32 {
+			d.Line(int(a[0]), int(a[1]), int(a[2]), int(a[3]), byte(a[4]))
+			return 0
+		}},
+		{Name: "gfx_text", Arity: 4, F: func(vm *VM, a []int32) int32 {
+			o, err := vm.Obj(a[2])
+			if err != nil || o.Bytes == nil {
+				return -1
+			}
+			s := o.Bytes
+			for i, c := range s {
+				if c == 0 {
+					s = s[:i]
+					break
+				}
+			}
+			d.Text(int(a[0]), int(a[1]), string(s), byte(a[3]))
+			return 0
+		}},
+	}
+}

@@ -1,0 +1,158 @@
+// Package jvm is the laboratory's Java: a stack-based bytecode virtual
+// machine in the style of the JVM 1.0 interpreter the paper measured.
+//
+// Programs are compiled offline (by internal/minicc's JVM backend) into
+// bytecode functions over a constant pool, exactly as Java source was
+// compiled to class files.  The interpreter executes one bytecode per trip
+// through its dispatch loop with a small, nearly fixed fetch/decode cost
+// (~16 native instructions in the paper's Table 2), stores temporaries on
+// an operand stack (~2 instructions per stack reference, §3.3), accesses
+// statics and object fields through constant-pool indices (~11
+// instructions per field reference), and reaches precompiled code through
+// a native-method registry — the paper's key Java characteristic.
+package jvm
+
+import "fmt"
+
+// Opcode is a bytecode operation.
+type Opcode uint8
+
+// The bytecode set.  Operand encodings are noted per opcode; multi-byte
+// operands are little-endian.
+const (
+	OpNop Opcode = iota
+
+	// Constants.
+	OpIconst // i32 operand: push constant
+	OpLdc    // u16 operand: push reference to constant-pool byte array
+
+	// Local variables (the "stack data" of §3.3).
+	OpIload  // u8 operand: push local
+	OpIstore // u8 operand: pop to local
+	OpIinc   // u8 index, i8 delta
+
+	// Operand-stack shuffling.
+	OpDup
+	OpPop
+	OpSwap
+
+	// Arithmetic.
+	OpIadd
+	OpIsub
+	OpImul
+	OpIdiv
+	OpIrem
+	OpIneg
+	OpIand
+	OpIor
+	OpIxor
+	OpIshl
+	OpIshr
+	OpIushr
+
+	// Control transfer; i16 operand: branch offset relative to the
+	// opcode's own address.
+	OpGoto
+	OpIfeq
+	OpIfne
+	OpIflt
+	OpIfle
+	OpIfgt
+	OpIfge
+	OpIfIcmpeq
+	OpIfIcmpne
+	OpIfIcmplt
+	OpIfIcmple
+	OpIfIcmpgt
+	OpIfIcmpge
+
+	// Calls.
+	OpInvokeStatic // u16 function index
+	OpInvokeNative // u16 native index
+	OpReturn
+	OpIreturn
+
+	// Statics (the "object fields" of §3.3 for compiled mini-C globals).
+	OpGetStatic // u16 static index
+	OpPutStatic // u16 static index
+
+	// Objects and fields.
+	OpNew      // u16 field count: push new object ref
+	OpGetField // u16 field index: pop ref, push field
+	OpPutField // u16 field index: pop value, pop ref
+
+	// Arrays.
+	OpNewArrayI // pop length, push int-array ref
+	OpNewArrayB // pop length, push byte-array ref
+	OpIaload    // pop index, ref; push element
+	OpIastore   // pop value, index, ref
+	OpBaload
+	OpBastore
+	OpArrayLen
+
+	NumOpcodes = int(OpArrayLen) + 1
+)
+
+var opNames = [NumOpcodes]string{
+	"nop", "iconst", "ldc", "iload", "istore", "iinc", "dup", "pop", "swap",
+	"iadd", "isub", "imul", "idiv", "irem", "ineg", "iand", "ior", "ixor",
+	"ishl", "ishr", "iushr",
+	"goto", "ifeq", "ifne", "iflt", "ifle", "ifgt", "ifge",
+	"if_icmpeq", "if_icmpne", "if_icmplt", "if_icmple", "if_icmpgt", "if_icmpge",
+	"invokestatic", "invokenative", "return", "ireturn",
+	"getstatic", "putstatic",
+	"new", "getfield", "putfield",
+	"newarray_i", "newarray_b", "iaload", "iastore", "baload", "bastore", "arraylength",
+}
+
+// String returns the mnemonic.
+func (o Opcode) String() string {
+	if int(o) < NumOpcodes {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// OperandBytes returns the operand length that follows the opcode byte.
+func (o Opcode) OperandBytes() int {
+	switch o {
+	case OpIconst:
+		return 4
+	case OpLdc, OpInvokeStatic, OpInvokeNative, OpGetStatic, OpPutStatic,
+		OpNew, OpGetField, OpPutField,
+		OpGoto, OpIfeq, OpIfne, OpIflt, OpIfle, OpIfgt, OpIfge,
+		OpIfIcmpeq, OpIfIcmpne, OpIfIcmplt, OpIfIcmple, OpIfIcmpgt, OpIfIcmpge:
+		return 2
+	case OpIload, OpIstore:
+		return 1
+	case OpIinc:
+		return 2
+	}
+	return 0
+}
+
+// IsBranch reports whether the opcode is a conditional branch.
+func (o Opcode) IsBranch() bool { return o >= OpIfeq && o <= OpIfIcmpge }
+
+// Category groups opcodes the way Figure 2 groups Java commands.
+func (o Opcode) Category() string {
+	switch {
+	case o == OpIload || o == OpLdc || o == OpIconst:
+		return "st_load"
+	case o == OpIstore || o == OpIinc:
+		return "st_store"
+	case o >= OpIadd && o <= OpIushr:
+		return "alu"
+	case o == OpGoto || o.IsBranch():
+		return "branch"
+	case o == OpInvokeStatic || o == OpReturn || o == OpIreturn:
+		return "call"
+	case o == OpInvokeNative:
+		return "native"
+	case o == OpGetStatic || o == OpPutStatic || o == OpGetField || o == OpPutField:
+		return "field"
+	case o >= OpNewArrayI && o <= OpArrayLen || o == OpNew:
+		return "array"
+	}
+	return "misc"
+}

@@ -1,0 +1,207 @@
+package minicc
+
+// Type describes a mini-C type.
+type Type struct {
+	Kind TypeKind
+	Elem *Type // pointee / element type
+	N    int   // array length
+}
+
+// TypeKind enumerates the type constructors.
+type TypeKind uint8
+
+const (
+	TypeVoid TypeKind = iota
+	TypeInt
+	TypeChar
+	TypePointer
+	TypeArray
+)
+
+var (
+	// IntType and friends are the shared primitive type values.
+	IntType  = &Type{Kind: TypeInt}
+	CharType = &Type{Kind: TypeChar}
+	VoidType = &Type{Kind: TypeVoid}
+)
+
+// PointerTo returns the pointer type to t.
+func PointerTo(t *Type) *Type { return &Type{Kind: TypePointer, Elem: t} }
+
+// ArrayOf returns the array type of n elements of t.
+func ArrayOf(t *Type, n int) *Type { return &Type{Kind: TypeArray, Elem: t, N: n} }
+
+// Size returns the storage size in bytes.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case TypeChar:
+		return 1
+	case TypeInt, TypePointer:
+		return 4
+	case TypeArray:
+		return t.N * t.Elem.Size()
+	}
+	return 0
+}
+
+// IsScalar reports whether the type fits a register.
+func (t *Type) IsScalar() bool {
+	return t.Kind == TypeInt || t.Kind == TypeChar || t.Kind == TypePointer
+}
+
+// Decay returns the expression type after array-to-pointer decay.
+func (t *Type) Decay() *Type {
+	if t.Kind == TypeArray {
+		return PointerTo(t.Elem)
+	}
+	return t
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(u *Type) bool {
+	if t.Kind != u.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TypePointer:
+		return t.Elem.Equal(u.Elem)
+	case TypeArray:
+		return t.N == u.N && t.Elem.Equal(u.Elem)
+	}
+	return true
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeChar:
+		return "char"
+	case TypePointer:
+		return t.Elem.String() + "*"
+	case TypeArray:
+		return t.Elem.String() + "[]"
+	}
+	return "?"
+}
+
+// --- expressions ------------------------------------------------------------
+
+// Expr is an expression node.  After sema, Type is set on every node.
+type Expr struct {
+	Kind ExprKind
+	Tok  Token
+	Type *Type
+
+	// Operands, by kind:
+	X, Y, Z *Expr   // unary/binary/ternary operands
+	Args    []*Expr // call arguments
+
+	Op   string // operator text for unary/binary/assign
+	Name string // identifier / callee
+	Num  int32  // literal value
+	Str  []byte // string literal bytes (NUL added by backend)
+
+	// Sema results.
+	Local  *LocalVar  // resolved local, if any
+	Global *GlobalVar // resolved global, if any
+	Func   *FuncDecl  // resolved callee
+}
+
+// ExprKind enumerates expression forms.
+type ExprKind uint8
+
+const (
+	ExprNum ExprKind = iota
+	ExprStr
+	ExprIdent
+	ExprUnary   // Op X  (!, ~, -, *, &, ++x, --x)
+	ExprPostfix // X Op  (x++, x--)
+	ExprBinary  // X Op Y
+	ExprAssign  // X Op Y where Op is =, +=, ...
+	ExprCond    // X ? Y : Z
+	ExprIndex   // X[Y]
+	ExprCall    // Name(Args)
+)
+
+// --- statements -------------------------------------------------------------
+
+// Stmt is a statement node.
+type Stmt struct {
+	Kind StmtKind
+	Tok  Token
+
+	Expr *Expr   // expression / condition / return value
+	Init *Stmt   // for-init
+	Post *Expr   // for-post
+	Body []*Stmt // block body / loop body
+	Else []*Stmt // else branch
+
+	Decl *LocalVar // for StmtDecl
+}
+
+// StmtKind enumerates statement forms.
+type StmtKind uint8
+
+const (
+	StmtExpr StmtKind = iota
+	StmtDecl
+	StmtIf
+	StmtWhile
+	StmtFor
+	StmtReturn
+	StmtBreak
+	StmtContinue
+	StmtBlock
+)
+
+// --- declarations -----------------------------------------------------------
+
+// LocalVar is a function-local variable or parameter.
+type LocalVar struct {
+	Name    string
+	Type    *Type
+	Offset  int // frame offset, assigned by sema
+	Init    *Expr
+	IsParam bool
+}
+
+// GlobalVar is a file-scope variable.
+type GlobalVar struct {
+	Name    string
+	Type    *Type
+	Init    []*Expr // scalar: one element; array: element list
+	InitStr []byte  // char array initialized from a string literal
+	HasInit bool
+}
+
+// FuncDecl is a function definition or native declaration.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []*LocalVar
+	Body   []*Stmt
+	Native bool
+	// Proto marks a forward declaration (body provided elsewhere).
+	Proto     bool
+	Locals    []*LocalVar // all locals incl. params, after sema
+	FrameSize int         // bytes, after sema
+}
+
+// Unit is a parsed translation unit.
+type Unit struct {
+	Globals []*GlobalVar
+	Funcs   []*FuncDecl
+}
+
+// Func returns a function by name.
+func (u *Unit) Func(name string) *FuncDecl {
+	for _, f := range u.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package minicc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"interplab/internal/jvm"
+	"interplab/internal/mipsi"
+	"interplab/internal/trace"
+	"interplab/internal/vfs"
+)
+
+// exprGen builds random integer expressions alongside a Go evaluator, so
+// compiled code can be checked against ground truth on both backends.
+type exprGen struct {
+	rng  *rand.Rand
+	vars map[string]int32
+}
+
+// gen returns (source, value) for a random expression of bounded depth.
+// Division and shifts are constrained to defined behavior.
+func (g *exprGen) gen(depth int) (string, int32) {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			v := int32(g.rng.Intn(2001) - 1000)
+			return fmt.Sprintf("(%d)", v), v
+		default:
+			names := []string{"va", "vb", "vc", "vd"}
+			n := names[g.rng.Intn(len(names))]
+			return n, g.vars[n]
+		}
+	}
+	a, av := g.gen(depth - 1)
+	b, bv := g.gen(depth - 1)
+	switch g.rng.Intn(9) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b), av + bv
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b), av - bv
+	case 2:
+		return fmt.Sprintf("(%s * %s)", a, b), av * bv
+	case 3:
+		if bv == 0 {
+			return fmt.Sprintf("(%s + %s)", a, b), av + bv
+		}
+		return fmt.Sprintf("(%s / %s)", a, b), av / bv
+	case 4:
+		return fmt.Sprintf("(%s & %s)", a, b), av & bv
+	case 5:
+		return fmt.Sprintf("(%s | %s)", a, b), av | bv
+	case 6:
+		return fmt.Sprintf("(%s ^ %s)", a, b), av ^ bv
+	case 7:
+		lt := int32(0)
+		if av < bv {
+			lt = 1
+		}
+		return fmt.Sprintf("(%s < %s)", a, b), lt
+	default:
+		sh := uint32(g.rng.Intn(5))
+		return fmt.Sprintf("(%s << %d)", a, sh), av << sh
+	}
+}
+
+// TestExpressionsDifferential compiles random expressions for both backends
+// and checks each against the Go evaluation.
+func TestExpressionsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1996))
+	for trial := 0; trial < 60; trial++ {
+		g := &exprGen{rng: rng, vars: map[string]int32{
+			"va": int32(rng.Intn(200) - 100),
+			"vb": int32(rng.Intn(200) - 100),
+			"vc": int32(rng.Intn(2000) - 1000),
+			"vd": int32(rng.Intn(20)),
+		}}
+		expr, want := g.gen(4)
+		src := fmt.Sprintf(`
+int va = %d; int vb = %d; int vc = %d; int vd = %d;
+int result;
+int main() {
+    result = %s;
+    putn(result);
+    return 0;
+}`, g.vars["va"], g.vars["vb"], g.vars["vc"], g.vars["vd"], expr)
+
+		// MIPS backend, direct execution.
+		prog, err := CompileMIPS("diff", WithStdlib(src))
+		if err != nil {
+			t.Fatalf("trial %d: compile mips: %v\n%s", trial, err, src)
+		}
+		os1 := vfs.New()
+		nat, err := mipsi.NewNative(prog, os1, trace.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nat.Run(50_000_000); err != nil {
+			t.Fatalf("trial %d: run mips: %v\n%s", trial, err, src)
+		}
+		if got := os1.Stdout.String(); got != fmt.Sprint(want) {
+			t.Fatalf("trial %d: mips = %s, want %d\nexpr: %s", trial, got, want, expr)
+		}
+
+		// JVM backend.
+		mod, err := CompileJVM("diff", WithStdlibJVM(src))
+		if err != nil {
+			t.Fatalf("trial %d: compile jvm: %v\n%s", trial, err, src)
+		}
+		os2 := vfs.New()
+		if err := mod.Bind(jvm.OSNatives(os2)); err != nil {
+			t.Fatal(err)
+		}
+		vm, err := jvm.New(mod, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := vm.Run("main", 10_000_000); err != nil {
+			t.Fatalf("trial %d: run jvm: %v\n%s", trial, err, src)
+		}
+		if got := os2.Stdout.String(); got != fmt.Sprint(want) {
+			t.Fatalf("trial %d: jvm = %s, want %d\nexpr: %s", trial, got, want, expr)
+		}
+	}
+}
+
+// TestControlFlowDifferential runs randomized loop/branch programs through
+// both backends and compares the outputs to each other.
+func TestControlFlowDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		m1 := rng.Intn(9) + 2
+		m2 := rng.Intn(7) + 1
+		lim := rng.Intn(40) + 10
+		src := fmt.Sprintf(`
+int main() {
+    int s = 0;
+    int i;
+    for (i = 0; i < %d; i++) {
+        if (i %% %d == 0) continue;
+        if (s > 1000) break;
+        s += i * %d;
+        while (s %% 2 == 0 && s > 0) s /= 2;
+    }
+    putn(s);
+    return 0;
+}`, lim, m1, m2)
+		prog, err := CompileMIPS("cf", WithStdlib(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		os1 := vfs.New()
+		nat, _ := mipsi.NewNative(prog, os1, trace.Discard)
+		if err := nat.Run(50_000_000); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		mod, err := CompileJVM("cf", WithStdlibJVM(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		os2 := vfs.New()
+		if err := mod.Bind(jvm.OSNatives(os2)); err != nil {
+			t.Fatal(err)
+		}
+		vm, _ := jvm.New(mod, nil, nil)
+		if _, err := vm.Run("main", 10_000_000); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if os1.Stdout.String() != os2.Stdout.String() {
+			t.Fatalf("trial %d: backends disagree: mips=%q jvm=%q\n%s",
+				trial, os1.Stdout.String(), os2.Stdout.String(), src)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package minicc
+
+import (
+	"fmt"
+
+	"interplab/internal/jvm"
+)
+
+// CompileJVM compiles source to a bytecode module for the Java-analog VM.
+//
+// The JVM backend accepts the pointer-free subset of mini-C (plus array
+// references): arrays index through JVM array objects, globals become
+// statics, string literals become constant-pool entries, and `native`
+// declarations become native-method invocations.  The address-of operator,
+// pointer arithmetic and _sbrk are MIPS-only and are rejected here — the
+// same discipline a Java port of a C benchmark would impose.
+func CompileJVM(name, src string) (*jvm.Module, error) {
+	u, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(u); err != nil {
+		return nil, err
+	}
+	return GenJVM(name, u)
+}
+
+// GenJVM lowers a checked unit to a bytecode module.
+func GenJVM(name string, u *Unit) (*jvm.Module, error) {
+	g := &jvmGen{
+		unit:    u,
+		mod:     &jvm.Module{Name: name},
+		statics: make(map[*GlobalVar]int),
+		funcs:   make(map[*FuncDecl]int),
+		natives: make(map[string]int),
+		consts:  make(map[string]int),
+	}
+	return g.run()
+}
+
+type jvmGen struct {
+	unit    *Unit
+	mod     *jvm.Module
+	statics map[*GlobalVar]int
+	funcs   map[*FuncDecl]int
+	natives map[string]int
+	consts  map[string]int
+
+	fn     *FuncDecl
+	slots  map[*LocalVar]int
+	asm    *jvm.Asm
+	nlabel int
+	// scratch slot pool for element-store sequences; slots nest with
+	// expression depth so inner expressions cannot clobber outer stashes.
+	scratchBase  int
+	scratchDepth int
+	maxScratch   int
+	brks         []string
+	conts        []string
+}
+
+func (g *jvmGen) newLabel(hint string) string {
+	g.nlabel++
+	return fmt.Sprintf("%s%d", hint, g.nlabel)
+}
+
+func (g *jvmGen) constIndex(b []byte) int {
+	key := string(b)
+	if i, ok := g.consts[key]; ok {
+		return i
+	}
+	i := len(g.mod.Consts)
+	// Strings carry their NUL so natives can find the end.
+	g.mod.Consts = append(g.mod.Consts, append(append([]byte(nil), b...), 0))
+	g.consts[key] = i
+	return i
+}
+
+func (g *jvmGen) nativeIndex(name string, arity int) int {
+	if i, ok := g.natives[name]; ok {
+		return i
+	}
+	i := len(g.mod.Natives)
+	g.mod.Natives = append(g.mod.Natives, &jvm.NativeFn{Name: name, Arity: arity})
+	g.natives[name] = i
+	return i
+}
+
+func (g *jvmGen) run() (*jvm.Module, error) {
+	// Statics.
+	for _, gv := range g.unit.Globals {
+		st := &jvm.Static{Name: gv.Name}
+		t := gv.Type
+		switch {
+		case t.Kind == TypeArray:
+			st.ElemSize = t.Elem.Size()
+			st.Len = t.N
+			if gv.InitStr != nil {
+				st.InitData = append(append([]byte(nil), gv.InitStr...), 0)
+			}
+			for _, e := range gv.Init {
+				if e.Kind == ExprStr {
+					return nil, errAt(e.Tok, "string elements in global arrays are not available on the JVM target")
+				}
+				if st.ElemSize == 1 {
+					st.InitData = append(st.InitData, byte(e.Num))
+				} else {
+					st.InitInts = append(st.InitInts, e.Num)
+				}
+			}
+		case t.Kind == TypePointer && gv.HasInit && gv.Init[0].Kind == ExprStr:
+			// char *s = "lit": a byte-array static.
+			st.ElemSize = 1
+			st.InitData = append(append([]byte(nil), gv.Init[0].Str...), 0)
+			st.Len = len(st.InitData)
+		case gv.HasInit:
+			st.Init = gv.Init[0].Num
+		}
+		g.statics[gv] = len(g.mod.Statics)
+		g.mod.Statics = append(g.mod.Statics, st)
+	}
+
+	// Function indices first, so calls can be emitted in one pass.
+	for _, f := range g.unit.Funcs {
+		if f.Proto {
+			continue
+		}
+		if f.Native {
+			g.nativeIndex(f.Name, len(f.Params))
+			continue
+		}
+		g.funcs[f] = len(g.mod.Funcs)
+		g.mod.Funcs = append(g.mod.Funcs, &jvm.Function{Name: f.Name, NArgs: len(f.Params)})
+	}
+	for _, f := range g.unit.Funcs {
+		if f.Native || f.Proto {
+			continue
+		}
+		if err := g.genFunc(f); err != nil {
+			return nil, err
+		}
+	}
+	return g.mod, nil
+}
+
+func (g *jvmGen) genFunc(f *FuncDecl) error {
+	g.fn = f
+	g.asm = jvm.NewAsm()
+	g.slots = make(map[*LocalVar]int)
+	for i, v := range f.Locals {
+		g.slots[v] = i
+	}
+	g.scratchBase = len(f.Locals)
+	g.scratchDepth = 0
+	g.maxScratch = 0
+	out := g.mod.Funcs[g.funcs[f]]
+
+	// Prologue: allocate local arrays.
+	for _, v := range f.Locals {
+		if v.Type.Kind == TypeArray {
+			g.asm.I32(jvm.OpIconst, int32(v.Type.N))
+			if v.Type.Elem.Size() == 1 {
+				g.asm.Op(jvm.OpNewArrayB)
+			} else {
+				g.asm.Op(jvm.OpNewArrayI)
+			}
+			g.asm.U8(jvm.OpIstore, g.slots[v])
+		}
+	}
+	if err := g.genStmts(f.Body); err != nil {
+		return err
+	}
+	// Fall off the end.
+	if f.Ret.Kind == TypeVoid {
+		g.asm.Op(jvm.OpReturn)
+	} else {
+		g.asm.I32(jvm.OpIconst, 0)
+		g.asm.Op(jvm.OpIreturn)
+	}
+	code, err := g.asm.Finish()
+	if err != nil {
+		return err
+	}
+	out.Code = code
+	out.NLocals = g.scratchBase + g.maxScratch
+	return nil
+}
+
+func (g *jvmGen) genStmts(stmts []*Stmt) error {
+	for _, s := range stmts {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *jvmGen) genStmt(s *Stmt) error {
+	switch s.Kind {
+	case StmtExpr:
+		return g.genExpr(s.Expr, false)
+
+	case StmtDecl:
+		if s.Decl.Init != nil {
+			if err := g.genExpr(s.Decl.Init, true); err != nil {
+				return err
+			}
+			g.asm.U8(jvm.OpIstore, g.slots[s.Decl])
+		}
+		return nil
+
+	case StmtIf:
+		elseL, endL := g.newLabel("else"), g.newLabel("fi")
+		if err := g.genExpr(s.Expr, true); err != nil {
+			return err
+		}
+		g.asm.Br(jvm.OpIfeq, elseL)
+		if err := g.genStmts(s.Body); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			g.asm.Br(jvm.OpGoto, endL)
+		}
+		g.asm.Label(elseL)
+		if s.Else != nil {
+			if err := g.genStmts(s.Else); err != nil {
+				return err
+			}
+			g.asm.Label(endL)
+		}
+		return nil
+
+	case StmtWhile:
+		top, end := g.newLabel("wtop"), g.newLabel("wend")
+		g.brks = append(g.brks, end)
+		g.conts = append(g.conts, top)
+		g.asm.Label(top)
+		if err := g.genExpr(s.Expr, true); err != nil {
+			return err
+		}
+		g.asm.Br(jvm.OpIfeq, end)
+		if err := g.genStmts(s.Body); err != nil {
+			return err
+		}
+		g.asm.Br(jvm.OpGoto, top)
+		g.asm.Label(end)
+		g.brks = g.brks[:len(g.brks)-1]
+		g.conts = g.conts[:len(g.conts)-1]
+		return nil
+
+	case StmtFor:
+		top, post, end := g.newLabel("ftop"), g.newLabel("fpost"), g.newLabel("fend")
+		if s.Init != nil {
+			if err := g.genStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		g.brks = append(g.brks, end)
+		g.conts = append(g.conts, post)
+		g.asm.Label(top)
+		if s.Expr != nil {
+			if err := g.genExpr(s.Expr, true); err != nil {
+				return err
+			}
+			g.asm.Br(jvm.OpIfeq, end)
+		}
+		if err := g.genStmts(s.Body); err != nil {
+			return err
+		}
+		g.asm.Label(post)
+		if s.Post != nil {
+			if err := g.genExpr(s.Post, false); err != nil {
+				return err
+			}
+		}
+		g.asm.Br(jvm.OpGoto, top)
+		g.asm.Label(end)
+		g.brks = g.brks[:len(g.brks)-1]
+		g.conts = g.conts[:len(g.conts)-1]
+		return nil
+
+	case StmtReturn:
+		if s.Expr != nil {
+			if err := g.genExpr(s.Expr, true); err != nil {
+				return err
+			}
+			g.asm.Op(jvm.OpIreturn)
+		} else {
+			g.asm.Op(jvm.OpReturn)
+		}
+		return nil
+
+	case StmtBreak:
+		g.asm.Br(jvm.OpGoto, g.brks[len(g.brks)-1])
+		return nil
+
+	case StmtContinue:
+		g.asm.Br(jvm.OpGoto, g.conts[len(g.conts)-1])
+		return nil
+
+	case StmtBlock:
+		return g.genStmts(s.Body)
+	}
+	return fmt.Errorf("minicc: internal: unknown statement kind %d", s.Kind)
+}

@@ -1,0 +1,450 @@
+package minicc
+
+import (
+	"fmt"
+
+	"interplab/internal/jvm"
+)
+
+// isByteElem reports whether t is a char-element access.
+func isByteElem(t *Type) bool { return t.Size() == 1 }
+
+// tmp allocates a scratch local slot; release returns slots to the pool.
+// Slots nest with expression depth, so inner expressions never clobber an
+// outer expression's stashed values.
+func (g *jvmGen) tmp() int {
+	g.scratchDepth++
+	if g.scratchDepth > g.maxScratch {
+		g.maxScratch = g.scratchDepth
+	}
+	return g.scratchBase + g.scratchDepth - 1
+}
+
+func (g *jvmGen) release(n int) { g.scratchDepth -= n }
+
+// elemRef is an element lvalue whose array ref and index are stashed in
+// scratch slots.
+type elemRef struct {
+	r, i   int
+	isByte bool
+}
+
+// evalElem evaluates an element lvalue's ref and index into fresh scratch
+// slots (2 allocations; caller releases).
+func (g *jvmGen) evalElem(lv *Expr) (elemRef, error) {
+	var base, idx *Expr
+	switch lv.Kind {
+	case ExprIndex:
+		base, idx = lv.X, lv.Y
+	case ExprUnary: // *p
+		base = lv.X
+	default:
+		return elemRef{}, errAt(lv.Tok, "internal: not an element lvalue")
+	}
+	er := elemRef{isByte: isByteElem(lv.Type)}
+	if err := g.genExpr(base, true); err != nil {
+		return er, err
+	}
+	er.r = g.tmp()
+	g.asm.U8(jvm.OpIstore, er.r)
+	if idx != nil {
+		if err := g.genExpr(idx, true); err != nil {
+			return er, err
+		}
+	} else {
+		g.asm.I32(jvm.OpIconst, 0)
+	}
+	er.i = g.tmp()
+	g.asm.U8(jvm.OpIstore, er.i)
+	return er, nil
+}
+
+// loadElem pushes the element's value.
+func (g *jvmGen) loadElem(er elemRef) {
+	g.asm.U8(jvm.OpIload, er.r)
+	g.asm.U8(jvm.OpIload, er.i)
+	if er.isByte {
+		g.asm.Op(jvm.OpBaload)
+	} else {
+		g.asm.Op(jvm.OpIaload)
+	}
+}
+
+// storeElem pops the value on the stack into the element; when keep is set
+// the value is left on the stack afterwards.
+func (g *jvmGen) storeElem(er elemRef, keep bool) {
+	v := g.tmp()
+	g.asm.U8(jvm.OpIstore, v)
+	g.asm.U8(jvm.OpIload, er.r)
+	g.asm.U8(jvm.OpIload, er.i)
+	g.asm.U8(jvm.OpIload, v)
+	if er.isByte {
+		g.asm.Op(jvm.OpBastore)
+	} else {
+		g.asm.Op(jvm.OpIastore)
+	}
+	if keep {
+		g.asm.U8(jvm.OpIload, v)
+	}
+	g.release(1)
+}
+
+// storeScalar pops into a scalar local/global; when keep is set the value
+// stays on the stack.
+func (g *jvmGen) storeScalar(lv *Expr, keep bool) {
+	if keep {
+		g.asm.Op(jvm.OpDup)
+	}
+	if lv.Local != nil {
+		g.asm.U8(jvm.OpIstore, g.slots[lv.Local])
+	} else {
+		g.asm.U16(jvm.OpPutStatic, g.statics[lv.Global])
+	}
+}
+
+func isScalarIdent(e *Expr) bool { return e.Kind == ExprIdent }
+
+// genExpr emits code for e.  When needValue is false the expression is in
+// statement position and must leave the stack unchanged.
+func (g *jvmGen) genExpr(e *Expr, needValue bool) error {
+	switch e.Kind {
+	case ExprNum:
+		if needValue {
+			g.asm.I32(jvm.OpIconst, e.Num)
+		}
+		return nil
+
+	case ExprStr:
+		if needValue {
+			g.asm.U16(jvm.OpLdc, g.constIndex(e.Str))
+		}
+		return nil
+
+	case ExprIdent:
+		if !needValue {
+			return nil
+		}
+		return g.loadIdent(e)
+
+	case ExprUnary:
+		return g.genUnary(e, needValue)
+
+	case ExprPostfix:
+		return g.genIncDec(e.X, e.Op, needValue, true)
+
+	case ExprBinary:
+		return g.genBinary(e, needValue)
+
+	case ExprAssign:
+		return g.genAssign(e, needValue)
+
+	case ExprCond:
+		elseL, endL := g.newLabel("celse"), g.newLabel("cend")
+		if err := g.genExpr(e.X, true); err != nil {
+			return err
+		}
+		g.asm.Br(jvm.OpIfeq, elseL)
+		if err := g.genExpr(e.Y, needValue); err != nil {
+			return err
+		}
+		g.asm.Br(jvm.OpGoto, endL)
+		g.asm.Label(elseL)
+		if err := g.genExpr(e.Z, needValue); err != nil {
+			return err
+		}
+		g.asm.Label(endL)
+		return nil
+
+	case ExprIndex:
+		if err := g.genExpr(e.X, true); err != nil { // array ref
+			return err
+		}
+		if err := g.genExpr(e.Y, true); err != nil { // index
+			return err
+		}
+		if isByteElem(e.Type) {
+			g.asm.Op(jvm.OpBaload)
+		} else {
+			g.asm.Op(jvm.OpIaload)
+		}
+		if !needValue {
+			g.asm.Op(jvm.OpPop)
+		}
+		return nil
+
+	case ExprCall:
+		return g.genCall(e, needValue)
+	}
+	return errAt(e.Tok, "internal: unknown expression kind %d", e.Kind)
+}
+
+func (g *jvmGen) loadIdent(e *Expr) error {
+	switch {
+	case e.Local != nil:
+		g.asm.U8(jvm.OpIload, g.slots[e.Local])
+	case e.Global != nil:
+		g.asm.U16(jvm.OpGetStatic, g.statics[e.Global])
+	default:
+		return errAt(e.Tok, "internal: unresolved identifier")
+	}
+	return nil
+}
+
+func (g *jvmGen) genUnary(e *Expr, needValue bool) error {
+	switch e.Op {
+	case "-":
+		if err := g.genExpr(e.X, needValue); err != nil {
+			return err
+		}
+		if needValue {
+			g.asm.Op(jvm.OpIneg)
+		}
+		return nil
+	case "~":
+		if err := g.genExpr(e.X, needValue); err != nil {
+			return err
+		}
+		if needValue {
+			g.asm.I32(jvm.OpIconst, -1)
+			g.asm.Op(jvm.OpIxor)
+		}
+		return nil
+	case "!":
+		if err := g.genExpr(e.X, true); err != nil {
+			return err
+		}
+		tl, end := g.newLabel("nt"), g.newLabel("ne")
+		g.asm.Br(jvm.OpIfeq, tl)
+		g.asm.I32(jvm.OpIconst, 0)
+		g.asm.Br(jvm.OpGoto, end)
+		g.asm.Label(tl)
+		g.asm.I32(jvm.OpIconst, 1)
+		g.asm.Label(end)
+		if !needValue {
+			g.asm.Op(jvm.OpPop)
+		}
+		return nil
+	case "*":
+		// *p is p[0] on an array reference.
+		if err := g.genExpr(e.X, true); err != nil {
+			return err
+		}
+		g.asm.I32(jvm.OpIconst, 0)
+		if isByteElem(e.Type) {
+			g.asm.Op(jvm.OpBaload)
+		} else {
+			g.asm.Op(jvm.OpIaload)
+		}
+		if !needValue {
+			g.asm.Op(jvm.OpPop)
+		}
+		return nil
+	case "&":
+		return errAt(e.Tok, "the address-of operator is not available on the JVM target")
+	case "++", "--":
+		return g.genIncDec(e.X, e.Op, needValue, false)
+	}
+	return errAt(e.Tok, "internal: unary %s", e.Op)
+}
+
+// genIncDec handles ++x/--x/x++/x-- on locals, globals and elements.
+func (g *jvmGen) genIncDec(lv *Expr, op string, needValue, post bool) error {
+	delta := int32(1)
+	if op == "--" {
+		delta = -1
+	}
+	if lv.Type.Decay().Kind == TypePointer {
+		return errAt(lv.Tok, "pointer arithmetic is not available on the JVM target")
+	}
+
+	if isScalarIdent(lv) {
+		if !needValue && lv.Local != nil {
+			g.asm.Iinc(g.slots[lv.Local], int(delta))
+			return nil
+		}
+		if err := g.loadIdent(lv); err != nil {
+			return err
+		}
+		if needValue && post {
+			g.asm.Op(jvm.OpDup)
+		}
+		g.asm.I32(jvm.OpIconst, delta)
+		g.asm.Op(jvm.OpIadd)
+		g.storeScalar(lv, needValue && !post)
+		return nil
+	}
+
+	er, err := g.evalElem(lv)
+	if err != nil {
+		return err
+	}
+	g.loadElem(er)
+	if needValue && post {
+		v := g.tmp()
+		g.asm.Op(jvm.OpDup)
+		g.asm.U8(jvm.OpIstore, v)
+		g.asm.I32(jvm.OpIconst, delta)
+		g.asm.Op(jvm.OpIadd)
+		g.storeElem(er, false)
+		g.asm.U8(jvm.OpIload, v)
+		g.release(1)
+	} else {
+		g.asm.I32(jvm.OpIconst, delta)
+		g.asm.Op(jvm.OpIadd)
+		g.storeElem(er, needValue)
+	}
+	g.release(2)
+	return nil
+}
+
+var jvmBinOp = map[string]jvm.Opcode{
+	"+": jvm.OpIadd, "-": jvm.OpIsub, "*": jvm.OpImul, "/": jvm.OpIdiv, "%": jvm.OpIrem,
+	"&": jvm.OpIand, "|": jvm.OpIor, "^": jvm.OpIxor,
+	"<<": jvm.OpIshl, ">>": jvm.OpIshr,
+}
+
+var jvmCmpOp = map[string]jvm.Opcode{
+	"==": jvm.OpIfIcmpeq, "!=": jvm.OpIfIcmpne,
+	"<": jvm.OpIfIcmplt, "<=": jvm.OpIfIcmple,
+	">": jvm.OpIfIcmpgt, ">=": jvm.OpIfIcmpge,
+}
+
+func (g *jvmGen) genBinary(e *Expr, needValue bool) error {
+	if (e.X.Type.Decay().Kind == TypePointer || e.Y.Type.Decay().Kind == TypePointer) &&
+		(e.Op == "+" || e.Op == "-") {
+		return errAt(e.Tok, "pointer arithmetic is not available on the JVM target")
+	}
+	switch e.Op {
+	case "&&", "||":
+		fl, end := g.newLabel("sc"), g.newLabel("se")
+		if err := g.genExpr(e.X, true); err != nil {
+			return err
+		}
+		if e.Op == "&&" {
+			g.asm.Br(jvm.OpIfeq, fl)
+		} else {
+			g.asm.Br(jvm.OpIfne, fl)
+		}
+		if err := g.genExpr(e.Y, true); err != nil {
+			return err
+		}
+		tl := g.newLabel("st")
+		g.asm.Br(jvm.OpIfne, tl)
+		g.asm.I32(jvm.OpIconst, 0)
+		g.asm.Br(jvm.OpGoto, end)
+		g.asm.Label(tl)
+		g.asm.I32(jvm.OpIconst, 1)
+		g.asm.Br(jvm.OpGoto, end)
+		g.asm.Label(fl)
+		if e.Op == "&&" {
+			g.asm.I32(jvm.OpIconst, 0)
+		} else {
+			g.asm.I32(jvm.OpIconst, 1)
+		}
+		g.asm.Label(end)
+		if !needValue {
+			g.asm.Op(jvm.OpPop)
+		}
+		return nil
+	}
+
+	if err := g.genExpr(e.X, true); err != nil {
+		return err
+	}
+	if err := g.genExpr(e.Y, true); err != nil {
+		return err
+	}
+	if op, ok := jvmBinOp[e.Op]; ok {
+		g.asm.Op(op)
+		if !needValue {
+			g.asm.Op(jvm.OpPop)
+		}
+		return nil
+	}
+	if br, ok := jvmCmpOp[e.Op]; ok {
+		tl, end := g.newLabel("ct"), g.newLabel("ce")
+		g.asm.Br(br, tl)
+		g.asm.I32(jvm.OpIconst, 0)
+		g.asm.Br(jvm.OpGoto, end)
+		g.asm.Label(tl)
+		g.asm.I32(jvm.OpIconst, 1)
+		g.asm.Label(end)
+		if !needValue {
+			g.asm.Op(jvm.OpPop)
+		}
+		return nil
+	}
+	return errAt(e.Tok, "internal: binary %s", e.Op)
+}
+
+func (g *jvmGen) genAssign(e *Expr, needValue bool) error {
+	compound := e.Op != "="
+	if compound && e.X.Type.Decay().Kind == TypePointer {
+		return errAt(e.Tok, "pointer arithmetic is not available on the JVM target")
+	}
+
+	if isScalarIdent(e.X) {
+		if compound {
+			if err := g.loadIdent(e.X); err != nil {
+				return err
+			}
+		}
+		if err := g.genExpr(e.Y, true); err != nil {
+			return err
+		}
+		if compound {
+			g.asm.Op(jvmBinOp[e.Op[:len(e.Op)-1]])
+		}
+		g.storeScalar(e.X, needValue)
+		return nil
+	}
+
+	// Element target.
+	er, err := g.evalElem(e.X)
+	if err != nil {
+		return err
+	}
+	if compound {
+		g.loadElem(er)
+	}
+	if err := g.genExpr(e.Y, true); err != nil {
+		return err
+	}
+	if compound {
+		g.asm.Op(jvmBinOp[e.Op[:len(e.Op)-1]])
+	}
+	g.storeElem(er, needValue)
+	g.release(2)
+	return nil
+}
+
+func (g *jvmGen) genCall(e *Expr, needValue bool) error {
+	fn := e.Func
+	if fn.Name == "_sbrk" {
+		return errAt(e.Tok, "_sbrk is not available on the JVM target")
+	}
+	for _, a := range e.Args {
+		if err := g.genExpr(a, true); err != nil {
+			return err
+		}
+	}
+	if fn.Native || IsIntrinsic(fn) {
+		g.asm.U16(jvm.OpInvokeNative, g.nativeIndex(fn.Name, len(fn.Params)))
+		// Natives always push a result; drop it in statement position.
+		if !needValue {
+			g.asm.Op(jvm.OpPop)
+		}
+		return nil
+	}
+	g.asm.U16(jvm.OpInvokeStatic, g.funcs[fn])
+	if fn.Ret.Kind == TypeVoid {
+		if needValue {
+			g.asm.I32(jvm.OpIconst, 0)
+		}
+	} else if !needValue {
+		g.asm.Op(jvm.OpPop)
+	}
+	return nil
+}
+
+var _ = fmt.Sprintf

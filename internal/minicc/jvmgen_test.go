@@ -1,0 +1,202 @@
+package minicc
+
+import (
+	"strings"
+	"testing"
+
+	"interplab/internal/jvm"
+	"interplab/internal/mipsi"
+	"interplab/internal/trace"
+	"interplab/internal/vfs"
+)
+
+// runJVM compiles src with the JVM stdlib and executes it.
+func runJVM(t *testing.T, src string) (int32, string) {
+	t.Helper()
+	mod, err := CompileJVM("test", WithStdlibJVM(src))
+	if err != nil {
+		t.Fatalf("compile jvm: %v", err)
+	}
+	osys := vfs.New()
+	if err := mod.Bind(jvm.OSNatives(osys)); err != nil {
+		t.Fatal(err)
+	}
+	vm, err := jvm.New(mod, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, err := vm.Run("main", 100_000_000)
+	if err != nil {
+		t.Fatalf("run jvm: %v", err)
+	}
+	return ret, osys.Stdout.String()
+}
+
+func TestJVMReturn(t *testing.T) {
+	ret, _ := runJVM(t, "int main() { return 41 + 1; }")
+	if ret != 42 {
+		t.Errorf("ret = %d", ret)
+	}
+}
+
+func TestJVMControlAndCalls(t *testing.T) {
+	ret, _ := runJVM(t, `
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() {
+    int s = 0;
+    int i;
+    for (i = 0; i < 10; i++) {
+        if (i % 2 == 0) continue;
+        s += fib(i);
+    }
+    return s;
+}`)
+	// fib(1)+fib(3)+fib(5)+fib(7)+fib(9) = 1+2+5+13+34 = 55
+	if ret != 55 {
+		t.Errorf("ret = %d, want 55", ret)
+	}
+}
+
+func TestJVMArraysAndStrings(t *testing.T) {
+	ret, out := runJVM(t, `
+int tab[] = {3, 1, 4, 1, 5};
+char msg[16] = "jvm";
+int main() {
+    int s = 0;
+    int i;
+    for (i = 0; i < 5; i++) s += tab[i];
+    strcat(msg, "-ok");
+    puts(msg);
+    return s + strlen(msg);
+}`)
+	if ret != 14+6 {
+		t.Errorf("ret = %d, want 20", ret)
+	}
+	if out != "jvm-ok" {
+		t.Errorf("stdout = %q", out)
+	}
+}
+
+func TestJVMLocalArraysAndIncDec(t *testing.T) {
+	ret, _ := runJVM(t, `
+int main() {
+    int a[8];
+    int i = 0;
+    int j;
+    for (j = 0; j < 8; j++) a[j] = j;
+    a[2]++;
+    ++a[3];
+    a[4] += 10;
+    int x = a[i++];   // x = a[0] = 0, i = 1
+    int y = a[i];     // y = a[1] = 1
+    return a[2] + a[3] + a[4] + x + y + i; // 3 + 4 + 14 + 0 + 1 + 1
+}`)
+	if ret != 23 {
+		t.Errorf("ret = %d, want 23", ret)
+	}
+}
+
+func TestJVMNestedElementAssignments(t *testing.T) {
+	// Nested element stores must not clobber each other's scratch state.
+	ret, _ := runJVM(t, `
+int a[4];
+int b[4];
+int main() {
+    int i = 1;
+    b[2] = 7;
+    a[i] = b[i + 1]++;   // a[1] = 7, b[2] = 8
+    a[b[i+1] - 8] = a[i] + 1;  // a[0] = 8
+    return a[0] * 100 + a[1] * 10 + b[2]; // 878
+}`)
+	if ret != 878 {
+		t.Errorf("ret = %d, want 878", ret)
+	}
+}
+
+func TestJVMPutn(t *testing.T) {
+	_, out := runJVM(t, `int main() { putn(-1234); putc(' '); putn(0); putn(987); return 0; }`)
+	if out != "-1234 0987" {
+		t.Errorf("stdout = %q", out)
+	}
+}
+
+func TestJVMRejectsPointerOps(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"int g; int main() { int *p = &g; return 0; }", "address-of"},
+		{"int a[4]; int main() { int *p = a; p = p + 1; return 0; }", "pointer arithmetic"},
+		{"int a[4]; int main() { int *p = a; p++; return 0; }", "pointer arithmetic"},
+		{"int main() { char *p = _sbrk(4); return 0; }", "_sbrk"},
+	}
+	for _, c := range cases {
+		_, err := CompileJVM("t", c.src)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("src %q: err = %v, want %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestJVMNativeDeclarations(t *testing.T) {
+	mod, err := CompileJVM("t", `
+native int twice(int x);
+int main() { return twice(21); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mod.Bind([]*jvm.NativeFn{{Name: "twice", Arity: 1, F: func(vm *jvm.VM, a []int32) int32 { return a[0] * 2 }}}); err != nil {
+		t.Fatal(err)
+	}
+	vm, _ := jvm.New(mod, nil, nil)
+	ret, err := vm.Run("main", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 42 {
+		t.Errorf("ret = %d, want 42", ret)
+	}
+}
+
+// TestBackendsAgree runs the same source through the MIPS native machine
+// and the JVM and requires identical results — the des-in-every-language
+// property the workload suite depends on.
+func TestBackendsAgree(t *testing.T) {
+	src := `
+int acc[16];
+int mix(int a, int b) { return (a * 31 + b) % 1000; }
+int main() {
+    int i;
+    int h = 7;
+    for (i = 0; i < 200; i++) {
+        h = mix(h, i);
+        acc[i % 16] += h;
+        if (acc[i % 16] > 5000) acc[i % 16] -= 4096;
+    }
+    int s = 0;
+    for (i = 0; i < 16; i++) s ^= acc[i];
+    putn(s);
+    return s % 251;
+}`
+	// MIPS native.
+	prog, err := CompileMIPS("t", WithStdlib(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	os1 := vfs.New()
+	nat, err := mipsi.NewNative(prog, os1, trace.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nat.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// JVM.
+	ret, out := runJVM(t, src)
+	if int32(nat.M.ExitCode) != ret {
+		t.Errorf("exit codes differ: mips=%d jvm=%d", nat.M.ExitCode, ret)
+	}
+	if os1.Stdout.String() != out {
+		t.Errorf("stdout differs: mips=%q jvm=%q", os1.Stdout.String(), out)
+	}
+}

@@ -1,0 +1,222 @@
+package minicc
+
+import (
+	"strings"
+)
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+	toks []Token
+}
+
+// lex tokenizes src.
+func lex(src string) ([]Token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.Kind == TokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) at(i int) byte {
+	if l.pos+i >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+i]
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return errAt(Token{Line: l.line, Col: l.col}, format, args...)
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+func isDigit(c byte) bool    { return c >= '0' && c <= '9' }
+func isAlnum(c byte) bool    { return isAlpha(c) || isDigit(c) }
+func isHexDigit(c byte) bool { return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F' }
+
+func (l *lexer) skipSpaceAndComments() error {
+	for {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case c == '/' && l.at(1) == '/':
+			for l.peekByte() != 0 && l.peekByte() != '\n' {
+				l.advance(1)
+			}
+		case c == '/' && l.at(1) == '*':
+			l.advance(2)
+			for {
+				if l.peekByte() == 0 {
+					return l.errf("unterminated comment")
+				}
+				if l.peekByte() == '*' && l.at(1) == '/' {
+					l.advance(2)
+					break
+				}
+				l.advance(1)
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Line: l.line, Col: l.col}
+	c := l.peekByte()
+	switch {
+	case c == 0:
+		tok.Kind = TokEOF
+		return tok, nil
+
+	case isAlpha(c):
+		start := l.pos
+		for isAlnum(l.peekByte()) {
+			l.advance(1)
+		}
+		tok.Text = l.src[start:l.pos]
+		if keywords[tok.Text] {
+			tok.Kind = TokKeyword
+		} else {
+			tok.Kind = TokIdent
+		}
+		return tok, nil
+
+	case isDigit(c):
+		tok.Kind = TokNumber
+		var v int64
+		if c == '0' && (l.at(1) == 'x' || l.at(1) == 'X') {
+			l.advance(2)
+			if !isHexDigit(l.peekByte()) {
+				return tok, l.errf("malformed hex literal")
+			}
+			for isHexDigit(l.peekByte()) {
+				d := l.peekByte()
+				switch {
+				case isDigit(d):
+					v = v*16 + int64(d-'0')
+				case d >= 'a':
+					v = v*16 + int64(d-'a'+10)
+				default:
+					v = v*16 + int64(d-'A'+10)
+				}
+				l.advance(1)
+			}
+		} else {
+			for isDigit(l.peekByte()) {
+				v = v*10 + int64(l.peekByte()-'0')
+				l.advance(1)
+			}
+		}
+		tok.Num = int32(v)
+		return tok, nil
+
+	case c == '\'':
+		l.advance(1)
+		v, err := l.escapedChar('\'')
+		if err != nil {
+			return tok, err
+		}
+		if l.peekByte() != '\'' {
+			return tok, l.errf("unterminated character literal")
+		}
+		l.advance(1)
+		tok.Kind = TokChar
+		tok.Num = int32(v)
+		return tok, nil
+
+	case c == '"':
+		l.advance(1)
+		var out []byte
+		for {
+			if l.peekByte() == 0 || l.peekByte() == '\n' {
+				return tok, l.errf("unterminated string literal")
+			}
+			if l.peekByte() == '"' {
+				l.advance(1)
+				break
+			}
+			v, err := l.escapedChar('"')
+			if err != nil {
+				return tok, err
+			}
+			out = append(out, v)
+		}
+		tok.Kind = TokString
+		tok.Str = out
+		return tok, nil
+	}
+
+	for _, p := range punctuators {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.advance(len(p))
+			tok.Kind = TokPunct
+			tok.Text = p
+			return tok, nil
+		}
+	}
+	return tok, l.errf("unexpected character %q", c)
+}
+
+// escapedChar consumes one possibly-escaped character inside a literal.
+func (l *lexer) escapedChar(quote byte) (byte, error) {
+	c := l.peekByte()
+	if c != '\\' {
+		l.advance(1)
+		return c, nil
+	}
+	l.advance(1)
+	e := l.peekByte()
+	l.advance(1)
+	switch e {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	}
+	return 0, l.errf("unknown escape \\%c", e)
+}

@@ -1,0 +1,386 @@
+package minicc
+
+import (
+	"fmt"
+	"strings"
+
+	"interplab/internal/mips"
+	"interplab/internal/mips/asm"
+)
+
+// CompileMIPS compiles source to a loaded MIPS program image.
+func CompileMIPS(name, src string) (*mips.Program, error) {
+	u, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(u); err != nil {
+		return nil, err
+	}
+	text, err := GenMIPS(u)
+	if err != nil {
+		return nil, err
+	}
+	return asm.Assemble(name, text)
+}
+
+// GenMIPS lowers a checked unit to assembly text.
+func GenMIPS(u *Unit) (string, error) {
+	g := &mipsGen{unit: u, strings: make(map[string]string)}
+	if err := g.run(); err != nil {
+		return "", err
+	}
+	return g.buf.String(), nil
+}
+
+// syscall numbers for the intrinsics (see internal/mipsi).
+var intrinsicSyscall = map[string]int{
+	"_exit": 1, "_read": 3, "_write": 4, "_open": 5, "_close": 6, "_sbrk": 9,
+}
+
+type mipsGen struct {
+	unit    *Unit
+	buf     strings.Builder
+	strings map[string]string // literal -> label
+	nlabel  int
+	fn      *FuncDecl
+	epi     string
+	brks    []string
+	conts   []string
+}
+
+func (g *mipsGen) emit(format string, args ...any) {
+	fmt.Fprintf(&g.buf, "\t"+format+"\n", args...)
+}
+
+func (g *mipsGen) label(l string) { fmt.Fprintf(&g.buf, "%s:\n", l) }
+
+func (g *mipsGen) newLabel(hint string) string {
+	g.nlabel++
+	return fmt.Sprintf("L%s%d", hint, g.nlabel)
+}
+
+func (g *mipsGen) strLabel(s []byte) string {
+	key := string(s)
+	if l, ok := g.strings[key]; ok {
+		return l
+	}
+	l := g.newLabel("str")
+	g.strings[key] = l
+	return l
+}
+
+// reg returns the temp register holding expression-stack slot d.
+func reg(d int) string { return fmt.Sprintf("$t%d", d) }
+
+const maxDepth = 8
+
+func (g *mipsGen) run() error {
+	g.buf.WriteString("\t.text\n")
+	// Runtime startup: call main, pass its result to exit.
+	g.label("_start")
+	g.emit("jal main")
+	g.emit("nop")
+	g.emit("move $a0, $v0")
+	g.emit("li $v0, 1")
+	g.emit("syscall")
+	g.emit("nop")
+
+	for _, f := range g.unit.Funcs {
+		if f.Proto {
+			continue
+		}
+		if f.Native {
+			if _, ok := intrinsicSyscall[f.Name]; !ok {
+				return fmt.Errorf("minicc: %s: native functions are not available on the MIPS target", f.Name)
+			}
+			continue
+		}
+		if err := g.genFunc(f); err != nil {
+			return err
+		}
+	}
+
+	g.buf.WriteString("\t.data\n")
+	for _, gv := range g.unit.Globals {
+		g.label(gv.Name)
+		switch {
+		case gv.InitStr != nil:
+			fmt.Fprintf(&g.buf, "\t.asciiz %s\n", quoteAsm(gv.InitStr))
+			pad := gv.Type.Size() - len(gv.InitStr) - 1
+			if pad > 0 {
+				g.emit(".space %d", pad)
+			}
+		case gv.HasInit && gv.Type.Kind == TypeArray:
+			elem := gv.Type.Elem
+			for _, e := range gv.Init {
+				switch {
+				case e.Kind == ExprStr:
+					g.emit(".word %s", g.strLabel(e.Str))
+				case elem.Size() == 1:
+					g.emit(".byte %d", e.Num)
+				default:
+					g.emit(".word %d", e.Num)
+				}
+			}
+			pad := gv.Type.Size() - len(gv.Init)*elem.Size()
+			if pad > 0 {
+				g.emit(".space %d", pad)
+			}
+		case gv.HasInit:
+			if gv.Init[0].Kind == ExprStr {
+				g.emit(".word %s", g.strLabel(gv.Init[0].Str))
+			} else {
+				g.emit(".word %d", gv.Init[0].Num)
+			}
+		default:
+			g.emit(".space %d", gv.Type.Size())
+		}
+		g.emit(".align 2")
+	}
+	// String pool.
+	for key, label := range g.strings {
+		g.label(label)
+		fmt.Fprintf(&g.buf, "\t.asciiz %s\n", quoteAsm([]byte(key)))
+	}
+	return nil
+}
+
+func quoteAsm(b []byte) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for _, c := range b {
+		switch c {
+		case '\n':
+			sb.WriteString("\\n")
+		case '\t':
+			sb.WriteString("\\t")
+		case '\r':
+			sb.WriteString("\\r")
+		case 0:
+			sb.WriteString("\\0")
+		case '"':
+			sb.WriteString("\\\"")
+		case '\\':
+			sb.WriteString("\\\\")
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+func (g *mipsGen) genFunc(f *FuncDecl) error {
+	g.fn = f
+	g.epi = g.newLabel("epi")
+	g.label(f.Name)
+	g.emit("addiu $sp, $sp, -%d", f.FrameSize)
+	g.emit("sw $ra, %d($sp)", RAOffset)
+	args := []string{"$a0", "$a1", "$a2", "$a3"}
+	for i, pv := range f.Params {
+		g.emit("sw %s, %d($sp)", args[i], pv.Offset)
+	}
+	if err := g.genStmts(f.Body); err != nil {
+		return err
+	}
+	// Fall off the end: return 0.
+	g.emit("move $v0, $zero")
+	g.label(g.epi)
+	g.emit("lw $ra, %d($sp)", RAOffset)
+	g.emit("addiu $sp, $sp, %d", f.FrameSize)
+	g.emit("jr $ra")
+	g.emit("nop")
+	return nil
+}
+
+func (g *mipsGen) genStmts(stmts []*Stmt) error {
+	for _, s := range stmts {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *mipsGen) genStmt(s *Stmt) error {
+	switch s.Kind {
+	case StmtExpr:
+		return g.genExpr(s.Expr, 0)
+
+	case StmtDecl:
+		if s.Decl.Init != nil {
+			if err := g.genExpr(s.Decl.Init, 0); err != nil {
+				return err
+			}
+			g.storeTo(s.Decl.Type, fmt.Sprintf("%d($sp)", s.Decl.Offset), reg(0))
+		}
+		return nil
+
+	case StmtIf:
+		elseL, endL := g.newLabel("else"), g.newLabel("endif")
+		if err := g.genExpr(s.Expr, 0); err != nil {
+			return err
+		}
+		g.emit("beqz %s, %s", reg(0), elseL)
+		g.emit("nop")
+		if err := g.genStmts(s.Body); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			g.emit("b %s", endL)
+			g.emit("nop")
+		}
+		g.label(elseL)
+		if s.Else != nil {
+			if err := g.genStmts(s.Else); err != nil {
+				return err
+			}
+			g.label(endL)
+		}
+		return nil
+
+	case StmtWhile:
+		top, end := g.newLabel("while"), g.newLabel("wend")
+		g.brks = append(g.brks, end)
+		g.conts = append(g.conts, top)
+		g.label(top)
+		if err := g.genExpr(s.Expr, 0); err != nil {
+			return err
+		}
+		g.emit("beqz %s, %s", reg(0), end)
+		g.emit("nop")
+		if err := g.genStmts(s.Body); err != nil {
+			return err
+		}
+		g.emit("b %s", top)
+		g.emit("nop")
+		g.label(end)
+		g.brks = g.brks[:len(g.brks)-1]
+		g.conts = g.conts[:len(g.conts)-1]
+		return nil
+
+	case StmtFor:
+		top, post, end := g.newLabel("for"), g.newLabel("fpost"), g.newLabel("fend")
+		if s.Init != nil {
+			if err := g.genStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		g.brks = append(g.brks, end)
+		g.conts = append(g.conts, post)
+		g.label(top)
+		if s.Expr != nil {
+			if err := g.genExpr(s.Expr, 0); err != nil {
+				return err
+			}
+			g.emit("beqz %s, %s", reg(0), end)
+			g.emit("nop")
+		}
+		if err := g.genStmts(s.Body); err != nil {
+			return err
+		}
+		g.label(post)
+		if s.Post != nil {
+			if err := g.genExpr(s.Post, 0); err != nil {
+				return err
+			}
+		}
+		g.emit("b %s", top)
+		g.emit("nop")
+		g.label(end)
+		g.brks = g.brks[:len(g.brks)-1]
+		g.conts = g.conts[:len(g.conts)-1]
+		return nil
+
+	case StmtReturn:
+		if s.Expr != nil {
+			if err := g.genExpr(s.Expr, 0); err != nil {
+				return err
+			}
+			g.emit("move $v0, %s", reg(0))
+		}
+		g.emit("b %s", g.epi)
+		g.emit("nop")
+		return nil
+
+	case StmtBreak:
+		g.emit("b %s", g.brks[len(g.brks)-1])
+		g.emit("nop")
+		return nil
+
+	case StmtContinue:
+		g.emit("b %s", g.conts[len(g.conts)-1])
+		g.emit("nop")
+		return nil
+
+	case StmtBlock:
+		return g.genStmts(s.Body)
+	}
+	return fmt.Errorf("minicc: internal: unknown statement kind %d", s.Kind)
+}
+
+// loadFrom emits the correctly sized load for t from a memory operand.
+func (g *mipsGen) loadFrom(t *Type, mem, dst string) {
+	if t.Size() == 1 {
+		g.emit("lb %s, %s", dst, mem)
+	} else {
+		g.emit("lw %s, %s", dst, mem)
+	}
+}
+
+// storeTo emits the correctly sized store.
+func (g *mipsGen) storeTo(t *Type, mem, src string) {
+	if t.Size() == 1 {
+		g.emit("sb %s, %s", src, mem)
+	} else {
+		g.emit("sw %s, %s", src, mem)
+	}
+}
+
+// genAddr leaves the address of lvalue e in reg(d).
+func (g *mipsGen) genAddr(e *Expr, d int) error {
+	if d >= maxDepth {
+		return errAt(e.Tok, "expression too complex")
+	}
+	switch e.Kind {
+	case ExprIdent:
+		switch {
+		case e.Local != nil:
+			g.emit("addiu %s, $sp, %d", reg(d), e.Local.Offset)
+		case e.Global != nil:
+			g.emit("la %s, %s", reg(d), e.Global.Name)
+		}
+		return nil
+	case ExprIndex:
+		if err := g.genExpr(e.X, d); err != nil { // decayed base pointer
+			return err
+		}
+		if err := g.genExpr(e.Y, d+1); err != nil {
+			return err
+		}
+		g.scale(d+1, e.Type.Size())
+		g.emit("addu %s, %s, %s", reg(d), reg(d), reg(d+1))
+		return nil
+	case ExprUnary:
+		if e.Op == "*" {
+			return g.genExpr(e.X, d)
+		}
+	}
+	return errAt(e.Tok, "internal: not an lvalue")
+}
+
+// scale multiplies reg(d) by a constant element size.
+func (g *mipsGen) scale(d, size int) {
+	switch size {
+	case 1:
+	case 2:
+		g.emit("sll %s, %s, 1", reg(d), reg(d))
+	case 4:
+		g.emit("sll %s, %s, 2", reg(d), reg(d))
+	default:
+		g.emit("li $t8, %d", size)
+		g.emit("mult %s, $t8", reg(d))
+		g.emit("mflo %s", reg(d))
+	}
+}

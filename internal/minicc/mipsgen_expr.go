@@ -1,0 +1,295 @@
+package minicc
+
+import "fmt"
+
+// genExpr leaves the value of e in reg(d).
+func (g *mipsGen) genExpr(e *Expr, d int) error {
+	if d >= maxDepth {
+		return errAt(e.Tok, "expression too complex")
+	}
+	switch e.Kind {
+	case ExprNum:
+		g.emit("li %s, %d", reg(d), e.Num)
+		return nil
+
+	case ExprStr:
+		g.emit("la %s, %s", reg(d), g.strLabel(e.Str))
+		return nil
+
+	case ExprIdent:
+		if e.Type.Kind == TypeArray {
+			return g.genAddr(e, d) // decay to base address
+		}
+		switch {
+		case e.Local != nil:
+			g.loadFrom(e.Type, fmt.Sprintf("%d($sp)", e.Local.Offset), reg(d))
+		case e.Global != nil:
+			g.emit("la %s, %s", reg(d), e.Global.Name)
+			g.loadFrom(e.Type, fmt.Sprintf("0(%s)", reg(d)), reg(d))
+		}
+		return nil
+
+	case ExprUnary:
+		return g.genUnary(e, d)
+
+	case ExprPostfix:
+		// Old value is the result; the slot is then bumped.
+		if err := g.genAddr(e.X, d+1); err != nil {
+			return err
+		}
+		g.loadFrom(e.X.Type, fmt.Sprintf("0(%s)", reg(d+1)), reg(d))
+		delta := 1
+		if e.X.Type.Decay().Kind == TypePointer {
+			delta = ElemStride(e.X.Type)
+		}
+		if e.Op == "--" {
+			delta = -delta
+		}
+		g.emit("addiu $t8, %s, %d", reg(d), delta)
+		g.storeTo(e.X.Type, fmt.Sprintf("0(%s)", reg(d+1)), "$t8")
+		return nil
+
+	case ExprBinary:
+		return g.genBinary(e, d)
+
+	case ExprAssign:
+		return g.genAssign(e, d)
+
+	case ExprCond:
+		elseL, endL := g.newLabel("celse"), g.newLabel("cend")
+		if err := g.genExpr(e.X, d); err != nil {
+			return err
+		}
+		g.emit("beqz %s, %s", reg(d), elseL)
+		g.emit("nop")
+		if err := g.genExpr(e.Y, d); err != nil {
+			return err
+		}
+		g.emit("b %s", endL)
+		g.emit("nop")
+		g.label(elseL)
+		if err := g.genExpr(e.Z, d); err != nil {
+			return err
+		}
+		g.label(endL)
+		return nil
+
+	case ExprIndex:
+		if err := g.genAddr(e, d); err != nil {
+			return err
+		}
+		if e.Type.Kind == TypeArray {
+			return nil // nested array decays to the element address
+		}
+		g.loadFrom(e.Type, fmt.Sprintf("0(%s)", reg(d)), reg(d))
+		return nil
+
+	case ExprCall:
+		return g.genCall(e, d)
+	}
+	return errAt(e.Tok, "internal: unknown expression kind %d", e.Kind)
+}
+
+func (g *mipsGen) genUnary(e *Expr, d int) error {
+	switch e.Op {
+	case "-":
+		if err := g.genExpr(e.X, d); err != nil {
+			return err
+		}
+		g.emit("subu %s, $zero, %s", reg(d), reg(d))
+	case "~":
+		if err := g.genExpr(e.X, d); err != nil {
+			return err
+		}
+		g.emit("nor %s, %s, $zero", reg(d), reg(d))
+	case "!":
+		if err := g.genExpr(e.X, d); err != nil {
+			return err
+		}
+		g.emit("sltiu %s, %s, 1", reg(d), reg(d))
+	case "*":
+		if err := g.genExpr(e.X, d); err != nil {
+			return err
+		}
+		if e.Type.Kind == TypeArray {
+			return nil
+		}
+		g.loadFrom(e.Type, fmt.Sprintf("0(%s)", reg(d)), reg(d))
+	case "&":
+		return g.genAddr(e.X, d)
+	case "++", "--":
+		if err := g.genAddr(e.X, d+1); err != nil {
+			return err
+		}
+		g.loadFrom(e.X.Type, fmt.Sprintf("0(%s)", reg(d+1)), reg(d))
+		delta := 1
+		if e.X.Type.Decay().Kind == TypePointer {
+			delta = ElemStride(e.X.Type)
+		}
+		if e.Op == "--" {
+			delta = -delta
+		}
+		g.emit("addiu %s, %s, %d", reg(d), reg(d), delta)
+		g.storeTo(e.X.Type, fmt.Sprintf("0(%s)", reg(d+1)), reg(d))
+	default:
+		return errAt(e.Tok, "internal: unary %s", e.Op)
+	}
+	return nil
+}
+
+func (g *mipsGen) genBinary(e *Expr, d int) error {
+	// Short-circuit forms first.
+	if e.Op == "&&" || e.Op == "||" {
+		end := g.newLabel("sc")
+		if err := g.genExpr(e.X, d); err != nil {
+			return err
+		}
+		g.emit("sltu %s, $zero, %s", reg(d), reg(d)) // normalize to 0/1
+		if e.Op == "&&" {
+			g.emit("beqz %s, %s", reg(d), end)
+		} else {
+			g.emit("bnez %s, %s", reg(d), end)
+		}
+		g.emit("nop")
+		if err := g.genExpr(e.Y, d); err != nil {
+			return err
+		}
+		g.emit("sltu %s, $zero, %s", reg(d), reg(d))
+		g.label(end)
+		return nil
+	}
+
+	if err := g.genExpr(e.X, d); err != nil {
+		return err
+	}
+	if err := g.genExpr(e.Y, d+1); err != nil {
+		return err
+	}
+	a, b := reg(d), reg(d+1)
+
+	// Pointer arithmetic scaling.
+	xt, yt := e.X.Type.Decay(), e.Y.Type.Decay()
+	if e.Op == "+" || e.Op == "-" {
+		switch {
+		case xt.Kind == TypePointer && yt.Kind != TypePointer:
+			g.scale(d+1, xt.Elem.Size())
+		case yt.Kind == TypePointer && xt.Kind != TypePointer:
+			g.scale(d, yt.Elem.Size())
+		}
+	}
+
+	g.binOp(e.Op, a, b, d, e)
+	if e.Op == "-" && xt.Kind == TypePointer && yt.Kind == TypePointer {
+		// Pointer difference: scale back down to elements.
+		sz := xt.Elem.Size()
+		if sz > 1 {
+			g.emit("li $t8, %d", sz)
+			g.emit("div %s, $t8", a)
+			g.emit("mflo %s", a)
+		}
+	}
+	return nil
+}
+
+// binOp emits the instruction(s) for op with operands a, b into a.
+func (g *mipsGen) binOp(op, a, b string, d int, e *Expr) {
+	switch op {
+	case "+":
+		g.emit("addu %s, %s, %s", a, a, b)
+	case "-":
+		g.emit("subu %s, %s, %s", a, a, b)
+	case "*":
+		g.emit("mult %s, %s", a, b)
+		g.emit("mflo %s", a)
+	case "/":
+		g.emit("div %s, %s", a, b)
+		g.emit("mflo %s", a)
+	case "%":
+		g.emit("div %s, %s", a, b)
+		g.emit("mfhi %s", a)
+	case "<<":
+		g.emit("sllv %s, %s, %s", a, a, b)
+	case ">>":
+		g.emit("srav %s, %s, %s", a, a, b)
+	case "&":
+		g.emit("and %s, %s, %s", a, a, b)
+	case "|":
+		g.emit("or %s, %s, %s", a, a, b)
+	case "^":
+		g.emit("xor %s, %s, %s", a, a, b)
+	case "<":
+		g.emit("slt %s, %s, %s", a, a, b)
+	case ">":
+		g.emit("slt %s, %s, %s", a, b, a)
+	case "<=":
+		g.emit("slt %s, %s, %s", a, b, a)
+		g.emit("xori %s, %s, 1", a, a)
+	case ">=":
+		g.emit("slt %s, %s, %s", a, a, b)
+		g.emit("xori %s, %s, 1", a, a)
+	case "==":
+		g.emit("xor %s, %s, %s", a, a, b)
+		g.emit("sltiu %s, %s, 1", a, a)
+	case "!=":
+		g.emit("xor %s, %s, %s", a, a, b)
+		g.emit("sltu %s, $zero, %s", a, a)
+	}
+}
+
+func (g *mipsGen) genAssign(e *Expr, d int) error {
+	if err := g.genAddr(e.X, d+1); err != nil {
+		return err
+	}
+	if err := g.genExpr(e.Y, d+2); err != nil {
+		return err
+	}
+	if e.Op == "=" {
+		g.storeTo(e.X.Type, fmt.Sprintf("0(%s)", reg(d+1)), reg(d+2))
+		g.emit("move %s, %s", reg(d), reg(d+2))
+		return nil
+	}
+	// Compound: load old, apply, store.
+	g.loadFrom(e.X.Type, fmt.Sprintf("0(%s)", reg(d+1)), reg(d))
+	op := e.Op[:len(e.Op)-1]
+	if (op == "+" || op == "-") && e.X.Type.Decay().Kind == TypePointer {
+		g.scale(d+2, ElemStride(e.X.Type))
+	}
+	g.binOp(op, reg(d), reg(d+2), d, e)
+	g.storeTo(e.X.Type, fmt.Sprintf("0(%s)", reg(d+1)), reg(d))
+	return nil
+}
+
+func (g *mipsGen) genCall(e *Expr, d int) error {
+	fn := e.Func
+	// Evaluate arguments into consecutive slots above d.
+	for i, a := range e.Args {
+		if err := g.genExpr(a, d+i); err != nil {
+			return err
+		}
+	}
+	// Save live temps (slots 0..d+nargs-1) across the call.
+	live := d + len(e.Args)
+	if live > maxDepth {
+		return errAt(e.Tok, "expression too complex")
+	}
+	for i := 0; i < live; i++ {
+		g.emit("sw %s, %d($sp)", reg(i), SpillBase+i*4)
+	}
+	for i := range e.Args {
+		g.emit("lw $a%d, %d($sp)", i, SpillBase+(d+i)*4)
+	}
+	if fn.Native {
+		num := intrinsicSyscall[fn.Name]
+		g.emit("li $v0, %d", num)
+		g.emit("syscall")
+		g.emit("nop")
+	} else {
+		g.emit("jal %s", fn.Name)
+		g.emit("nop")
+	}
+	for i := 0; i < d; i++ {
+		g.emit("lw %s, %d($sp)", reg(i), SpillBase+i*4)
+	}
+	g.emit("move %s, $v0", reg(d))
+	return nil
+}

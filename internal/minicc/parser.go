@@ -1,0 +1,591 @@
+package minicc
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a translation unit (no semantic checks yet).
+func Parse(src string) (*Unit, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	u := &Unit{}
+	for !p.at(TokEOF, "") {
+		if err := p.topLevel(u); err != nil {
+			return nil, err
+		}
+	}
+	return u, nil
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) accept(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = "identifier"
+	}
+	return p.cur(), errAt(p.cur(), "expected %q, found %s", want, p.cur())
+}
+
+// baseType parses int/char/void plus pointer stars.
+func (p *parser) baseType() (*Type, error) {
+	t := p.cur()
+	var ty *Type
+	switch {
+	case p.accept(TokKeyword, "int"):
+		ty = IntType
+	case p.accept(TokKeyword, "char"):
+		ty = CharType
+	case p.accept(TokKeyword, "void"):
+		ty = VoidType
+	default:
+		return nil, errAt(t, "expected type, found %s", t)
+	}
+	for p.accept(TokPunct, "*") {
+		ty = PointerTo(ty)
+	}
+	return ty, nil
+}
+
+func (p *parser) atType() bool {
+	return p.at(TokKeyword, "int") || p.at(TokKeyword, "char") || p.at(TokKeyword, "void")
+}
+
+func (p *parser) topLevel(u *Unit) error {
+	native := p.accept(TokKeyword, "native")
+	ty, err := p.baseType()
+	if err != nil {
+		return err
+	}
+	nameTok, err := p.expect(TokIdent, "")
+	if err != nil {
+		return err
+	}
+
+	if p.at(TokPunct, "(") {
+		fn := &FuncDecl{Name: nameTok.Text, Ret: ty, Native: native}
+		if err := p.funcRest(fn); err != nil {
+			return err
+		}
+		u.Funcs = append(u.Funcs, fn)
+		return nil
+	}
+	if native {
+		return errAt(nameTok, "native requires a function declaration")
+	}
+	return p.globalRest(u, ty, nameTok)
+}
+
+func (p *parser) funcRest(fn *FuncDecl) error {
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return err
+	}
+	if !p.accept(TokPunct, ")") {
+		if p.at(TokKeyword, "void") && p.toks[p.pos+1].Text == ")" {
+			p.pos++ // f(void)
+		} else {
+			for {
+				ty, err := p.baseType()
+				if err != nil {
+					return err
+				}
+				nt, err := p.expect(TokIdent, "")
+				if err != nil {
+					return err
+				}
+				if p.accept(TokPunct, "[") {
+					if _, err := p.expect(TokPunct, "]"); err != nil {
+						return err
+					}
+					ty = PointerTo(ty) // parameter arrays decay
+				}
+				fn.Params = append(fn.Params, &LocalVar{Name: nt.Text, Type: ty, IsParam: true})
+				if !p.accept(TokPunct, ",") {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return err
+		}
+	}
+	if p.accept(TokPunct, ";") {
+		if !fn.Native {
+			fn.Proto = true
+		}
+		return nil
+	}
+	if fn.Native {
+		return errAt(p.cur(), "%s: native functions cannot have a body", fn.Name)
+	}
+	body, err := p.block()
+	if err != nil {
+		return err
+	}
+	fn.Body = body
+	return nil
+}
+
+func (p *parser) globalRest(u *Unit, ty *Type, nameTok Token) error {
+	for {
+		g := &GlobalVar{Name: nameTok.Text, Type: ty}
+		if p.accept(TokPunct, "[") {
+			n := -1
+			if p.cur().Kind == TokNumber {
+				n = int(p.next().Num)
+			}
+			if _, err := p.expect(TokPunct, "]"); err != nil {
+				return err
+			}
+			g.Type = ArrayOf(ty, n) // n == -1: size from initializer
+		}
+		if p.accept(TokPunct, "=") {
+			g.HasInit = true
+			switch {
+			case p.cur().Kind == TokString && g.Type.Kind == TypeArray:
+				g.InitStr = p.next().Str
+			case p.accept(TokPunct, "{"):
+				for !p.accept(TokPunct, "}") {
+					e, err := p.assignExpr()
+					if err != nil {
+						return err
+					}
+					g.Init = append(g.Init, e)
+					if !p.accept(TokPunct, ",") && !p.at(TokPunct, "}") {
+						return errAt(p.cur(), "expected , or } in initializer")
+					}
+				}
+			default:
+				e, err := p.assignExpr()
+				if err != nil {
+					return err
+				}
+				g.Init = append(g.Init, e)
+			}
+		}
+		if g.Type.Kind == TypeArray && g.Type.N == -1 {
+			switch {
+			case g.InitStr != nil:
+				g.Type = ArrayOf(g.Type.Elem, len(g.InitStr)+1)
+			case len(g.Init) > 0:
+				g.Type = ArrayOf(g.Type.Elem, len(g.Init))
+			default:
+				return errAt(nameTok, "array %s needs a size or initializer", g.Name)
+			}
+		}
+		u.Globals = append(u.Globals, g)
+		if p.accept(TokPunct, ",") {
+			var err error
+			nameTok, err = p.expect(TokIdent, "")
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		_, err := p.expect(TokPunct, ";")
+		return err
+	}
+}
+
+// --- statements -------------------------------------------------------------
+
+func (p *parser) block() ([]*Stmt, error) {
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var out []*Stmt
+	for !p.accept(TokPunct, "}") {
+		if p.at(TokEOF, "") {
+			return nil, errAt(p.cur(), "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) stmt() (*Stmt, error) {
+	tok := p.cur()
+	switch {
+	case p.atType():
+		return p.declStmt()
+
+	case p.accept(TokKeyword, "if"):
+		s := &Stmt{Kind: StmtIf, Tok: tok}
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Expr = e
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmtOrBlock()
+		if err != nil {
+			return nil, err
+		}
+		s.Body = body
+		if p.accept(TokKeyword, "else") {
+			els, err := p.stmtOrBlock()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+		return s, nil
+
+	case p.accept(TokKeyword, "while"):
+		s := &Stmt{Kind: StmtWhile, Tok: tok}
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Expr = e
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmtOrBlock()
+		if err != nil {
+			return nil, err
+		}
+		s.Body = body
+		return s, nil
+
+	case p.accept(TokKeyword, "for"):
+		s := &Stmt{Kind: StmtFor, Tok: tok}
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		if !p.accept(TokPunct, ";") {
+			if p.atType() {
+				init, err := p.declStmt()
+				if err != nil {
+					return nil, err
+				}
+				s.Init = init
+			} else {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				s.Init = &Stmt{Kind: StmtExpr, Tok: tok, Expr: e}
+				if _, err := p.expect(TokPunct, ";"); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if !p.at(TokPunct, ";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Expr = e
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		if !p.at(TokPunct, ")") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Post = e
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmtOrBlock()
+		if err != nil {
+			return nil, err
+		}
+		s.Body = body
+		return s, nil
+
+	case p.accept(TokKeyword, "return"):
+		s := &Stmt{Kind: StmtReturn, Tok: tok}
+		if !p.at(TokPunct, ";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Expr = e
+		}
+		_, err := p.expect(TokPunct, ";")
+		return s, err
+
+	case p.accept(TokKeyword, "break"):
+		_, err := p.expect(TokPunct, ";")
+		return &Stmt{Kind: StmtBreak, Tok: tok}, err
+
+	case p.accept(TokKeyword, "continue"):
+		_, err := p.expect(TokPunct, ";")
+		return &Stmt{Kind: StmtContinue, Tok: tok}, err
+
+	case p.at(TokPunct, "{"):
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtBlock, Tok: tok, Body: body}, nil
+
+	case p.accept(TokPunct, ";"):
+		return &Stmt{Kind: StmtBlock, Tok: tok}, nil
+	}
+
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &Stmt{Kind: StmtExpr, Tok: tok, Expr: e}, nil
+}
+
+func (p *parser) stmtOrBlock() ([]*Stmt, error) {
+	if p.at(TokPunct, "{") {
+		return p.block()
+	}
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return []*Stmt{s}, nil
+}
+
+// declStmt parses `type name ([N])? (= expr)? ;` (one declarator).
+func (p *parser) declStmt() (*Stmt, error) {
+	tok := p.cur()
+	ty, err := p.baseType()
+	if err != nil {
+		return nil, err
+	}
+	nt, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokPunct, "[") {
+		num, err := p.expect(TokNumber, "")
+		if err != nil {
+			return nil, errAt(nt, "local array %s needs a constant size", nt.Text)
+		}
+		if _, err := p.expect(TokPunct, "]"); err != nil {
+			return nil, err
+		}
+		ty = ArrayOf(ty, int(num.Num))
+	}
+	v := &LocalVar{Name: nt.Text, Type: ty}
+	if p.accept(TokPunct, "=") {
+		e, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		v.Init = e
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &Stmt{Kind: StmtDecl, Tok: tok, Decl: v}, nil
+}
+
+// --- expressions (precedence climbing) ---------------------------------------
+
+func (p *parser) expr() (*Expr, error) { return p.assignExpr() }
+
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"<<=": true, ">>=": true, "&=": true, "|=": true, "^=": true,
+}
+
+func (p *parser) assignExpr() (*Expr, error) {
+	lhs, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokPunct && assignOps[p.cur().Text] {
+		op := p.next()
+		rhs, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprAssign, Tok: op, Op: op.Text, X: lhs, Y: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) condExpr() (*Expr, error) {
+	c, err := p.binExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.at(TokPunct, "?") {
+		tok := p.next()
+		t, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ":"); err != nil {
+			return nil, err
+		}
+		f, err := p.condExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprCond, Tok: tok, X: c, Y: t, Z: f}, nil
+	}
+	return c, nil
+}
+
+// binary operator precedence levels, loosest first.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", ">", "<=", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) binExpr(level int) (*Expr, error) {
+	if level >= len(binLevels) {
+		return p.unaryExpr()
+	}
+	lhs, err := p.binExpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range binLevels[level] {
+			if p.at(TokPunct, op) {
+				tok := p.next()
+				rhs, err := p.binExpr(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				lhs = &Expr{Kind: ExprBinary, Tok: tok, Op: op, X: lhs, Y: rhs}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return lhs, nil
+		}
+	}
+}
+
+func (p *parser) unaryExpr() (*Expr, error) {
+	tok := p.cur()
+	for _, op := range []string{"!", "~", "-", "*", "&", "++", "--"} {
+		if p.at(TokPunct, op) {
+			p.next()
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: ExprUnary, Tok: tok, Op: op, X: x}, nil
+		}
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (*Expr, error) {
+	e, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		tok := p.cur()
+		switch {
+		case p.accept(TokPunct, "["):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, "]"); err != nil {
+				return nil, err
+			}
+			e = &Expr{Kind: ExprIndex, Tok: tok, X: e, Y: idx}
+		case p.at(TokPunct, "++") || p.at(TokPunct, "--"):
+			p.next()
+			e = &Expr{Kind: ExprPostfix, Tok: tok, Op: tok.Text, X: e}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (*Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case TokNumber, TokChar:
+		p.next()
+		return &Expr{Kind: ExprNum, Tok: tok, Num: tok.Num}, nil
+	case TokString:
+		p.next()
+		return &Expr{Kind: ExprStr, Tok: tok, Str: tok.Str}, nil
+	case TokIdent:
+		p.next()
+		if p.accept(TokPunct, "(") {
+			call := &Expr{Kind: ExprCall, Tok: tok, Name: tok.Text}
+			for !p.accept(TokPunct, ")") {
+				a, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.accept(TokPunct, ",") && !p.at(TokPunct, ")") {
+					return nil, errAt(p.cur(), "expected , or ) in call")
+				}
+			}
+			return call, nil
+		}
+		return &Expr{Kind: ExprIdent, Tok: tok, Name: tok.Text}, nil
+	case TokPunct:
+		if p.accept(TokPunct, "(") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, errAt(tok, "unexpected %s in expression", tok)
+}

@@ -1,0 +1,451 @@
+package minicc
+
+import "fmt"
+
+// Intrinsic OS interface, available in both backends: the MIPS backend
+// lowers these to syscalls, the JVM backend to native methods.
+var Intrinsics = []*FuncDecl{
+	{Name: "_exit", Ret: VoidType, Native: true, Params: []*LocalVar{{Name: "code", Type: IntType}}},
+	{Name: "_read", Ret: IntType, Native: true, Params: []*LocalVar{{Name: "fd", Type: IntType}, {Name: "buf", Type: PointerTo(CharType)}, {Name: "n", Type: IntType}}},
+	{Name: "_write", Ret: IntType, Native: true, Params: []*LocalVar{{Name: "fd", Type: IntType}, {Name: "buf", Type: PointerTo(CharType)}, {Name: "n", Type: IntType}}},
+	{Name: "_open", Ret: IntType, Native: true, Params: []*LocalVar{{Name: "path", Type: PointerTo(CharType)}, {Name: "flags", Type: IntType}}},
+	{Name: "_close", Ret: IntType, Native: true, Params: []*LocalVar{{Name: "fd", Type: IntType}}},
+	{Name: "_sbrk", Ret: PointerTo(CharType), Native: true, Params: []*LocalVar{{Name: "n", Type: IntType}}},
+}
+
+// IsIntrinsic reports whether fn is one of the predeclared OS intrinsics.
+func IsIntrinsic(fn *FuncDecl) bool {
+	for _, in := range Intrinsics {
+		if in == fn {
+			return true
+		}
+	}
+	return false
+}
+
+// Frame layout constants (offsets from $sp in the MIPS backend; slot
+// numbering in the JVM backend reuses Offset/4).
+const (
+	// SpillBase..SpillBase+31: expression temporaries saved across calls.
+	SpillBase = 0
+	// RAOffset holds the saved return address.
+	RAOffset = 32
+	// VarBase is where named locals start.
+	VarBase = 36
+	// MaxArgs is the number of register-passed arguments supported.
+	MaxArgs = 4
+)
+
+type checker struct {
+	unit    *Unit
+	funcs   map[string]*FuncDecl
+	globals map[string]*GlobalVar
+	scopes  []map[string]*LocalVar
+	fn      *FuncDecl
+	loop    int
+}
+
+// Check resolves names, types every expression, and lays out frames.
+func Check(u *Unit) error {
+	c := &checker{
+		unit:    u,
+		funcs:   make(map[string]*FuncDecl),
+		globals: make(map[string]*GlobalVar),
+	}
+	for _, in := range Intrinsics {
+		c.funcs[in.Name] = in
+	}
+	// Definitions first, so calls through a forward declaration resolve
+	// to the body; prototypes fill gaps (and are an error if never
+	// defined but called).
+	for _, f := range u.Funcs {
+		if f.Proto {
+			continue
+		}
+		if _, dup := c.funcs[f.Name]; dup {
+			return fmt.Errorf("minicc: duplicate function %s", f.Name)
+		}
+		// The register-argument limit binds compiled functions only;
+		// natives receive their arguments through the VM.
+		if !f.Native && len(f.Params) > MaxArgs {
+			return fmt.Errorf("minicc: %s: more than %d parameters", f.Name, MaxArgs)
+		}
+		c.funcs[f.Name] = f
+	}
+	for _, f := range u.Funcs {
+		if !f.Proto {
+			continue
+		}
+		if def, ok := c.funcs[f.Name]; ok {
+			if len(def.Params) != len(f.Params) {
+				return fmt.Errorf("minicc: %s: prototype disagrees with definition", f.Name)
+			}
+			continue
+		}
+		return fmt.Errorf("minicc: %s: declared but never defined", f.Name)
+	}
+	for _, g := range u.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return fmt.Errorf("minicc: duplicate global %s", g.Name)
+		}
+		if g.Type.Size() <= 0 {
+			return fmt.Errorf("minicc: global %s has empty type", g.Name)
+		}
+		c.globals[g.Name] = g
+		for _, e := range g.Init {
+			if err := c.constInit(e); err != nil {
+				return err
+			}
+		}
+	}
+	for _, f := range u.Funcs {
+		if f.Native || f.Proto {
+			continue
+		}
+		if err := c.checkFunc(f); err != nil {
+			return err
+		}
+	}
+	if main := u.Func("main"); main == nil {
+		return fmt.Errorf("minicc: no main function")
+	}
+	return nil
+}
+
+// constInit checks a global initializer: literals and negated literals only.
+func (c *checker) constInit(e *Expr) error {
+	switch e.Kind {
+	case ExprNum:
+		e.Type = IntType
+		return nil
+	case ExprStr:
+		e.Type = PointerTo(CharType)
+		return nil
+	case ExprUnary:
+		if e.Op == "-" && e.X.Kind == ExprNum {
+			e.Kind = ExprNum
+			e.Num = -e.X.Num
+			e.Type = IntType
+			return nil
+		}
+	}
+	return errAt(e.Tok, "global initializers must be constants")
+}
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	c.fn = f
+	c.scopes = []map[string]*LocalVar{{}}
+	offset := VarBase
+	addVar := func(v *LocalVar) error {
+		top := c.scopes[len(c.scopes)-1]
+		if _, dup := top[v.Name]; dup {
+			return fmt.Errorf("minicc: %s: duplicate variable %s", f.Name, v.Name)
+		}
+		size := (v.Type.Size() + 3) &^ 3
+		v.Offset = offset
+		offset += size
+		top[v.Name] = v
+		f.Locals = append(f.Locals, v)
+		return nil
+	}
+	for _, pv := range f.Params {
+		if err := addVar(pv); err != nil {
+			return err
+		}
+	}
+	var walk func(stmts []*Stmt) error
+	walk = func(stmts []*Stmt) error {
+		c.scopes = append(c.scopes, map[string]*LocalVar{})
+		defer func() { c.scopes = c.scopes[:len(c.scopes)-1] }()
+		for _, s := range stmts {
+			switch s.Kind {
+			case StmtDecl:
+				if s.Decl.Init != nil {
+					if err := c.checkExpr(s.Decl.Init); err != nil {
+						return err
+					}
+					if !s.Decl.Type.IsScalar() {
+						return errAt(s.Tok, "cannot initialize array %s with an expression", s.Decl.Name)
+					}
+				}
+				if err := addVar(s.Decl); err != nil {
+					return err
+				}
+			case StmtExpr:
+				if err := c.checkExpr(s.Expr); err != nil {
+					return err
+				}
+			case StmtIf:
+				if err := c.checkExpr(s.Expr); err != nil {
+					return err
+				}
+				if err := walk(s.Body); err != nil {
+					return err
+				}
+				if s.Else != nil {
+					if err := walk(s.Else); err != nil {
+						return err
+					}
+				}
+			case StmtWhile:
+				if err := c.checkExpr(s.Expr); err != nil {
+					return err
+				}
+				c.loop++
+				if err := walk(s.Body); err != nil {
+					return err
+				}
+				c.loop--
+			case StmtFor:
+				c.scopes = append(c.scopes, map[string]*LocalVar{})
+				if s.Init != nil {
+					if err := walk([]*Stmt{s.Init}); err != nil {
+						return err
+					}
+					// walk pushed/popped its own scope; re-add the decl
+					// to the for scope so cond/post/body can see it.
+					if s.Init.Kind == StmtDecl {
+						c.scopes[len(c.scopes)-1][s.Init.Decl.Name] = s.Init.Decl
+					}
+				}
+				if s.Expr != nil {
+					if err := c.checkExpr(s.Expr); err != nil {
+						return err
+					}
+				}
+				if s.Post != nil {
+					if err := c.checkExpr(s.Post); err != nil {
+						return err
+					}
+				}
+				c.loop++
+				err := walk(s.Body)
+				c.loop--
+				c.scopes = c.scopes[:len(c.scopes)-1]
+				if err != nil {
+					return err
+				}
+			case StmtReturn:
+				if s.Expr != nil {
+					if err := c.checkExpr(s.Expr); err != nil {
+						return err
+					}
+					if f.Ret.Kind == TypeVoid {
+						return errAt(s.Tok, "%s: returning a value from a void function", f.Name)
+					}
+				} else if f.Ret.Kind != TypeVoid {
+					return errAt(s.Tok, "%s: missing return value", f.Name)
+				}
+			case StmtBreak, StmtContinue:
+				if c.loop == 0 {
+					return errAt(s.Tok, "break/continue outside a loop")
+				}
+			case StmtBlock:
+				if err := walk(s.Body); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(f.Body); err != nil {
+		return err
+	}
+	// Walk assigned offsets lazily via addVar in declaration order, so the
+	// final offset is the frame requirement.
+	f.FrameSize = (offset + 7) &^ 7
+	return nil
+}
+
+func (c *checker) lookup(name string) *LocalVar {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if v, ok := c.scopes[i][name]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// isLvalue reports whether e designates storage.
+func isLvalue(e *Expr) bool {
+	switch e.Kind {
+	case ExprIdent:
+		return e.Type.Kind != TypeArray // arrays are not assignable
+	case ExprIndex:
+		return true
+	case ExprUnary:
+		return e.Op == "*"
+	}
+	return false
+}
+
+func (c *checker) checkExpr(e *Expr) error {
+	switch e.Kind {
+	case ExprNum:
+		e.Type = IntType
+
+	case ExprStr:
+		e.Type = PointerTo(CharType)
+
+	case ExprIdent:
+		if v := c.lookup(e.Name); v != nil {
+			e.Local = v
+			e.Type = v.Type
+		} else if g, ok := c.globals[e.Name]; ok {
+			e.Global = g
+			e.Type = g.Type
+		} else {
+			return errAt(e.Tok, "undefined variable %s", e.Name)
+		}
+
+	case ExprUnary:
+		if err := c.checkExpr(e.X); err != nil {
+			return err
+		}
+		switch e.Op {
+		case "!", "~", "-":
+			if !e.X.Type.Decay().IsScalar() {
+				return errAt(e.Tok, "operand of %s must be scalar", e.Op)
+			}
+			e.Type = IntType
+		case "*":
+			t := e.X.Type.Decay()
+			if t.Kind != TypePointer {
+				return errAt(e.Tok, "cannot dereference %s", e.X.Type)
+			}
+			e.Type = t.Elem
+		case "&":
+			if !isLvalue(e.X) && e.X.Type.Kind != TypeArray {
+				return errAt(e.Tok, "cannot take the address of this expression")
+			}
+			if e.X.Type.Kind == TypeArray {
+				e.Type = PointerTo(e.X.Type.Elem)
+			} else {
+				e.Type = PointerTo(e.X.Type)
+			}
+		case "++", "--":
+			if !isLvalue(e.X) {
+				return errAt(e.Tok, "%s needs an lvalue", e.Op)
+			}
+			e.Type = e.X.Type
+		}
+
+	case ExprPostfix:
+		if err := c.checkExpr(e.X); err != nil {
+			return err
+		}
+		if !isLvalue(e.X) {
+			return errAt(e.Tok, "%s needs an lvalue", e.Op)
+		}
+		e.Type = e.X.Type
+
+	case ExprBinary:
+		if err := c.checkExpr(e.X); err != nil {
+			return err
+		}
+		if err := c.checkExpr(e.Y); err != nil {
+			return err
+		}
+		xt, yt := e.X.Type.Decay(), e.Y.Type.Decay()
+		if !xt.IsScalar() || !yt.IsScalar() {
+			return errAt(e.Tok, "operands of %s must be scalar", e.Op)
+		}
+		switch e.Op {
+		case "+":
+			switch {
+			case xt.Kind == TypePointer && yt.Kind != TypePointer:
+				e.Type = xt
+			case yt.Kind == TypePointer && xt.Kind != TypePointer:
+				e.Type = yt
+			case xt.Kind == TypePointer && yt.Kind == TypePointer:
+				return errAt(e.Tok, "cannot add two pointers")
+			default:
+				e.Type = IntType
+			}
+		case "-":
+			switch {
+			case xt.Kind == TypePointer && yt.Kind == TypePointer:
+				e.Type = IntType
+			case xt.Kind == TypePointer:
+				e.Type = xt
+			case yt.Kind == TypePointer:
+				return errAt(e.Tok, "cannot subtract a pointer from an integer")
+			default:
+				e.Type = IntType
+			}
+		default:
+			e.Type = IntType
+		}
+
+	case ExprAssign:
+		if err := c.checkExpr(e.X); err != nil {
+			return err
+		}
+		if err := c.checkExpr(e.Y); err != nil {
+			return err
+		}
+		if !isLvalue(e.X) {
+			return errAt(e.Tok, "left side of %s is not assignable", e.Op)
+		}
+		if !e.Y.Type.Decay().IsScalar() {
+			return errAt(e.Tok, "right side of %s must be scalar", e.Op)
+		}
+		e.Type = e.X.Type
+
+	case ExprCond:
+		for _, sub := range []*Expr{e.X, e.Y, e.Z} {
+			if err := c.checkExpr(sub); err != nil {
+				return err
+			}
+		}
+		e.Type = e.Y.Type.Decay()
+
+	case ExprIndex:
+		if err := c.checkExpr(e.X); err != nil {
+			return err
+		}
+		if err := c.checkExpr(e.Y); err != nil {
+			return err
+		}
+		t := e.X.Type.Decay()
+		if t.Kind != TypePointer {
+			return errAt(e.Tok, "cannot index %s", e.X.Type)
+		}
+		if !e.Y.Type.Decay().IsScalar() {
+			return errAt(e.Tok, "index must be scalar")
+		}
+		e.Type = t.Elem
+
+	case ExprCall:
+		fn, ok := c.funcs[e.Name]
+		if !ok {
+			return errAt(e.Tok, "undefined function %s", e.Name)
+		}
+		if len(e.Args) != len(fn.Params) {
+			return errAt(e.Tok, "%s expects %d arguments, got %d", e.Name, len(fn.Params), len(e.Args))
+		}
+		for _, a := range e.Args {
+			if err := c.checkExpr(a); err != nil {
+				return err
+			}
+			if !a.Type.Decay().IsScalar() {
+				return errAt(a.Tok, "argument to %s must be scalar", e.Name)
+			}
+		}
+		e.Func = fn
+		e.Type = fn.Ret
+
+	default:
+		return errAt(e.Tok, "internal: unknown expression kind %d", e.Kind)
+	}
+	return nil
+}
+
+// ElemStride returns the pointer-arithmetic scale for a decayed type.
+func ElemStride(t *Type) int {
+	d := t.Decay()
+	if d.Kind == TypePointer {
+		return d.Elem.Size()
+	}
+	return 1
+}

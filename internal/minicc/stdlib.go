@@ -1,0 +1,189 @@
+package minicc
+
+// Stdlib is the mini-C runtime library, written in mini-C and compiled
+// together with each program — the analog of the tiny libc a C benchmark
+// would link against.  Everything here is ordinary guest code: when MIPSI
+// interprets a workload, it interprets the library too, exactly as the
+// paper's MIPSI interpreted libc.
+const Stdlib = `
+int strlen(char *s) {
+    int n = 0;
+    while (s[n]) n++;
+    return n;
+}
+
+char *strcpy(char *dst, char *src) {
+    int i = 0;
+    while ((dst[i] = src[i]) != 0) i++;
+    return dst;
+}
+
+int strcmp(char *a, char *b) {
+    int i = 0;
+    while (a[i] && a[i] == b[i]) i++;
+    return a[i] - b[i];
+}
+
+int strncmp(char *a, char *b, int n) {
+    int i = 0;
+    while (i < n && a[i] && a[i] == b[i]) i++;
+    if (i == n) return 0;
+    return a[i] - b[i];
+}
+
+char *strcat(char *dst, char *src) {
+    strcpy(dst + strlen(dst), src);
+    return dst;
+}
+
+char *memcpy(char *dst, char *src, int n) {
+    int i;
+    for (i = 0; i < n; i++) dst[i] = src[i];
+    return dst;
+}
+
+char *memset(char *dst, int c, int n) {
+    int i;
+    for (i = 0; i < n; i++) dst[i] = c;
+    return dst;
+}
+
+int atoi(char *s) {
+    int v = 0;
+    int neg = 0;
+    int i = 0;
+    if (s[0] == '-') { neg = 1; i = 1; }
+    while (s[i] >= '0' && s[i] <= '9') {
+        v = v * 10 + (s[i] - '0');
+        i++;
+    }
+    if (neg) return -v;
+    return v;
+}
+
+int putc(int c) {
+    char b[4];
+    b[0] = c;
+    return _write(1, b, 1);
+}
+
+int puts(char *s) {
+    return _write(1, s, strlen(s));
+}
+
+int putn(int n) {
+    char buf[16];
+    int i = 15;
+    int neg = 0;
+    if (n == 0) return putc('0');
+    if (n < 0) { neg = 1; n = -n; }
+    while (n > 0) {
+        i--;
+        buf[i] = '0' + n % 10;
+        n = n / 10;
+    }
+    if (neg) { i--; buf[i] = '-'; }
+    return _write(1, &buf[i], 15 - i);
+}
+`
+
+// WithStdlib appends the runtime library to a program source.
+func WithStdlib(src string) string { return src + "\n" + Stdlib }
+
+// StdlibJVM is the runtime library variant for the JVM backend: the same
+// routines, written without address-of or pointer arithmetic — the shape a
+// Java port of the C library takes.  When Java programs run these routines
+// they are *interpreted*, which is why (as in the paper's Table 1) the
+// Java string microbenchmarks are far slower than Perl's and Tcl's
+// native-library string operations.
+const StdlibJVM = `
+int strlen(char *s) {
+    int n = 0;
+    while (s[n]) n++;
+    return n;
+}
+
+char *strcpy(char *dst, char *src) {
+    int i = 0;
+    while ((dst[i] = src[i]) != 0) i++;
+    return dst;
+}
+
+int strcmp(char *a, char *b) {
+    int i = 0;
+    while (a[i] && a[i] == b[i]) i++;
+    return a[i] - b[i];
+}
+
+int strncmp(char *a, char *b, int n) {
+    int i = 0;
+    while (i < n && a[i] && a[i] == b[i]) i++;
+    if (i == n) return 0;
+    return a[i] - b[i];
+}
+
+char *strcat(char *dst, char *src) {
+    int d = strlen(dst);
+    int i = 0;
+    while ((dst[d + i] = src[i]) != 0) i++;
+    return dst;
+}
+
+char *memcpy(char *dst, char *src, int n) {
+    int i;
+    for (i = 0; i < n; i++) dst[i] = src[i];
+    return dst;
+}
+
+char *memset(char *dst, int c, int n) {
+    int i;
+    for (i = 0; i < n; i++) dst[i] = c;
+    return dst;
+}
+
+int atoi(char *s) {
+    int v = 0;
+    int neg = 0;
+    int i = 0;
+    if (s[0] == '-') { neg = 1; i = 1; }
+    while (s[i] >= '0' && s[i] <= '9') {
+        v = v * 10 + (s[i] - '0');
+        i++;
+    }
+    if (neg) return -v;
+    return v;
+}
+
+int putc(int c) {
+    char b[4];
+    b[0] = c;
+    return _write(1, b, 1);
+}
+
+int puts(char *s) {
+    return _write(1, s, strlen(s));
+}
+
+int putn(int n) {
+    char buf[16];
+    int i = 15;
+    int neg = 0;
+    if (n == 0) return putc('0');
+    if (n < 0) { neg = 1; n = -n; }
+    while (n > 0) {
+        i--;
+        buf[i] = '0' + n % 10;
+        n = n / 10;
+    }
+    if (neg) { i--; buf[i] = '-'; }
+    int j = 0;
+    while (i + j < 15) {
+        buf[j] = buf[i + j];
+        j++;
+    }
+    return _write(1, buf, j);
+}
+`
+
+// WithStdlibJVM appends the JVM-compatible runtime library.
+func WithStdlibJVM(src string) string { return src + "\n" + StdlibJVM }

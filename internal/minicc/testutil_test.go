@@ -1,0 +1,11 @@
+package minicc
+
+import (
+	"interplab/internal/atom"
+	"interplab/internal/trace"
+)
+
+func newTestProbe() (*atom.Image, *atom.Probe) {
+	img := atom.NewImage()
+	return img, atom.NewProbe(img, trace.Discard)
+}

@@ -1,0 +1,83 @@
+// Package minicc is a small C compiler — the toolchain substrate of the
+// laboratory.  The paper's MIPSI workloads are C programs compiled for
+// Ultrix; ours are written in mini-C and compiled by this package to the
+// MIPS R3000 subset (via internal/mips/asm) or to the Java-analog bytecode
+// of internal/jvm, so the same source can serve as a MIPSI guest binary, a
+// native baseline, and a JVM-interpreted class.
+//
+// The language is a C subset: int/char/void, pointers and one-dimensional
+// arrays, globals with initializers, functions (up to four arguments, in
+// registers), the full C statement repertoire (if/else, while, for, break,
+// continue, return) and expression operators, string and character
+// literals, and `native` declarations that bind a function to the host's
+// native-library registry (JVM backend only; the MIPS backend exposes the
+// OS through the __syscall-style intrinsics _exit, _read, _write, _open,
+// _close and _sbrk, which both backends accept).
+package minicc
+
+import "fmt"
+
+// TokKind classifies tokens.
+type TokKind uint8
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokChar
+	TokPunct   // operators and delimiters
+	TokKeyword // language keywords
+)
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Num  int32 // value for TokNumber and TokChar
+	Str  []byte
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of file"
+	case TokNumber:
+		return fmt.Sprintf("number %d", t.Num)
+	case TokString:
+		return fmt.Sprintf("string %q", t.Str)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true,
+	"native": true,
+}
+
+// punctuators, longest first so the lexer can use greedy matching.
+var punctuators = []string{
+	"<<=", ">>=",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+	"(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+}
+
+// Error is a compilation failure with position.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("minicc: %d:%d: %s", e.Line, e.Col, e.Msg) }
+
+func errAt(t Token, format string, args ...any) error {
+	return &Error{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}

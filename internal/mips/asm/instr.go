@@ -1,0 +1,532 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"interplab/internal/mips"
+)
+
+// instruction assembles one instruction or pseudo-instruction.
+func (a *assembler) instruction(s string) error {
+	mnem, rest, _ := strings.Cut(s, " ")
+	mnem = strings.ToLower(strings.TrimSpace(mnem))
+	ops := splitOperands(strings.TrimSpace(rest))
+
+	reg := func(i int) (int, error) {
+		if i >= len(ops) {
+			return 0, a.errf("%s: missing operand %d", mnem, i+1)
+		}
+		r, err := mips.RegByName(ops[i])
+		if err != nil {
+			return 0, a.errf("%s: %v", mnem, err)
+		}
+		return r, nil
+	}
+	imm := func(i int) (int32, error) {
+		if i >= len(ops) {
+			return 0, a.errf("%s: missing immediate", mnem)
+		}
+		v, err := parseInt(ops[i])
+		if err != nil {
+			return 0, a.errf("%s: bad immediate %q", mnem, ops[i])
+		}
+		return int32(v), nil
+	}
+
+	switch mnem {
+	case "nop":
+		a.emit(0)
+		return nil
+
+	case "move":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		return a.emitR(mips.ADDU, rd, rs, 0, 0)
+
+	case "neg":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		return a.emitR(mips.SUB, rd, 0, rs, 0)
+
+	case "not":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		return a.emitR(mips.NOR, rd, rs, 0, 0)
+
+	case "li":
+		rt, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return err
+		}
+		return a.loadImm(rt, v)
+
+	case "la":
+		rt, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if len(ops) < 2 {
+			return a.errf("la: missing symbol")
+		}
+		sym, addend := splitSymRef(ops[1])
+		a.fixups = append(a.fixups, fixup{line: a.line, textIdx: len(a.text), sym: sym, kind: fixHi, addend: addend})
+		if err := a.emitI(mips.LUI, rt, 0, 0); err != nil {
+			return err
+		}
+		a.fixups = append(a.fixups, fixup{line: a.line, textIdx: len(a.text), sym: sym, kind: fixLo, addend: addend})
+		return a.emitI(mips.ORI, rt, rt, 0)
+
+	case "b":
+		if len(ops) < 1 {
+			return a.errf("b: missing target")
+		}
+		a.fixups = append(a.fixups, fixup{line: a.line, textIdx: len(a.text), sym: ops[0], kind: fixBranch})
+		return a.emitI(mips.BEQ, 0, 0, 0)
+
+	case "beqz", "bnez":
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if len(ops) < 2 {
+			return a.errf("%s: missing target", mnem)
+		}
+		op := mips.BEQ
+		if mnem == "bnez" {
+			op = mips.BNE
+		}
+		a.fixups = append(a.fixups, fixup{line: a.line, textIdx: len(a.text), sym: ops[1], kind: fixBranch})
+		return a.emitI(op, 0, rs, 0)
+
+	case "blt", "bge", "bgt", "ble":
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return err
+		}
+		if len(ops) < 3 {
+			return a.errf("%s: missing target", mnem)
+		}
+		// slt $at, a, b  (order swapped for bgt/ble)
+		x, y := rs, rt
+		if mnem == "bgt" || mnem == "ble" {
+			x, y = rt, rs
+		}
+		if err := a.emitR(mips.SLT, mips.RegAT, x, y, 0); err != nil {
+			return err
+		}
+		br := mips.BNE // blt/bgt: branch if $at != 0
+		if mnem == "bge" || mnem == "ble" {
+			br = mips.BEQ
+		}
+		a.fixups = append(a.fixups, fixup{line: a.line, textIdx: len(a.text), sym: ops[2], kind: fixBranch})
+		return a.emitI(br, 0, mips.RegAT, 0)
+
+	case "mul":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		rt, err := reg(2)
+		if err != nil {
+			return err
+		}
+		if err := a.emitR(mips.MULT, 0, rs, rt, 0); err != nil {
+			return err
+		}
+		return a.emitR(mips.MFLO, rd, 0, 0, 0)
+	}
+
+	op := mips.OpByName(mnem)
+	if op == mips.INVALID {
+		return a.errf("unknown mnemonic %q", mnem)
+	}
+
+	switch op {
+	case mips.SLL, mips.SRL, mips.SRA:
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return err
+		}
+		sh, err := imm(2)
+		if err != nil {
+			return err
+		}
+		return a.emitR(op, rd, 0, rt, int(sh))
+
+	case mips.SLLV, mips.SRLV, mips.SRAV:
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(2)
+		if err != nil {
+			return err
+		}
+		return a.emitR(op, rd, rs, rt, 0)
+
+	case mips.JR:
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		return a.emitR(op, 0, rs, 0, 0)
+
+	case mips.JALR:
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rd := mips.RegRA
+		if len(ops) == 2 {
+			rd = rs
+			if rs2, err := reg(1); err == nil {
+				rs = rs2
+			} else {
+				return err
+			}
+		}
+		return a.emitR(op, rd, rs, 0, 0)
+
+	case mips.SYSCALL, mips.BREAK:
+		return a.emitR(op, 0, 0, 0, 0)
+
+	case mips.MFHI, mips.MFLO:
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		return a.emitR(op, rd, 0, 0, 0)
+
+	case mips.MTHI, mips.MTLO:
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		return a.emitR(op, 0, rs, 0, 0)
+
+	case mips.MULT, mips.MULTU, mips.DIV, mips.DIVU:
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return err
+		}
+		return a.emitR(op, 0, rs, rt, 0)
+
+	case mips.ADD, mips.ADDU, mips.SUB, mips.SUBU, mips.AND, mips.OR,
+		mips.XOR, mips.NOR, mips.SLT, mips.SLTU:
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		rt, err := reg(2)
+		if err != nil {
+			return err
+		}
+		return a.emitR(op, rd, rs, rt, 0)
+
+	case mips.BLTZ, mips.BGEZ, mips.BLEZ, mips.BGTZ:
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if len(ops) < 2 {
+			return a.errf("%v: missing target", op)
+		}
+		a.fixups = append(a.fixups, fixup{line: a.line, textIdx: len(a.text), sym: ops[1], kind: fixBranch})
+		return a.emitI(op, 0, rs, 0)
+
+	case mips.BEQ, mips.BNE:
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return err
+		}
+		if len(ops) < 3 {
+			return a.errf("%v: missing target", op)
+		}
+		a.fixups = append(a.fixups, fixup{line: a.line, textIdx: len(a.text), sym: ops[2], kind: fixBranch})
+		return a.emitI(op, rt, rs, 0)
+
+	case mips.J, mips.JAL:
+		if len(ops) < 1 {
+			return a.errf("%v: missing target", op)
+		}
+		a.fixups = append(a.fixups, fixup{line: a.line, textIdx: len(a.text), sym: ops[0], kind: fixJump})
+		w, err := mips.EncodeJ(op, 0)
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		a.emit(w)
+		return nil
+
+	case mips.ADDI, mips.ADDIU, mips.SLTI, mips.SLTIU, mips.ANDI, mips.ORI, mips.XORI:
+		rt, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		v, err := imm(2)
+		if err != nil {
+			return err
+		}
+		return a.emitI(op, rt, rs, v)
+
+	case mips.LUI:
+		rt, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return err
+		}
+		return a.emitI(op, rt, 0, v&0xffff)
+
+	case mips.LB, mips.LH, mips.LW, mips.LBU, mips.LHU, mips.SB, mips.SH, mips.SW:
+		rt, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if len(ops) < 2 {
+			return a.errf("%v: missing address", op)
+		}
+		off, base, err := parseMem(ops[1])
+		if err != nil {
+			return a.errf("%v: %v", op, err)
+		}
+		return a.emitI(op, rt, base, off)
+	}
+	return a.errf("unhandled mnemonic %q", mnem)
+}
+
+// loadImm emits li: one addiu/ori when the value fits, else lui+ori.
+func (a *assembler) loadImm(rt int, v int32) error {
+	if v >= -32768 && v <= 32767 {
+		return a.emitI(mips.ADDIU, rt, 0, v)
+	}
+	if v >= 0 && v <= 0xffff {
+		return a.emitI(mips.ORI, rt, 0, v)
+	}
+	if err := a.emitI(mips.LUI, rt, 0, int32(uint32(v)>>16)); err != nil {
+		return err
+	}
+	return a.emitI(mips.ORI, rt, rt, int32(uint32(v)&0xffff))
+}
+
+// resolve patches all fixups after pass one.
+func (a *assembler) resolve() error {
+	for _, f := range a.fixups {
+		addr, ok := a.symbols[f.sym]
+		if !ok {
+			return &Error{Line: f.line, Msg: fmt.Sprintf("undefined symbol %q", f.sym)}
+		}
+		addr += uint32(f.addend)
+		w := a.text[f.textIdx]
+		switch f.kind {
+		case fixBranch:
+			pc := mips.TextBase + uint32(f.textIdx)*4
+			off := int32(addr-(pc+4)) >> 2
+			if off < -32768 || off > 32767 {
+				return &Error{Line: f.line, Msg: fmt.Sprintf("branch to %q out of range", f.sym)}
+			}
+			a.text[f.textIdx] = w&0xffff_0000 | uint32(uint16(off))
+		case fixJump:
+			a.text[f.textIdx] = w&0xfc00_0000 | (addr>>2)&0x03ff_ffff
+		case fixHi:
+			a.text[f.textIdx] = w&0xffff_0000 | addr>>16
+		case fixLo:
+			a.text[f.textIdx] = w&0xffff_0000 | addr&0xffff
+		}
+	}
+	for _, f := range a.dataFix {
+		addr, ok := a.symbols[f.sym]
+		if !ok {
+			return &Error{Line: f.line, Msg: fmt.Sprintf("undefined symbol %q", f.sym)}
+		}
+		addr += uint32(f.addend)
+		a.data[f.off] = byte(addr)
+		a.data[f.off+1] = byte(addr >> 8)
+		a.data[f.off+2] = byte(addr >> 16)
+		a.data[f.off+3] = byte(addr >> 24)
+	}
+	return nil
+}
+
+// --- operand helpers --------------------------------------------------------
+
+// splitOperands splits a comma-separated operand list, respecting quotes.
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+// parseMem parses "off($reg)", "($reg)" or "off" forms.
+func parseMem(s string) (off int32, base int, err error) {
+	i := strings.IndexByte(s, '(')
+	if i < 0 {
+		v, err := parseInt(s)
+		return int32(v), 0, err
+	}
+	j := strings.IndexByte(s, ')')
+	if j < i {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	if i > 0 {
+		v, err := parseInt(s[:i])
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad offset in %q", s)
+		}
+		off = int32(v)
+	}
+	base, err = mips.RegByName(s[i+1 : j])
+	return off, base, err
+}
+
+// splitSymRef parses "sym", "sym+4" or "sym-8".
+func splitSymRef(s string) (sym string, addend int32) {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			v, err := parseInt(s[i:])
+			if err == nil {
+				return s[:i], int32(v)
+			}
+		}
+	}
+	return s, 0
+}
+
+// parseInt parses decimal, hex (0x), negative, and character ('a') literals.
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 3 && s[0] == '\'' {
+		body := s[1 : len(s)-1]
+		if s[len(s)-1] != '\'' {
+			return 0, fmt.Errorf("bad char literal %q", s)
+		}
+		switch body {
+		case "\\n":
+			return '\n', nil
+		case "\\t":
+			return '\t', nil
+		case "\\0":
+			return 0, nil
+		case "\\\\":
+			return '\\', nil
+		case "\\'":
+			return '\'', nil
+		}
+		if len(body) == 1 {
+			return int64(body[0]), nil
+		}
+		return 0, fmt.Errorf("bad char literal %q", s)
+	}
+	return strconv.ParseInt(s, 0, 64)
+}
+
+// parseString parses a quoted string with escapes.
+func parseString(s string) ([]byte, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return nil, fmt.Errorf("bad string literal %q", s)
+	}
+	body := s[1 : len(s)-1]
+	var out []byte
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			out = append(out, c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return nil, fmt.Errorf("dangling escape in %q", s)
+		}
+		switch body[i] {
+		case 'n':
+			out = append(out, '\n')
+		case 't':
+			out = append(out, '\t')
+		case 'r':
+			out = append(out, '\r')
+		case '0':
+			out = append(out, 0)
+		case '\\':
+			out = append(out, '\\')
+		case '"':
+			out = append(out, '"')
+		default:
+			return nil, fmt.Errorf("unknown escape \\%c", body[i])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package mips
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDisassembleEveryOp exercises the disassembler across the whole
+// subset: every mnemonic must render and must contain its own name.
+func TestDisassembleEveryOp(t *testing.T) {
+	rops := []Op{SLL, SRL, SRA, SLLV, SRLV, SRAV, JR, JALR, SYSCALL,
+		MFHI, MTHI, MFLO, MTLO, MULT, MULTU, DIV, DIVU,
+		ADD, ADDU, SUB, SUBU, AND, OR, XOR, NOR, SLT, SLTU}
+	for _, op := range rops {
+		w, err := EncodeR(op, 3, 4, 5, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		text := Decode(w, 0x400000).Disassemble(0x400000)
+		if !strings.Contains(text, op.String()) {
+			t.Errorf("%v disassembles to %q", op, text)
+		}
+	}
+	iops := []Op{BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ, ADDI, ADDIU, SLTI,
+		SLTIU, ANDI, ORI, XORI, LUI, LB, LH, LW, LBU, LHU, SB, SH, SW}
+	for _, op := range iops {
+		w, err := EncodeI(op, 3, 4, 8)
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		text := Decode(w, 0x400000).Disassemble(0x400000)
+		if !strings.Contains(text, op.String()) {
+			t.Errorf("%v disassembles to %q", op, text)
+		}
+	}
+	for _, op := range []Op{J, JAL} {
+		w, err := EncodeJ(op, 0x400040)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := Decode(w, 0x400000).Disassemble(0x400000)
+		if !strings.HasPrefix(text, op.String()) {
+			t.Errorf("%v disassembles to %q", op, text)
+		}
+	}
+	if got := Decode(0xfc00_0000, 0).Disassemble(0); !strings.HasPrefix(got, ".word") {
+		t.Errorf("invalid word renders as %q", got)
+	}
+}
+
+// TestDecodeNeverPanics fuzzes the decoder across arbitrary words.
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := uint32(1)
+	for i := 0; i < 200000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 17
+		rng ^= rng << 5
+		in := Decode(rng, rng&^3)
+		_ = in.Disassemble(rng &^ 3)
+		if in.Op != INVALID && int(in.Op) >= NumOps {
+			t.Fatalf("decoded out-of-range op %d from %#x", in.Op, rng)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package mips defines the MIPS R3000 instruction subset used throughout
+// the laboratory: real 32-bit encodings, a decoder, and a disassembler.
+//
+// MIPSI, the paper's binary emulator, interprets MIPS R3000 Ultrix binaries.
+// We reproduce the whole chain: benchmark programs are compiled (by
+// internal/minicc) or assembled (by internal/mips/asm) to genuine machine
+// words in this encoding, and internal/mipsi fetches, decodes and executes
+// those words one at a time — or executes them directly, which is how the
+// compiled-C baselines and the native SPEC runs of Figure 3 are produced.
+//
+// The subset covers the integer R3000: ALU, shifts, multiply/divide,
+// loads/stores (byte/half/word), branches with architectural delay slots,
+// jumps, and syscall.  Floating point is omitted; none of the workloads
+// need it.
+package mips
+
+import "fmt"
+
+// Op enumerates the instruction mnemonics of the subset.
+type Op uint8
+
+const (
+	INVALID Op = iota
+	SLL
+	SRL
+	SRA
+	SLLV
+	SRLV
+	SRAV
+	JR
+	JALR
+	SYSCALL
+	BREAK
+	MFHI
+	MTHI
+	MFLO
+	MTLO
+	MULT
+	MULTU
+	DIV
+	DIVU
+	ADD
+	ADDU
+	SUB
+	SUBU
+	AND
+	OR
+	XOR
+	NOR
+	SLT
+	SLTU
+	BLTZ
+	BGEZ
+	J
+	JAL
+	BEQ
+	BNE
+	BLEZ
+	BGTZ
+	ADDI
+	ADDIU
+	SLTI
+	SLTIU
+	ANDI
+	ORI
+	XORI
+	LUI
+	LB
+	LH
+	LW
+	LBU
+	LHU
+	SB
+	SH
+	SW
+
+	NumOps = int(SW) + 1
+)
+
+var opNames = [NumOps]string{
+	"invalid", "sll", "srl", "sra", "sllv", "srlv", "srav", "jr", "jalr",
+	"syscall", "break", "mfhi", "mthi", "mflo", "mtlo", "mult", "multu",
+	"div", "divu", "add", "addu", "sub", "subu", "and", "or", "xor", "nor",
+	"slt", "sltu", "bltz", "bgez", "j", "jal", "beq", "bne", "blez", "bgtz",
+	"addi", "addiu", "slti", "sltiu", "andi", "ori", "xori", "lui",
+	"lb", "lh", "lw", "lbu", "lhu", "sb", "sh", "sw",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if int(o) < NumOps {
+		return opNames[o]
+	}
+	return "invalid"
+}
+
+// OpByName maps a mnemonic to its Op; INVALID if unknown.
+func OpByName(name string) Op {
+	for i, n := range opNames {
+		if n == name {
+			return Op(i)
+		}
+	}
+	return INVALID
+}
+
+// Class groups mnemonics by execution resource, for instrumentation.
+type Class uint8
+
+const (
+	// ClassALU is single-cycle integer arithmetic/logic.
+	ClassALU Class = iota
+	// ClassShift is shift instructions (the paper's "short int" class;
+	// also the encoding of the canonical no-op).
+	ClassShift
+	// ClassMulDiv is multiply/divide.
+	ClassMulDiv
+	// ClassLoad reads memory.
+	ClassLoad
+	// ClassStore writes memory.
+	ClassStore
+	// ClassBranch is a conditional branch.
+	ClassBranch
+	// ClassJump is an unconditional jump or call.
+	ClassJump
+	// ClassSyscall traps to the operating system.
+	ClassSyscall
+)
+
+// Class returns the mnemonic's execution class.
+func (o Op) Class() Class {
+	switch o {
+	case SLL, SRL, SRA, SLLV, SRLV, SRAV:
+		return ClassShift
+	case MULT, MULTU, DIV, DIVU:
+		return ClassMulDiv
+	case LB, LH, LW, LBU, LHU:
+		return ClassLoad
+	case SB, SH, SW:
+		return ClassStore
+	case BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ:
+		return ClassBranch
+	case J, JAL, JR, JALR:
+		return ClassJump
+	case SYSCALL, BREAK:
+		return ClassSyscall
+	default:
+		return ClassALU
+	}
+}
+
+// IsMemory reports whether the op accesses data memory.
+func (o Op) IsMemory() bool {
+	c := o.Class()
+	return c == ClassLoad || c == ClassStore
+}
+
+// MemBytes returns the access width of a load/store (0 for others).
+func (o Op) MemBytes() int {
+	switch o {
+	case LB, LBU, SB:
+		return 1
+	case LH, LHU, SH:
+		return 2
+	case LW, SW:
+		return 4
+	}
+	return 0
+}
+
+// Inst is a decoded instruction.
+type Inst struct {
+	Op     Op
+	Rs     int    // source register
+	Rt     int    // target/second source register
+	Rd     int    // destination register (R-type)
+	Shamt  int    // shift amount
+	Imm    int32  // sign- or zero-extended immediate, per the op
+	Target uint32 // absolute target for J/JAL (already shifted)
+	Raw    uint32
+}
+
+// IsNop reports whether the instruction is the canonical no-op
+// (sll $0,$0,0, encoding 0) — the instruction the paper's footnote calls
+// out as inflating sll counts in delay slots.
+func (i Inst) IsNop() bool { return i.Raw == 0 }
+
+// Register names in conventional order.
+var RegNames = [32]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// Conventional register numbers used by the toolchain.
+const (
+	RegZero = 0
+	RegAT   = 1
+	RegV0   = 2
+	RegV1   = 3
+	RegA0   = 4
+	RegA1   = 5
+	RegA2   = 6
+	RegA3   = 7
+	RegT0   = 8
+	RegT7   = 15
+	RegS0   = 16
+	RegT8   = 24
+	RegT9   = 25
+	RegGP   = 28
+	RegSP   = 29
+	RegFP   = 30
+	RegRA   = 31
+)
+
+// RegByName resolves "$t0", "t0", "$8" or "8" to a register number.
+func RegByName(name string) (int, error) {
+	if len(name) > 0 && name[0] == '$' {
+		name = name[1:]
+	}
+	for i, n := range RegNames {
+		if n == name {
+			return i, nil
+		}
+	}
+	// Numeric form.
+	v := 0
+	for _, c := range name {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("mips: unknown register %q", name)
+		}
+		v = v*10 + int(c-'0')
+	}
+	if name == "" || v > 31 {
+		return 0, fmt.Errorf("mips: unknown register %q", name)
+	}
+	return v, nil
+}

@@ -1,0 +1,46 @@
+package mips
+
+import "fmt"
+
+// Conventional segment bases, matching a classic Ultrix process image.
+const (
+	TextBase  uint32 = 0x0040_0000
+	DataBase  uint32 = 0x1000_0000
+	StackTop  uint32 = 0x7fff_f000
+	HeapAlign uint32 = 8
+)
+
+// Program is a loaded (or assembled) MIPS binary image.
+type Program struct {
+	Name     string
+	TextBase uint32
+	Text     []uint32 // instruction words
+	DataBase uint32
+	Data     []byte
+	Entry    uint32
+	Symbols  map[string]uint32
+}
+
+// SizeBytes returns the binary's total image size — the paper's Table 2
+// "Size (KB)" column.
+func (p *Program) SizeBytes() int { return len(p.Text)*4 + len(p.Data) }
+
+// TextEnd returns the first address past the text segment.
+func (p *Program) TextEnd() uint32 { return p.TextBase + uint32(len(p.Text))*4 }
+
+// DataEnd returns the first address past the initialized data segment.
+func (p *Program) DataEnd() uint32 { return p.DataBase + uint32(len(p.Data)) }
+
+// FetchText returns the instruction word at pc.
+func (p *Program) FetchText(pc uint32) (uint32, error) {
+	if pc < p.TextBase || pc >= p.TextEnd() || pc%4 != 0 {
+		return 0, fmt.Errorf("mips: text fetch outside segment: %#x", pc)
+	}
+	return p.Text[(pc-p.TextBase)/4], nil
+}
+
+// Symbol returns a symbol's address.
+func (p *Program) Symbol(name string) (uint32, bool) {
+	a, ok := p.Symbols[name]
+	return a, ok
+}

@@ -1,0 +1,86 @@
+package mipsi
+
+import (
+	"testing"
+
+	"interplab/internal/atom"
+	"interplab/internal/trace"
+	"interplab/internal/vfs"
+)
+
+// memProgram exercises loads and stores so the memory model is visible.
+const memProgram = `
+	.data
+arr:	.space 400
+	.text
+main:
+	la $t0, arr
+	li $t1, 100
+loop:
+	sw $t1, 0($t0)
+	lw $t2, 0($t0)
+	addiu $t0, $t0, 4
+	addiu $t1, $t1, -1
+	bgtz $t1, loop
+	nop
+	li $v0, 1
+	li $a0, 55
+	syscall
+	nop
+`
+
+// runInterpWith executes memProgram with the given knobs and returns stats.
+func runInterpWith(t *testing.T, configure func(*Interp)) atom.Stats {
+	t.Helper()
+	prog := assemble(t, memProgram)
+	img := atom.NewImage()
+	p := atom.NewProbe(img, trace.Discard)
+	osys := vfs.New()
+	osys.Instrument(img, p)
+	ip, err := New(prog, osys, img, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configure(ip)
+	if err := ip.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if ip.M.ExitCode != 55 {
+		t.Fatalf("exit = %d", ip.M.ExitCode)
+	}
+	return ip.p.Stats()
+}
+
+func TestThreadedDispatchReducesFetchDecode(t *testing.T) {
+	base := runInterpWith(t, func(*Interp) {})
+	thr := runInterpWith(t, func(ip *Interp) { ip.Threaded = true })
+	fdBase, _ := base.InstructionsPerCommand()
+	fdThr, _ := thr.InstructionsPerCommand()
+	if fdThr >= fdBase {
+		t.Errorf("threaded fd/cmd (%.1f) must beat switch dispatch (%.1f)", fdThr, fdBase)
+	}
+	if fdBase-fdThr < 10 {
+		t.Errorf("threaded dispatch should save ~%d instructions/cmd, saved %.1f",
+			costDecode-6, fdBase-fdThr)
+	}
+	// Execute-phase cost must be untouched.
+	_, exBase := base.InstructionsPerCommand()
+	_, exThr := thr.InstructionsPerCommand()
+	if exBase != exThr {
+		t.Errorf("execute cost changed: %.2f vs %.2f", exBase, exThr)
+	}
+}
+
+func TestFlatMemoryRemovesTranslations(t *testing.T) {
+	base := runInterpWith(t, func(*Interp) {})
+	flat := runInterpWith(t, func(ip *Interp) { ip.FlatMemory = true })
+	mmBase, _ := base.Region("memmodel")
+	mmFlat, _ := flat.Region("memmodel")
+	if mmFlat.Instructions >= mmBase.Instructions {
+		t.Errorf("flat memory must shrink the memory model: %d vs %d",
+			mmFlat.Instructions, mmBase.Instructions)
+	}
+	if mmFlat.Accesses != mmBase.Accesses {
+		t.Errorf("access counts must match: %d vs %d", mmFlat.Accesses, mmBase.Accesses)
+	}
+}

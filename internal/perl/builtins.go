@@ -1,0 +1,640 @@
+package perl
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"interplab/internal/rx"
+)
+
+// builtinScalar evaluates a builtin in scalar context.
+func (i *Interp) builtinScalar(n *Node) (Scalar, error) {
+	switch n.Str {
+	case "split", "keys", "values", "reverse", "sort":
+		vs, err := i.builtinList(n)
+		if err != nil {
+			return Undef, err
+		}
+		return Num(float64(len(vs))), nil
+	}
+
+	arg := func(k int) (Scalar, error) {
+		if k >= len(n.Kids) {
+			return Undef, nil
+		}
+		return i.evalS(n.Kids[k])
+	}
+
+	switch n.Str {
+	case "length":
+		v, err := i.argOrUnderscore(n)
+		if err != nil {
+			return Undef, err
+		}
+		i.beginOp(n)
+		i.execName("length", 6)
+		i.endOp()
+		return Num(float64(v.Len())), nil
+
+	case "substr":
+		s, err := arg(0)
+		if err != nil {
+			return Undef, err
+		}
+		off, err := arg(1)
+		if err != nil {
+			return Undef, err
+		}
+		str := s.ToStr()
+		o := int(off.ToNum())
+		if o < 0 {
+			o += len(str)
+		}
+		if o < 0 {
+			o = 0
+		}
+		if o > len(str) {
+			o = len(str)
+		}
+		ln := len(str) - o
+		if len(n.Kids) > 2 {
+			lv, err := arg(2)
+			if err != nil {
+				return Undef, err
+			}
+			ln = int(lv.ToNum())
+			if ln < 0 {
+				ln = 0
+			}
+		}
+		if o+ln > len(str) {
+			ln = len(str) - o
+		}
+		i.beginOp(n)
+		i.chargeStrWrite(ln)
+		i.endOp()
+		return Str(str[o : o+ln]), nil
+
+	case "index", "rindex":
+		s, err := arg(0)
+		if err != nil {
+			return Undef, err
+		}
+		t, err := arg(1)
+		if err != nil {
+			return Undef, err
+		}
+		ss, ts := s.ToStr(), t.ToStr()
+		pos := 0
+		if len(n.Kids) > 2 {
+			pv, err := arg(2)
+			if err != nil {
+				return Undef, err
+			}
+			pos = int(pv.ToNum())
+			if pos < 0 {
+				pos = 0
+			}
+		}
+		i.beginOp(n)
+		i.chargeStrRead(len(ss))
+		i.endOp()
+		if n.Str == "index" {
+			if pos > len(ss) {
+				return Num(-1), nil
+			}
+			r := strings.Index(ss[pos:], ts)
+			if r < 0 {
+				return Num(-1), nil
+			}
+			return Num(float64(r + pos)), nil
+		}
+		return Num(float64(strings.LastIndex(ss, ts))), nil
+
+	case "join":
+		if len(n.Kids) < 1 {
+			return Undef, runtimeErr(n, "join needs a separator")
+		}
+		sep, err := arg(0)
+		if err != nil {
+			return Undef, err
+		}
+		var parts []string
+		total := 0
+		for _, k := range n.Kids[1:] {
+			vs, err := i.evalL(k)
+			if err != nil {
+				return Undef, err
+			}
+			for _, v := range vs {
+				parts = append(parts, v.ToStr())
+				total += v.Len()
+			}
+		}
+		i.beginOp(n)
+		i.execName("join", 10+4*len(parts))
+		i.chargeStrRead(total)
+		i.chargeStrWrite(total + len(parts)*sep.Len())
+		i.endOp()
+		return Str(strings.Join(parts, sep.ToStr())), nil
+
+	case "sprintf":
+		return i.evalSprintf(n)
+
+	case "push", "unshift":
+		if len(n.Kids) < 2 || n.Kids[0].Op != opArrayAll {
+			return Undef, runtimeErr(n, "%s needs an array", n.Str)
+		}
+		slot := n.Kids[0].Slot
+		var vals []Scalar
+		for _, k := range n.Kids[1:] {
+			vs, err := i.evalL(k)
+			if err != nil {
+				return Undef, err
+			}
+			vals = append(vals, vs...)
+		}
+		i.beginOp(n)
+		i.execName(n.Str, 8+3*len(vals))
+		i.storeSlot(slot)
+		i.endOp()
+		if n.Str == "push" {
+			i.arrays[slot] = append(i.arrays[slot], vals...)
+		} else {
+			i.arrays[slot] = append(vals, i.arrays[slot]...)
+		}
+		return Num(float64(len(i.arrays[slot]))), nil
+
+	case "pop", "shift":
+		slot := 0 // @_ by default
+		if len(n.Kids) > 0 {
+			if n.Kids[0].Op != opArrayAll {
+				return Undef, runtimeErr(n, "%s needs an array", n.Str)
+			}
+			slot = n.Kids[0].Slot
+		}
+		i.beginOp(n)
+		i.execName(n.Str, 8)
+		i.loadSlot(slot)
+		i.endOp()
+		arr := i.arrays[slot]
+		if len(arr) == 0 {
+			return Undef, nil
+		}
+		var v Scalar
+		if n.Str == "pop" {
+			v = arr[len(arr)-1]
+			i.arrays[slot] = arr[:len(arr)-1]
+		} else {
+			v = arr[0]
+			i.arrays[slot] = arr[1:]
+		}
+		return v, nil
+
+	case "delete":
+		if len(n.Kids) != 1 || n.Kids[0].Op != opHelem {
+			return Undef, runtimeErr(n, "delete needs a hash element")
+		}
+		he := n.Kids[0]
+		key, err := i.evalS(he.Kids[0])
+		if err != nil {
+			return Undef, err
+		}
+		ks := key.ToStr()
+		i.beginOp(n)
+		i.chargeHash(he.Slot, ks)
+		i.endOp()
+		old := i.hashes[he.Slot][ks]
+		delete(i.hashes[he.Slot], ks)
+		return old, nil
+
+	case "exists":
+		if len(n.Kids) != 1 || n.Kids[0].Op != opHelem {
+			return Undef, runtimeErr(n, "exists needs a hash element")
+		}
+		he := n.Kids[0]
+		key, err := i.evalS(he.Kids[0])
+		if err != nil {
+			return Undef, err
+		}
+		ks := key.ToStr()
+		i.beginOp(n)
+		i.chargeHash(he.Slot, ks)
+		i.endOp()
+		_, ok := i.hashes[he.Slot][ks]
+		return Bool(ok), nil
+
+	case "defined":
+		if len(n.Kids) == 0 {
+			return Bool(i.scalars[0].Defined()), nil
+		}
+		v, err := i.evalS(n.Kids[0])
+		if err != nil {
+			return Undef, err
+		}
+		i.beginOp(n)
+		i.endOp()
+		return Bool(v.Defined()), nil
+
+	case "chop", "chomp":
+		lv := n.Kids[0]
+		v, err := i.evalS(lv)
+		if err != nil {
+			return Undef, err
+		}
+		s := v.ToStr()
+		var removed string
+		if n.Str == "chop" {
+			if len(s) > 0 {
+				removed = s[len(s)-1:]
+				s = s[:len(s)-1]
+			}
+		} else if strings.HasSuffix(s, "\n") {
+			removed = "\n"
+			s = s[:len(s)-1]
+		}
+		i.beginOp(n)
+		i.execName("chop", 8)
+		i.endOp()
+		if err := i.assignTo(lv, Str(s)); err != nil {
+			return Undef, err
+		}
+		if n.Str == "chomp" {
+			return Num(float64(len(removed))), nil
+		}
+		return Str(removed), nil
+
+	case "lc", "uc":
+		v, err := i.argOrUnderscore(n)
+		if err != nil {
+			return Undef, err
+		}
+		s := v.ToStr()
+		i.beginOp(n)
+		i.chargeStrRead(len(s))
+		i.chargeStrWrite(len(s))
+		i.endOp()
+		if n.Str == "lc" {
+			return Str(strings.ToLower(s)), nil
+		}
+		return Str(strings.ToUpper(s)), nil
+
+	case "ord":
+		v, err := i.argOrUnderscore(n)
+		if err != nil {
+			return Undef, err
+		}
+		i.beginOp(n)
+		i.endOp()
+		s := v.ToStr()
+		if s == "" {
+			return Num(0), nil
+		}
+		return Num(float64(s[0])), nil
+
+	case "chr":
+		v, err := arg(0)
+		if err != nil {
+			return Undef, err
+		}
+		i.beginOp(n)
+		i.endOp()
+		return Str(string([]byte{byte(int(v.ToNum()))})), nil
+
+	case "scalar":
+		if len(n.Kids) == 1 && (n.Kids[0].Op == opArrayAll || n.Kids[0].Op == opHashAll) {
+			return i.evalS(n.Kids[0])
+		}
+		return i.evalS(n.Kids[0])
+
+	case "int":
+		v, err := arg(0)
+		if err != nil {
+			return Undef, err
+		}
+		i.beginOp(n)
+		i.endOp()
+		return Num(float64(int64(v.ToNum()))), nil
+
+	case "abs":
+		v, err := arg(0)
+		if err != nil {
+			return Undef, err
+		}
+		i.beginOp(n)
+		i.endOp()
+		x := v.ToNum()
+		if x < 0 {
+			x = -x
+		}
+		return Num(x), nil
+
+	case "hex":
+		v, err := arg(0)
+		if err != nil {
+			return Undef, err
+		}
+		i.beginOp(n)
+		i.endOp()
+		x, _ := strconv.ParseInt(strings.TrimPrefix(v.ToStr(), "0x"), 16, 64)
+		return Num(float64(x)), nil
+
+	case "open":
+		return i.evalOpen(n)
+
+	case "close":
+		if len(n.Kids) != 1 || n.Kids[0].Op != opConst {
+			return Undef, runtimeErr(n, "close needs a filehandle")
+		}
+		name := n.Kids[0].Str
+		fd, ok := i.files[name]
+		if !ok {
+			return Bool(false), nil
+		}
+		i.beginOp(n)
+		i.endOp()
+		delete(i.files, name)
+		if err := i.OS.Close(fd); err != nil {
+			return Bool(false), nil
+		}
+		return Bool(true), nil
+
+	case "eof":
+		if len(n.Kids) != 1 || n.Kids[0].Op != opConst {
+			return Undef, runtimeErr(n, "eof needs a filehandle")
+		}
+		fd, ok := i.files[n.Kids[0].Str]
+		if !ok {
+			return Bool(true), nil
+		}
+		i.beginOp(n)
+		i.endOp()
+		line, err := i.OS.ReadLine(fd)
+		_ = err
+		// vfs has no peek; emulate by checking a zero-length read.
+		return Bool(len(line) == 0), nil
+
+	case "die":
+		var parts []string
+		for _, k := range n.Kids {
+			v, err := i.evalS(k)
+			if err != nil {
+				return Undef, err
+			}
+			parts = append(parts, v.ToStr())
+		}
+		return Undef, runtimeErr(n, "died: %s", strings.Join(parts, ""))
+
+	case "exit":
+		code := 0.0
+		if len(n.Kids) > 0 {
+			v, err := i.evalS(n.Kids[0])
+			if err != nil {
+				return Undef, err
+			}
+			code = v.ToNum()
+		}
+		i.beginOp(n)
+		i.endOp()
+		i.exitCode = int(code)
+		i.signal = ctlExit
+		return Undef, nil
+	}
+	return Undef, runtimeErr(n, "unimplemented builtin %s", n.Str)
+}
+
+// argOrUnderscore returns the first argument or $_.
+func (i *Interp) argOrUnderscore(n *Node) (Scalar, error) {
+	if len(n.Kids) == 0 {
+		i.loadSlot(0)
+		return i.scalars[0], nil
+	}
+	return i.evalS(n.Kids[0])
+}
+
+// builtinList evaluates list-producing builtins.
+func (i *Interp) builtinList(n *Node) ([]Scalar, error) {
+	switch n.Str {
+	case "split":
+		if len(n.Kids) < 1 {
+			return nil, runtimeErr(n, "split needs a pattern")
+		}
+		var re *rx.Regexp
+		if n.Kids[0].Re != nil {
+			re = n.Kids[0].Re
+		} else {
+			pv, err := i.evalS(n.Kids[0])
+			if err != nil {
+				return nil, err
+			}
+			compiled, err := rx.Compile(pv.ToStr())
+			if err != nil {
+				return nil, runtimeErr(n, "split: %v", err)
+			}
+			re = compiled
+		}
+		var subj Scalar
+		if len(n.Kids) > 1 {
+			v, err := i.evalS(n.Kids[1])
+			if err != nil {
+				return nil, err
+			}
+			subj = v
+		} else {
+			i.loadSlot(0)
+			subj = i.scalars[0]
+		}
+		s := []byte(subj.ToStr())
+		i.beginOp(n)
+		var out []Scalar
+		pos := 0
+		steps := 0
+		for pos <= len(s) {
+			m := re.Search(s, pos)
+			steps += m.Steps
+			if !m.Ok || m.Caps[1] == m.Caps[0] && m.Caps[0] >= len(s) {
+				break
+			}
+			if m.Caps[0] == pos && m.Caps[1] == pos {
+				// Zero-width match: split single characters.
+				if pos >= len(s) {
+					break
+				}
+				out = append(out, Str(string(s[pos:pos+1])))
+				pos++
+				continue
+			}
+			out = append(out, Str(string(s[pos:m.Caps[0]])))
+			pos = m.Caps[1]
+		}
+		if pos <= len(s) {
+			out = append(out, Str(string(s[pos:])))
+		}
+		// Trailing empty fields are dropped, as Perl does.
+		for len(out) > 0 && out[len(out)-1].ToStr() == "" {
+			out = out[:len(out)-1]
+		}
+		i.chargeRegex(steps, len(s))
+		i.execName("split", 8+6*len(out))
+		i.chargeStrWrite(len(s))
+		i.endOp()
+		return out, nil
+
+	case "keys", "values":
+		if len(n.Kids) != 1 || n.Kids[0].Op != opHashAll {
+			return nil, runtimeErr(n, "%s needs a hash", n.Str)
+		}
+		slot := n.Kids[0].Slot
+		h := i.hashes[slot]
+		keys := make([]string, 0, len(h))
+		for k := range h {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		i.beginOp(n)
+		i.execName(n.Str, 10+5*len(keys))
+		i.endOp()
+		out := make([]Scalar, len(keys))
+		for j, k := range keys {
+			if n.Str == "keys" {
+				out[j] = Str(k)
+			} else {
+				out[j] = h[k]
+			}
+		}
+		return out, nil
+
+	case "reverse", "sort":
+		var vals []Scalar
+		for _, k := range n.Kids {
+			vs, err := i.evalL(k)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, vs...)
+		}
+		i.beginOp(n)
+		i.execName(n.Str, 10+8*len(vals))
+		i.endOp()
+		if n.Str == "reverse" {
+			for a, b := 0, len(vals)-1; a < b; a, b = a+1, b-1 {
+				vals[a], vals[b] = vals[b], vals[a]
+			}
+		} else {
+			sort.SliceStable(vals, func(a, b int) bool { return vals[a].ToStr() < vals[b].ToStr() })
+		}
+		return vals, nil
+	}
+	return nil, runtimeErr(n, "unimplemented list builtin %s", n.Str)
+}
+
+// evalOpen implements open(FH, "path"), with ">path" for writing.
+func (i *Interp) evalOpen(n *Node) (Scalar, error) {
+	if len(n.Kids) != 2 || n.Kids[0].Op != opConst {
+		return Undef, runtimeErr(n, "open needs a filehandle and a path")
+	}
+	name := n.Kids[0].Str
+	pv, err := i.evalS(n.Kids[1])
+	if err != nil {
+		return Undef, err
+	}
+	path := strings.TrimSpace(pv.ToStr())
+	write := false
+	if strings.HasPrefix(path, ">") {
+		write = true
+		path = strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(path, ">"), ">"))
+	} else {
+		path = strings.TrimSpace(strings.TrimPrefix(path, "<"))
+	}
+	i.beginOp(n)
+	fd, err := i.OS.Open(path, write)
+	i.endOp()
+	if err != nil {
+		return Bool(false), nil
+	}
+	i.files[name] = fd
+	return Bool(true), nil
+}
+
+// evalSprintf implements the %s %d %x %o %c %f %% conversions with width,
+// precision and zero-padding.
+func (i *Interp) evalSprintf(n *Node) (Scalar, error) {
+	if len(n.Kids) == 0 {
+		return Undef, runtimeErr(n, "sprintf needs a format")
+	}
+	fv, err := i.evalS(n.Kids[0])
+	if err != nil {
+		return Undef, err
+	}
+	var args []Scalar
+	for _, k := range n.Kids[1:] {
+		vs, err := i.evalL(k)
+		if err != nil {
+			return Undef, err
+		}
+		args = append(args, vs...)
+	}
+	return formatSprintf(i, n, fv, args)
+}
+
+// formatSprintf expands a format against evaluated arguments (shared by
+// sprintf and printf).
+func formatSprintf(i *Interp, n *Node, fv Scalar, args []Scalar) (Scalar, error) {
+	format := fv.ToStr()
+	var sb strings.Builder
+	ai := 0
+	nextArg := func() Scalar {
+		if ai < len(args) {
+			v := args[ai]
+			ai++
+			return v
+		}
+		return Undef
+	}
+	for j := 0; j < len(format); j++ {
+		c := format[j]
+		if c != '%' {
+			sb.WriteByte(c)
+			continue
+		}
+		j++
+		if j >= len(format) {
+			break
+		}
+		spec := "%"
+		for j < len(format) && (format[j] == '-' || format[j] == '0' || format[j] == '+' ||
+			format[j] == ' ' || format[j] >= '0' && format[j] <= '9' || format[j] == '.') {
+			spec += string(format[j])
+			j++
+		}
+		if j >= len(format) {
+			break
+		}
+		verb := format[j]
+		switch verb {
+		case '%':
+			sb.WriteByte('%')
+		case 'd':
+			fmt.Fprintf(&sb, spec+"d", int64(nextArg().ToNum()))
+		case 'x', 'X', 'o':
+			fmt.Fprintf(&sb, spec+string(verb), int64(nextArg().ToNum()))
+		case 's':
+			fmt.Fprintf(&sb, spec+"s", nextArg().ToStr())
+		case 'c':
+			sb.WriteByte(byte(int(nextArg().ToNum())))
+		case 'f', 'g', 'e':
+			fmt.Fprintf(&sb, spec+string(verb), nextArg().ToNum())
+		default:
+			sb.WriteByte('%')
+			sb.WriteByte(verb)
+		}
+	}
+	out := sb.String()
+	i.beginOp(n)
+	i.execName("sprintf", 20+6*len(format))
+	i.chargeStrWrite(len(out))
+	i.endOp()
+	return Str(out), nil
+}

@@ -1,0 +1,922 @@
+package perl
+
+import (
+	"sort"
+
+	"interplab/internal/rx"
+	"interplab/internal/vfs"
+)
+
+const maxCallDepth = 2000
+
+func (i *Interp) execBlock(stmts []*Node) (ctlSignal, error) {
+	for _, s := range stmts {
+		sig, err := i.execStmt(s)
+		if err != nil || sig != ctlNone {
+			return sig, err
+		}
+	}
+	return ctlNone, nil
+}
+
+func (i *Interp) execStmt(n *Node) (ctlSignal, error) {
+	switch n.Op {
+	case opBlock:
+		return i.execBlock(n.Kids)
+
+	case opIf:
+		c, err := i.evalS(n.Kids[0])
+		if err != nil {
+			return ctlNone, err
+		}
+		i.beginOp(n)
+		i.endOp()
+		if c.ToBool() {
+			return i.execStmt(n.Kids[1])
+		}
+		if len(n.Kids) > 2 {
+			return i.execStmt(n.Kids[2])
+		}
+		return ctlNone, nil
+
+	case opWhile:
+		for {
+			c, err := i.evalS(n.Kids[0])
+			if err != nil {
+				return ctlNone, err
+			}
+			i.beginOp(n)
+			i.endOp()
+			if !c.ToBool() {
+				return ctlNone, nil
+			}
+			sig, err := i.execStmt(n.Kids[1])
+			if err != nil {
+				return ctlNone, err
+			}
+			switch sig {
+			case ctlLast:
+				return ctlNone, nil
+			case ctlReturn, ctlExit:
+				return sig, nil
+			}
+		}
+
+	case opFor:
+		if _, err := i.evalS(n.Kids[0]); err != nil {
+			return ctlNone, err
+		}
+		for {
+			c, err := i.evalS(n.Kids[1])
+			if err != nil {
+				return ctlNone, err
+			}
+			i.beginOp(n)
+			i.endOp()
+			if !c.ToBool() {
+				return ctlNone, nil
+			}
+			sig, err := i.execStmt(n.Kids[3])
+			if err != nil {
+				return ctlNone, err
+			}
+			if sig == ctlLast {
+				return ctlNone, nil
+			}
+			if sig == ctlReturn || sig == ctlExit {
+				return sig, nil
+			}
+			if _, err := i.evalS(n.Kids[2]); err != nil {
+				return ctlNone, err
+			}
+		}
+
+	case opForeach:
+		list, err := i.evalL(n.Kids[0])
+		if err != nil {
+			return ctlNone, err
+		}
+		saved := i.scalars[n.Slot]
+		defer func() { i.scalars[n.Slot] = saved }()
+		for _, v := range list {
+			i.beginOp(n)
+			i.storeSlot(n.Slot)
+			i.endOp()
+			i.scalars[n.Slot] = v
+			sig, err := i.execStmt(n.Kids[1])
+			if err != nil {
+				return ctlNone, err
+			}
+			if sig == ctlLast {
+				return ctlNone, nil
+			}
+			if sig == ctlReturn || sig == ctlExit {
+				return sig, nil
+			}
+		}
+		return ctlNone, nil
+
+	case opReturn:
+		i.retVal = nil
+		if len(n.Kids) > 0 {
+			vs, err := i.evalL(n.Kids[0])
+			if err != nil {
+				return ctlNone, err
+			}
+			i.retVal = vs
+		}
+		i.beginOp(n)
+		i.endOp()
+		return ctlReturn, nil
+
+	case opLast:
+		i.beginOp(n)
+		i.endOp()
+		return ctlLast, nil
+
+	case opNext:
+		i.beginOp(n)
+		i.endOp()
+		return ctlNext, nil
+
+	case opLocal:
+		return ctlNone, i.execLocal(n)
+	}
+
+	// Expression statement.
+	_, err := i.evalS(n)
+	if err != nil {
+		return ctlNone, err
+	}
+	if i.signal == ctlExit {
+		return ctlExit, nil
+	}
+	return ctlNone, nil
+}
+
+// execLocal saves the named variables and optionally assigns from a list.
+func (i *Interp) execLocal(n *Node) error {
+	var lvals []*Node
+	var rhs *Node
+	for k, kid := range n.Kids {
+		if kid == nil {
+			rhs = n.Kids[k+1]
+			break
+		}
+		lvals = append(lvals, kid)
+	}
+	i.beginOp(n)
+	for _, lv := range lvals {
+		if lv.Op == opScalarVar {
+			i.saved = append(i.saved, savedVal{slot: lv.Slot, val: i.scalars[lv.Slot]})
+			i.scalars[lv.Slot] = Undef
+			i.storeSlot(lv.Slot)
+			i.exec(i.rSub, 6)
+		}
+	}
+	i.endOp()
+	if rhs != nil {
+		vals, err := i.evalL(rhs)
+		if err != nil {
+			return err
+		}
+		for k, lv := range lvals {
+			var v Scalar
+			if k < len(vals) {
+				v = vals[k]
+			}
+			if err := i.assignTo(lv, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// evalL evaluates in list context.
+func (i *Interp) evalL(n *Node) ([]Scalar, error) {
+	switch n.Op {
+	case opList:
+		var out []Scalar
+		for _, k := range n.Kids {
+			vs, err := i.evalL(k)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, vs...)
+		}
+		i.beginOp(n)
+		i.endOp()
+		return out, nil
+
+	case opArrayAll:
+		i.beginOp(n)
+		i.loadSlot(n.Slot)
+		i.endOp()
+		return append([]Scalar(nil), i.arrays[n.Slot]...), nil
+
+	case opHashAll:
+		i.beginOp(n)
+		i.endOp()
+		h := i.hashes[n.Slot]
+		keys := make([]string, 0, len(h))
+		for k := range h {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var out []Scalar
+		for _, k := range keys {
+			out = append(out, Str(k), h[k])
+		}
+		return out, nil
+
+	case opFunc:
+		switch n.Str {
+		case "split", "keys", "values", "reverse", "sort":
+			return i.builtinList(n)
+		}
+
+	case opCall:
+		return i.callSub(n)
+	}
+	v, err := i.evalS(n)
+	if err != nil {
+		return nil, err
+	}
+	return []Scalar{v}, nil
+}
+
+// evalS evaluates in scalar context.
+func (i *Interp) evalS(n *Node) (Scalar, error) {
+	switch n.Op {
+	case opConst:
+		i.beginOp(n)
+		i.endOp()
+		if n.Num != 0 || n.Str == "0" {
+			return Num(n.Num), nil
+		}
+		return Str(n.Str), nil
+
+	case opScalarVar:
+		i.beginOp(n)
+		i.loadSlot(n.Slot)
+		i.endOp()
+		return i.scalars[n.Slot], nil
+
+	case opElem:
+		idx, err := i.evalS(n.Kids[0])
+		if err != nil {
+			return Undef, err
+		}
+		i.beginOp(n)
+		i.execName("aelem", 8)
+		i.loadSlot(n.Slot)
+		i.endOp()
+		arr := i.arrays[n.Slot]
+		j := int(idx.ToNum())
+		if j < 0 {
+			j += len(arr)
+		}
+		if j < 0 || j >= len(arr) {
+			return Undef, nil
+		}
+		return arr[j], nil
+
+	case opHelem:
+		key, err := i.evalS(n.Kids[0])
+		if err != nil {
+			return Undef, err
+		}
+		ks := key.ToStr()
+		i.beginOp(n)
+		i.chargeHash(n.Slot, ks)
+		i.endOp()
+		return i.hashes[n.Slot][ks], nil
+
+	case opArrayAll:
+		// Scalar context: element count.
+		i.beginOp(n)
+		i.loadSlot(n.Slot)
+		i.endOp()
+		return Num(float64(len(i.arrays[n.Slot]))), nil
+
+	case opHashAll:
+		i.beginOp(n)
+		i.endOp()
+		return Num(float64(len(i.hashes[n.Slot]))), nil
+
+	case opAssign:
+		v, err := i.evalAssign(n)
+		return v, err
+
+	case opOpAssign:
+		return i.evalOpAssign(n)
+
+	case opArith:
+		return i.evalArith(n)
+
+	case opConcat:
+		a, err := i.evalS(n.Kids[0])
+		if err != nil {
+			return Undef, err
+		}
+		b, err := i.evalS(n.Kids[1])
+		if err != nil {
+			return Undef, err
+		}
+		as, bs := a.ToStr(), b.ToStr()
+		i.beginOp(n)
+		i.chargeStrRead(len(as) + len(bs))
+		i.chargeStrWrite(len(as) + len(bs))
+		i.endOp()
+		return Str(as + bs), nil
+
+	case opRepeat:
+		a, err := i.evalS(n.Kids[0])
+		if err != nil {
+			return Undef, err
+		}
+		cnt, err := i.evalS(n.Kids[1])
+		if err != nil {
+			return Undef, err
+		}
+		m := int(cnt.ToNum())
+		if m < 0 {
+			m = 0
+		}
+		if m*a.Len() > 1<<20 {
+			return Undef, runtimeErr(n, "x repetition too large")
+		}
+		i.beginOp(n)
+		i.chargeStrWrite(m * a.Len())
+		i.endOp()
+		out := ""
+		for k := 0; k < m; k++ {
+			out += a.ToStr()
+		}
+		return Str(out), nil
+
+	case opNumCmp:
+		a, err := i.evalS(n.Kids[0])
+		if err != nil {
+			return Undef, err
+		}
+		b, err := i.evalS(n.Kids[1])
+		if err != nil {
+			return Undef, err
+		}
+		i.beginOp(n)
+		i.execName("ncmp", 6)
+		i.endOp()
+		x, y := a.ToNum(), b.ToNum()
+		switch n.Str {
+		case "==":
+			return Bool(x == y), nil
+		case "!=":
+			return Bool(x != y), nil
+		case "<":
+			return Bool(x < y), nil
+		case "<=":
+			return Bool(x <= y), nil
+		case ">":
+			return Bool(x > y), nil
+		case ">=":
+			return Bool(x >= y), nil
+		case "<=>":
+			switch {
+			case x < y:
+				return Num(-1), nil
+			case x > y:
+				return Num(1), nil
+			}
+			return Num(0), nil
+		}
+
+	case opStrCmp:
+		a, err := i.evalS(n.Kids[0])
+		if err != nil {
+			return Undef, err
+		}
+		b, err := i.evalS(n.Kids[1])
+		if err != nil {
+			return Undef, err
+		}
+		as, bs := a.ToStr(), b.ToStr()
+		i.beginOp(n)
+		i.execName("scmp", 8)
+		shorter := len(as)
+		if len(bs) < shorter {
+			shorter = len(bs)
+		}
+		i.chargeStrRead(2 * shorter)
+		i.endOp()
+		switch n.Str {
+		case "eq":
+			return Bool(as == bs), nil
+		case "ne":
+			return Bool(as != bs), nil
+		case "lt":
+			return Bool(as < bs), nil
+		case "gt":
+			return Bool(as > bs), nil
+		case "le":
+			return Bool(as <= bs), nil
+		case "ge":
+			return Bool(as >= bs), nil
+		}
+
+	case opAnd:
+		a, err := i.evalS(n.Kids[0])
+		if err != nil {
+			return Undef, err
+		}
+		i.beginOp(n)
+		i.endOp()
+		if !a.ToBool() {
+			return a, nil
+		}
+		return i.evalS(n.Kids[1])
+
+	case opOr:
+		a, err := i.evalS(n.Kids[0])
+		if err != nil {
+			return Undef, err
+		}
+		i.beginOp(n)
+		i.endOp()
+		if a.ToBool() {
+			return a, nil
+		}
+		return i.evalS(n.Kids[1])
+
+	case opNot:
+		a, err := i.evalS(n.Kids[0])
+		if err != nil {
+			return Undef, err
+		}
+		i.beginOp(n)
+		i.endOp()
+		return Bool(!a.ToBool()), nil
+
+	case opNeg:
+		a, err := i.evalS(n.Kids[0])
+		if err != nil {
+			return Undef, err
+		}
+		i.beginOp(n)
+		i.endOp()
+		return Num(-a.ToNum()), nil
+
+	case opCond:
+		c, err := i.evalS(n.Kids[0])
+		if err != nil {
+			return Undef, err
+		}
+		i.beginOp(n)
+		i.endOp()
+		if c.ToBool() {
+			return i.evalS(n.Kids[1])
+		}
+		return i.evalS(n.Kids[2])
+
+	case opPreInc, opPreDec, opPostInc, opPostDec:
+		return i.evalIncDec(n)
+
+	case opMatch, opNotMatch:
+		return i.evalMatch(n)
+
+	case opSubst:
+		return i.evalSubst(n)
+
+	case opFunc:
+		return i.builtinScalar(n)
+
+	case opCall:
+		vs, err := i.callSub(n)
+		if err != nil {
+			return Undef, err
+		}
+		if len(vs) == 0 {
+			return Undef, nil
+		}
+		return vs[len(vs)-1], nil
+
+	case opPrint:
+		return i.evalPrint(n)
+
+	case opReadLine:
+		return i.evalReadLine(n)
+
+	case opList:
+		// Scalar context: last element (Perl's comma operator).
+		var last Scalar
+		for _, k := range n.Kids {
+			v, err := i.evalS(k)
+			if err != nil {
+				return Undef, err
+			}
+			last = v
+		}
+		return last, nil
+	}
+	return Undef, runtimeErr(n, "cannot evaluate %s here", n.opName())
+}
+
+func (i *Interp) evalArith(n *Node) (Scalar, error) {
+	a, err := i.evalS(n.Kids[0])
+	if err != nil {
+		return Undef, err
+	}
+	b, err := i.evalS(n.Kids[1])
+	if err != nil {
+		return Undef, err
+	}
+	i.beginOp(n)
+	i.execName(n.opName(), 8)
+	i.endOp()
+	return arith(n, a, b)
+}
+
+func arith(n *Node, a, b Scalar) (Scalar, error) {
+	x, y := a.ToNum(), b.ToNum()
+	switch n.Str {
+	case "+":
+		return Num(x + y), nil
+	case "-":
+		return Num(x - y), nil
+	case "*":
+		return Num(x * y), nil
+	case "/":
+		if y == 0 {
+			return Undef, runtimeErr(n, "illegal division by zero")
+		}
+		return Num(x / y), nil
+	case "%":
+		yi := int64(y)
+		if yi == 0 {
+			return Undef, runtimeErr(n, "illegal modulus zero")
+		}
+		r := int64(x) % yi
+		if r != 0 && (r < 0) != (yi < 0) {
+			r += yi // Perl's modulus follows the right operand's sign
+		}
+		return Num(float64(r)), nil
+	case "&":
+		return Num(float64(int64(x) & int64(y))), nil
+	case "|":
+		return Num(float64(int64(x) | int64(y))), nil
+	case "^":
+		return Num(float64(int64(x) ^ int64(y))), nil
+	case "<<":
+		return Num(float64(int64(x) << (uint64(int64(y)) & 63))), nil
+	case ">>":
+		return Num(float64(int64(x) >> (uint64(int64(y)) & 63))), nil
+	}
+	return Undef, runtimeErr(n, "unknown operator %q", n.Str)
+}
+
+// assignTo stores v into the lvalue lv.
+func (i *Interp) assignTo(lv *Node, v Scalar) error {
+	switch lv.Op {
+	case opScalarVar:
+		i.scalars[lv.Slot] = v
+		i.storeSlot(lv.Slot)
+		return nil
+	case opElem:
+		idx, err := i.evalS(lv.Kids[0])
+		if err != nil {
+			return err
+		}
+		j := int(idx.ToNum())
+		arr := i.arrays[lv.Slot]
+		if j < 0 {
+			j += len(arr)
+		}
+		if j < 0 {
+			return runtimeErr(lv, "negative array index %d", j)
+		}
+		for len(arr) <= j {
+			arr = append(arr, Undef)
+		}
+		arr[j] = v
+		i.arrays[lv.Slot] = arr
+		i.storeSlot(lv.Slot)
+		return nil
+	case opHelem:
+		key, err := i.evalS(lv.Kids[0])
+		if err != nil {
+			return err
+		}
+		ks := key.ToStr()
+		i.chargeHash(lv.Slot, ks)
+		i.hashes[lv.Slot][ks] = v
+		return nil
+	case opArrayAll:
+		return runtimeErr(lv, "internal: list assignment must use assignList")
+	}
+	return runtimeErr(lv, "cannot assign to %s", lv.opName())
+}
+
+func (i *Interp) evalAssign(n *Node) (Scalar, error) {
+	lhs, rhs := n.Kids[0], n.Kids[1]
+	// List assignment: @a = (...), or ($x, $y) = (...).
+	if lhs.Op == opArrayAll {
+		vals, err := i.evalL(rhs)
+		if err != nil {
+			return Undef, err
+		}
+		i.beginOp(n)
+		i.execName("aassign", 10+4*len(vals))
+		i.storeSlot(lhs.Slot)
+		i.endOp()
+		i.arrays[lhs.Slot] = vals
+		return Num(float64(len(vals))), nil
+	}
+	if lhs.Op == opHashAll {
+		vals, err := i.evalL(rhs)
+		if err != nil {
+			return Undef, err
+		}
+		i.beginOp(n)
+		i.execName("aassign", 10+4*len(vals))
+		i.endOp()
+		h := make(map[string]Scalar, len(vals)/2)
+		for k := 0; k+1 < len(vals); k += 2 {
+			ks := vals[k].ToStr()
+			i.chargeHash(lhs.Slot, ks)
+			h[ks] = vals[k+1]
+		}
+		i.hashes[lhs.Slot] = h
+		return Num(float64(len(vals))), nil
+	}
+	if lhs.Op == opList {
+		vals, err := i.evalL(rhs)
+		if err != nil {
+			return Undef, err
+		}
+		i.beginOp(n)
+		i.execName("aassign", 10+6*len(lhs.Kids))
+		i.endOp()
+		for k, lv := range lhs.Kids {
+			var v Scalar
+			if k < len(vals) {
+				v = vals[k]
+			}
+			if err := i.assignTo(lv, v); err != nil {
+				return Undef, err
+			}
+		}
+		return Num(float64(len(vals))), nil
+	}
+	v, err := i.evalS(rhs)
+	if err != nil {
+		return Undef, err
+	}
+	i.beginOp(n)
+	i.execName("sassign", 8)
+	i.endOp()
+	return v, i.assignTo(lhs, v)
+}
+
+func (i *Interp) evalOpAssign(n *Node) (Scalar, error) {
+	lhs, rhs := n.Kids[0], n.Kids[1]
+	old, err := i.evalS(lhs)
+	if err != nil {
+		return Undef, err
+	}
+	v, err := i.evalS(rhs)
+	if err != nil {
+		return Undef, err
+	}
+	var out Scalar
+	switch n.Str {
+	case ".":
+		os, vs := old.ToStr(), v.ToStr()
+		i.beginOp(n)
+		i.chargeStrRead(len(os) + len(vs))
+		i.chargeStrWrite(len(os) + len(vs))
+		i.endOp()
+		out = Str(os + vs)
+	case "x":
+		m := int(v.ToNum())
+		s := ""
+		for k := 0; k < m; k++ {
+			s += old.ToStr()
+		}
+		i.beginOp(n)
+		i.chargeStrWrite(len(s))
+		i.endOp()
+		out = Str(s)
+	default:
+		i.beginOp(n)
+		i.execName("opassign", 10)
+		i.endOp()
+		tmp := &Node{Op: opArith, Str: n.Str, Line: n.Line}
+		r, err := arith(tmp, old, v)
+		if err != nil {
+			return Undef, err
+		}
+		out = r
+	}
+	return out, i.assignTo(lhs, out)
+}
+
+func (i *Interp) evalIncDec(n *Node) (Scalar, error) {
+	lv := n.Kids[0]
+	old, err := i.evalS(lv)
+	if err != nil {
+		return Undef, err
+	}
+	i.beginOp(n)
+	i.execName("inc", 6)
+	i.endOp()
+	delta := 1.0
+	if n.Op == opPreDec || n.Op == opPostDec {
+		delta = -1
+	}
+	nv := Num(old.ToNum() + delta)
+	if err := i.assignTo(lv, nv); err != nil {
+		return Undef, err
+	}
+	if n.Op == opPostInc || n.Op == opPostDec {
+		return Num(old.ToNum()), nil
+	}
+	return nv, nil
+}
+
+// setCaps publishes $1..$9 after a successful match.
+func (i *Interp) setCaps(subject []byte, m rx.Match) {
+	for d := 1; d <= 9; d++ {
+		slot := i.capSlots[d]
+		if slot < 0 {
+			continue
+		}
+		g := m.Group(subject, d)
+		if g == nil {
+			i.scalars[slot] = Undef
+		} else {
+			i.scalars[slot] = Str(string(g))
+		}
+		i.storeSlot(slot)
+	}
+}
+
+func (i *Interp) matchSubject(n *Node) (Scalar, *Node, error) {
+	if n.Kids[0] == nil {
+		i.loadSlot(0)
+		return i.scalars[0], nil, nil
+	}
+	v, err := i.evalS(n.Kids[0])
+	return v, n.Kids[0], err
+}
+
+func (i *Interp) evalMatch(n *Node) (Scalar, error) {
+	subj, _, err := i.matchSubject(n)
+	if err != nil {
+		return Undef, err
+	}
+	s := []byte(subj.ToStr())
+	i.beginOp(n)
+	m := n.Re.Search(s, 0)
+	i.chargeRegex(m.Steps, len(s))
+	i.endOp()
+	if m.Ok {
+		i.setCaps(s, m)
+	}
+	ok := m.Ok
+	if n.Op == opNotMatch {
+		ok = !ok
+	}
+	return Bool(ok), nil
+}
+
+func (i *Interp) evalSubst(n *Node) (Scalar, error) {
+	lv := n.Kids[0]
+	cur, err := i.evalS(lv)
+	if err != nil {
+		return Undef, err
+	}
+	s := []byte(cur.ToStr())
+	i.beginOp(n)
+	out, count, steps := n.Re.ReplaceAll(s, []byte(n.Repl), n.Global)
+	i.chargeRegex(steps, len(s))
+	if count > 0 {
+		i.chargeStrWrite(len(out))
+	}
+	i.endOp()
+	if count > 0 {
+		if err := i.assignTo(lv, Str(string(out))); err != nil {
+			return Undef, err
+		}
+	}
+	return Num(float64(count)), nil
+}
+
+func (i *Interp) callSub(n *Node) ([]Scalar, error) {
+	sub, ok := i.Prog.Subs[n.Str]
+	if !ok {
+		return nil, runtimeErr(n, "undefined subroutine &%s", n.Str)
+	}
+	var args []Scalar
+	for _, k := range n.Kids {
+		vs, err := i.evalL(k)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, vs...)
+	}
+	i.beginOp(n)
+	if i.p != nil {
+		i.p.Call(i.rSub)
+		i.p.Exec(i.rSub, costSubSetup+6*len(args))
+	}
+	i.endOp()
+	if i.depth++; i.depth > maxCallDepth {
+		i.depth--
+		return nil, runtimeErr(n, "deep recursion in &%s", n.Str)
+	}
+	savedArgs := i.arrays[0]
+	savedDepth := len(i.saved)
+	i.arrays[0] = args
+	i.retVal = nil
+	sig, err := i.execBlock(sub.Body)
+	// Restore dynamically scoped locals.
+	for len(i.saved) > savedDepth {
+		sv := i.saved[len(i.saved)-1]
+		i.saved = i.saved[:len(i.saved)-1]
+		i.scalars[sv.slot] = sv.val
+	}
+	i.arrays[0] = savedArgs
+	i.depth--
+	if i.p != nil {
+		i.p.Ret()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if sig == ctlExit {
+		i.signal = ctlExit
+	}
+	ret := i.retVal
+	i.retVal = nil
+	return ret, nil
+}
+
+func (i *Interp) evalPrint(n *Node) (Scalar, error) {
+	var parts []Scalar
+	if len(n.Kids) > 0 {
+		vs, err := i.evalL(n.Kids[0])
+		if err != nil {
+			return Undef, err
+		}
+		parts = vs
+	}
+	var sb []byte
+	if n.Num == 1 && len(parts) > 0 {
+		// printf: the first value is a format string.
+		tmp := &Node{Op: opFunc, Str: "sprintf", Line: n.Line}
+		out, err := formatSprintf(i, tmp, parts[0], parts[1:])
+		if err != nil {
+			return Undef, err
+		}
+		parts = []Scalar{out}
+	}
+	for _, v := range parts {
+		sb = append(sb, v.ToStr()...)
+	}
+	i.beginOp(n)
+	i.chargeStrRead(len(sb))
+	fd := vfs.Stdout
+	if n.Str != "" {
+		f, ok := i.files[n.Str]
+		if !ok {
+			i.endOp()
+			return Undef, runtimeErr(n, "print to unopened filehandle %s", n.Str)
+		}
+		fd = f
+	}
+	_, err := i.OS.Write(fd, sb)
+	i.endOp()
+	if err != nil {
+		return Undef, runtimeErr(n, "print: %v", err)
+	}
+	return Num(1), nil
+}
+
+func (i *Interp) evalReadLine(n *Node) (Scalar, error) {
+	fd, ok := i.files[n.Str]
+	if !ok {
+		return Undef, runtimeErr(n, "read from unopened filehandle %s", n.Str)
+	}
+	i.beginOp(n)
+	line, err := i.OS.ReadLine(fd)
+	i.chargeStrWrite(len(line))
+	i.endOp()
+	if err != nil {
+		return Undef, runtimeErr(n, "readline: %v", err)
+	}
+	if len(line) == 0 {
+		return Undef, nil
+	}
+	return Str(string(line)), nil
+}

@@ -1,0 +1,314 @@
+package perl
+
+import (
+	"fmt"
+	"strings"
+
+	"interplab/internal/atom"
+	"interplab/internal/vfs"
+)
+
+// Cost model of the Perl 4 implementation, in native instructions.  The
+// interpreter walks a heap-allocated op tree with per-op argument-stack
+// bookkeeping, which is why Table 2 reports a fetch/decode cost of
+// 130–200 instructions per virtual command — an order of magnitude above
+// Java's — and a startup precompilation charge per program.
+const (
+	costRunops      = 118 // runops loop: next-op load, flags, SV bookkeeping
+	costPerKid      = 24  // argument-stack handling per operand
+	costPrecompByte = 110
+	costPrecompNode = 90
+	costHashBase    = 160 // hash-element translation (§3.3: ~210 per access)
+	costHashPerChar = 9
+	costRegexStep   = 3
+	costSubSetup    = 55 // entersub: @_ setup, context push
+)
+
+// control-flow signals.
+type ctlSignal uint8
+
+const (
+	ctlNone ctlSignal = iota
+	ctlLast
+	ctlNext
+	ctlReturn
+	ctlExit
+)
+
+// Interp executes a compiled Program.
+type Interp struct {
+	Prog *Program
+	OS   *vfs.OS
+
+	p *atom.Probe
+
+	rRunops  *atom.Routine
+	rCompile *atom.Routine
+	rHash    *atom.Routine
+	rString  *atom.Routine
+	rRegex   *atom.Routine
+	rSub     *atom.Routine
+	handlers map[string]*atom.Routine
+	opIDs    map[string]atom.OpID
+	img      *atom.Image
+
+	optree *atom.DataRegion
+	slots  *atom.DataRegion
+	hashRg *atom.DataRegion
+	strRg  *atom.DataRegion
+
+	hashRegion atom.RegionID
+
+	scalars []Scalar
+	arrays  [][]Scalar
+	hashes  []map[string]Scalar
+	files   map[string]int
+
+	capSlots [10]int // slots of $1..$9 (index 1..9), -1 if unused
+
+	strRead  uint32
+	strWrite uint32
+	saved    []savedVal
+	signal   ctlSignal
+	retVal   []Scalar
+	exitCode int
+
+	// Depth guards runaway recursion in scripts.
+	depth int
+}
+
+type savedVal struct {
+	slot int
+	val  Scalar
+}
+
+// New compiles src (charged to the startup phase) and prepares an
+// interpreter.  img and probe may be nil for uninstrumented runs.
+func New(src string, os *vfs.OS, img *atom.Image, probe *atom.Probe) (*Interp, error) {
+	i := &Interp{OS: os, p: probe, img: img, files: make(map[string]int)}
+	if probe != nil && img != nil {
+		// Static code footprint: Perl 4's interpreter is a large program
+		// (the paper's Figure 4 puts its i-cache working set at
+		// 32–64 KB).  The big routines below model eval/runops, the
+		// string library, the regex engine, hashing and the parser.
+		i.rCompile = img.Routine("perl.yyparse", 4200)
+		i.rRunops = img.Routine("perl.runops", 1400)
+		i.rString = img.Routine("perl.str", 2200, atom.WithShortEvery(5))
+		i.rRegex = img.Routine("perl.regexec", 2600, atom.WithShortEvery(6))
+		i.rHash = img.Routine("perl.hfetch", 700, atom.WithShortEvery(7))
+		i.rSub = img.Routine("perl.entersub", 900)
+		i.handlers = make(map[string]*atom.Routine)
+		i.opIDs = make(map[string]atom.OpID)
+		probe.SetStartup(true)
+		probe.Call(i.rCompile)
+		probe.Exec(i.rCompile, costPrecompByte*len(src))
+	}
+	prog, err := ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	i.Prog = prog
+	if probe != nil {
+		probe.Exec(i.rCompile, costPrecompNode*prog.Nodes)
+		probe.Ret()
+		probe.SetStartup(false)
+		i.optree = img.Data("perl.optree", uint32(prog.Nodes*40+64))
+		i.slots = img.Data("perl.slots", uint32(len(prog.ScalarNames)*24+len(prog.ArrayNames)*24+64))
+		i.hashRg = img.Data("perl.hash", 256<<10)
+		i.strRg = img.Data("perl.strings", 512<<10)
+		i.hashRegion = probe.RegionName("memmodel")
+	}
+	i.scalars = make([]Scalar, len(prog.ScalarNames))
+	i.arrays = make([][]Scalar, len(prog.ArrayNames))
+	i.hashes = make([]map[string]Scalar, len(prog.HashNames))
+	for k := range i.hashes {
+		i.hashes[k] = make(map[string]Scalar)
+	}
+	for d := 1; d <= 9; d++ {
+		i.capSlots[d] = -1
+	}
+	for idx, name := range prog.ScalarNames {
+		if len(name) == 1 && name[0] >= '1' && name[0] <= '9' {
+			i.capSlots[name[0]-'0'] = idx
+		}
+	}
+	return i, nil
+}
+
+// Run executes the program.
+func (i *Interp) Run() error {
+	sig, err := i.execBlock(i.Prog.Stmts)
+	if err != nil {
+		return err
+	}
+	if sig == ctlExit {
+		return nil
+	}
+	return nil
+}
+
+// ExitCode returns the argument of exit(), if called.
+func (i *Interp) ExitCode() int { return i.exitCode }
+
+// --- instrumentation helpers -------------------------------------------------
+
+func (i *Interp) handler(name string) *atom.Routine {
+	if r, ok := i.handlers[name]; ok {
+		return r
+	}
+	size := 120
+	switch name {
+	case "match", "subst", "split":
+		size = 400
+	case "sprintf", "print", "join":
+		size = 300
+	}
+	r := i.img.Routine("perl.pp_"+name, size)
+	i.handlers[name] = r
+	return r
+}
+
+func (i *Interp) opID(name string) atom.OpID {
+	if id, ok := i.opIDs[name]; ok {
+		return id
+	}
+	id := i.p.OpName(name)
+	i.opIDs[name] = id
+	return id
+}
+
+// beginOp opens the virtual command for node n and charges fetch/decode.
+func (i *Interp) beginOp(n *Node) {
+	if i.p == nil {
+		return
+	}
+	name := n.opName()
+	i.p.BeginCommand(i.opID(name))
+	i.p.Exec(i.rRunops, costRunops+costPerKid*len(n.Kids))
+	addr := i.optree.Addr(uint32(n.Slot*8) + uint32(n.Op)*40)
+	i.p.Load(addr)
+	i.p.Load(addr + 8)
+	i.p.Load(addr + 16)
+	i.p.BeginExecute()
+	i.p.Exec(i.handler(name), 4)
+}
+
+func (i *Interp) endOp() {
+	if i.p != nil {
+		i.p.EndCommand()
+	}
+}
+
+// exec charges n instructions in the current op's handler.
+func (i *Interp) exec(r *atom.Routine, n int) {
+	if i.p != nil {
+		i.p.Exec(r, n)
+	}
+}
+
+// chargeStrRead models the string library streaming n bytes in.
+func (i *Interp) chargeStrRead(n int) {
+	if i.p == nil || n <= 0 {
+		return
+	}
+	words := n/8 + 1
+	for w := 0; w < words; w++ {
+		i.p.Exec(i.rString, 2)
+		i.p.Load(i.strRg.Addr(i.strRead))
+		i.strRead = (i.strRead + 8) % i.strRg.Size
+	}
+}
+
+// chargeStrWrite models building an n-byte string value (new SV + copy).
+func (i *Interp) chargeStrWrite(n int) {
+	if i.p == nil {
+		return
+	}
+	i.p.Exec(i.rString, 14) // SV allocation
+	words := n/8 + 1
+	for w := 0; w < words; w++ {
+		i.p.Exec(i.rString, 2)
+		i.p.Store(i.strRg.Addr(i.strWrite))
+		i.strWrite = (i.strWrite + 8) % i.strRg.Size
+	}
+}
+
+// chargeRegex models a regex-engine run of the given step count over a
+// subject of the given length.
+func (i *Interp) chargeRegex(steps, subjLen int) {
+	if i.p == nil {
+		return
+	}
+	if i.p != nil {
+		i.p.Call(i.rRegex)
+	}
+	i.p.Exec(i.rRegex, 12)
+	for s := 0; s < steps; s++ {
+		i.p.Exec(i.rRegex, costRegexStep)
+		if s%4 == 0 {
+			i.p.Load(i.strRg.Addr(i.strRead))
+			i.strRead = (i.strRead + 8) % i.strRg.Size
+		}
+	}
+	i.p.Ret()
+}
+
+// chargeHash models one associative-array translation (§3.3).
+func (i *Interp) chargeHash(slot int, key string) {
+	if i.p == nil {
+		return
+	}
+	i.p.Enter(i.hashRegion)
+	i.p.CountAccess(i.hashRegion)
+	i.p.Call(i.rHash)
+	i.p.Exec(i.rHash, costHashBase+costHashPerChar*len(key))
+	h := hashKey(key)
+	base := uint32(slot) * 8192 % i.hashRg.Size
+	i.p.Load(i.hashRg.Addr(base + h%8192))
+	i.p.Load(i.hashRg.Addr(base + (h%8192+16)%8192))
+	i.p.Load(i.hashRg.Addr(base + (h / 8192 % 8192)))
+	i.p.Ret()
+	i.p.Leave()
+}
+
+func hashKey(s string) uint32 {
+	var h uint32 = 0
+	for j := 0; j < len(s); j++ {
+		h = h*33 + uint32(s[j])
+	}
+	return h
+}
+
+// slotAddr returns the synthetic address of a scalar slot.
+func (i *Interp) slotAddr(slot int) uint32 {
+	return i.slots.Addr(uint32(slot) * 24)
+}
+
+func (i *Interp) loadSlot(slot int) {
+	if i.p != nil {
+		i.p.Load(i.slotAddr(slot))
+	}
+}
+
+func (i *Interp) storeSlot(slot int) {
+	if i.p != nil {
+		i.p.Store(i.slotAddr(slot))
+	}
+}
+
+// runtimeErr builds a positioned runtime error.
+func runtimeErr(n *Node, format string, args ...any) error {
+	return errLine(n.Line, format, args...)
+}
+
+var _ = fmt.Sprintf
+var _ = strings.Contains
+
+// execName charges n instructions in the named op handler (no-op when
+// uninstrumented).
+func (i *Interp) execName(name string, n int) {
+	if i.p == nil {
+		return
+	}
+	i.p.Exec(i.handler(name), n)
+}

@@ -1,0 +1,374 @@
+package perl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tScalarVar // $name
+	tArrayVar  // @name
+	tHashVar   // %name
+	tNumber
+	tString // with Interp parts resolved by the parser
+	tRegex  // m/.../ or /.../ (Text=pattern, Aux=flags)
+	tSubst  // s/pat/repl/flags (Text=pattern, Repl, Aux=flags)
+	tPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	repl string
+	aux  string
+	num  float64
+	line int
+	// interp marks double-quoted strings (subject to interpolation).
+	interp bool
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of script"
+	case tNumber:
+		return fmt.Sprintf("number %v", t.num)
+	case tString:
+		return fmt.Sprintf("string %q", t.text)
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var perlPuncts = []string{
+	"<=>", "**=", "...",
+	"=~", "!~", "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+	"+=", "-=", "*=", "/=", "%=", ".=", "x=", "**", "->", "=>", "..",
+	"<<", ">>",
+	"+", "-", "*", "/", "%", ".", "=", "<", ">", "!", "?", ":",
+	"(", ")", "{", "}", "[", "]", ";", ",", "&", "|", "^", "~", "\\",
+}
+
+type plexer struct {
+	src  string
+	pos  int
+	line int
+	// prev guides the regex-vs-divide decision.
+	prevKind tokKind
+	prevText string
+}
+
+func lexPerl(src string) ([]token, error) {
+	l := &plexer{src: src, line: 1}
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		l.prevKind, l.prevText = t.kind, t.text
+		if t.kind == tEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *plexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *plexer) at(i int) byte {
+	if l.pos+i >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+i]
+}
+
+func (l *plexer) adv() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+	}
+	return c
+}
+
+func (l *plexer) errf(format string, args ...any) error {
+	return errLine(l.line, format, args...)
+}
+
+func isWordStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+func isWord(c byte) bool { return isWordStart(c) || c >= '0' && c <= '9' }
+func isDig(c byte) bool  { return c >= '0' && c <= '9' }
+
+// regexAllowed reports whether a '/' here begins a regex literal.
+func (l *plexer) regexAllowed() bool {
+	switch l.prevKind {
+	case tIdent:
+		// split /.../, grep-like contexts: after certain keywords a
+		// regex is expected; after a plain identifier it is division.
+		switch l.prevText {
+		case "split", "if", "unless", "while", "until", "and", "or", "not", "return", "x":
+			return true
+		}
+		return false
+	case tNumber, tString, tScalarVar, tArrayVar, tRegex, tSubst:
+		return false
+	case tPunct:
+		switch l.prevText {
+		case ")", "]", "}":
+			return false
+		}
+		return true
+	}
+	return true
+}
+
+func (l *plexer) next() (token, error) {
+	// Skip whitespace and comments.
+	for {
+		c := l.peek()
+		if c == '#' {
+			for l.peek() != 0 && l.peek() != '\n' {
+				l.adv()
+			}
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.adv()
+			continue
+		}
+		break
+	}
+	tok := token{line: l.line}
+	c := l.peek()
+	switch {
+	case c == 0:
+		tok.kind = tEOF
+		return tok, nil
+
+	case c == '$' || c == '@' || c == '%':
+		// %x is modulus unless followed by a word (hash variable); $1 and
+		// friends are the match capture variables.
+		if c == '%' && !isWordStart(l.at(1)) {
+			break
+		}
+		if !isWord(l.at(1)) {
+			return tok, l.errf("bare %q", c)
+		}
+		l.adv()
+		start := l.pos
+		for isWord(l.peek()) {
+			l.adv()
+		}
+		if l.pos == start {
+			return tok, l.errf("missing variable name after %q", c)
+		}
+		tok.text = l.src[start:l.pos]
+		switch c {
+		case '$':
+			tok.kind = tScalarVar
+		case '@':
+			tok.kind = tArrayVar
+		default:
+			tok.kind = tHashVar
+		}
+		return tok, nil
+
+	case isWordStart(c):
+		start := l.pos
+		for isWord(l.peek()) {
+			l.adv()
+		}
+		word := l.src[start:l.pos]
+		// m/.../ and s/.../.../ literal forms.
+		if word == "m" && (l.peek() == '/' || l.peek() == '|') {
+			delim := l.adv()
+			pat, err := l.readUntil(delim)
+			if err != nil {
+				return tok, err
+			}
+			tok.kind = tRegex
+			tok.text = pat
+			tok.aux = l.readFlags()
+			return tok, nil
+		}
+		if word == "s" && (l.peek() == '/' || l.peek() == '|') {
+			delim := l.adv()
+			pat, err := l.readUntil(delim)
+			if err != nil {
+				return tok, err
+			}
+			repl, err := l.readUntil(delim)
+			if err != nil {
+				return tok, err
+			}
+			tok.kind = tSubst
+			tok.text = pat
+			tok.repl = repl
+			tok.aux = l.readFlags()
+			return tok, nil
+		}
+		if word == "tr" && l.peek() == '/' {
+			return tok, l.errf("tr/// is not supported")
+		}
+		tok.kind = tIdent
+		tok.text = word
+		return tok, nil
+
+	case isDig(c) || c == '.' && isDig(l.at(1)):
+		start := l.pos
+		if c == '0' && (l.at(1) == 'x' || l.at(1) == 'X') {
+			l.adv()
+			l.adv()
+			for isDig(l.peek()) || l.peek() >= 'a' && l.peek() <= 'f' || l.peek() >= 'A' && l.peek() <= 'F' {
+				l.adv()
+			}
+			v, err := strconv.ParseInt(l.src[start+2:l.pos], 16, 64)
+			if err != nil {
+				return tok, l.errf("bad hex literal")
+			}
+			tok.kind = tNumber
+			tok.num = float64(v)
+			return tok, nil
+		}
+		for isDig(l.peek()) {
+			l.adv()
+		}
+		if l.peek() == '.' && isDig(l.at(1)) {
+			l.adv()
+			for isDig(l.peek()) {
+				l.adv()
+			}
+		}
+		v, err := strconv.ParseFloat(l.src[start:l.pos], 64)
+		if err != nil {
+			return tok, l.errf("bad number %q", l.src[start:l.pos])
+		}
+		tok.kind = tNumber
+		tok.num = v
+		return tok, nil
+
+	case c == '"' || c == '\'':
+		l.adv()
+		var sb strings.Builder
+		for {
+			if l.peek() == 0 {
+				return tok, l.errf("unterminated string")
+			}
+			ch := l.adv()
+			if ch == c {
+				break
+			}
+			if ch == '\\' && c == '"' {
+				if l.peek() == 0 {
+					return tok, l.errf("unterminated string")
+				}
+				e := l.adv()
+				switch e {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case 'r':
+					sb.WriteByte('\r')
+				case '0':
+					sb.WriteByte(0)
+				case '"', '\\', '$', '@':
+					sb.WriteByte(e)
+				default:
+					sb.WriteByte('\\')
+					sb.WriteByte(e)
+				}
+				continue
+			}
+			if ch == '\\' && c == '\'' && (l.peek() == '\'' || l.peek() == '\\') {
+				sb.WriteByte(l.adv())
+				continue
+			}
+			sb.WriteByte(ch)
+		}
+		tok.kind = tString
+		tok.text = sb.String()
+		tok.interp = c == '"'
+		return tok, nil
+
+	case c == '/' && l.regexAllowed():
+		l.adv()
+		pat, err := l.readUntil('/')
+		if err != nil {
+			return tok, err
+		}
+		tok.kind = tRegex
+		tok.text = pat
+		tok.aux = l.readFlags()
+		return tok, nil
+
+	case c == '<' && isWordStart(l.at(1)):
+		// <FH> readline.
+		j := l.pos + 1
+		for j < len(l.src) && isWord(l.src[j]) {
+			j++
+		}
+		if j < len(l.src) && l.src[j] == '>' {
+			name := l.src[l.pos+1 : j]
+			for l.pos <= j {
+				l.adv()
+			}
+			tok.kind = tPunct
+			tok.text = "<FH>"
+			tok.aux = name
+			return tok, nil
+		}
+	}
+
+	for _, p := range perlPuncts {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			for range p {
+				l.adv()
+			}
+			tok.kind = tPunct
+			tok.text = p
+			return tok, nil
+		}
+	}
+	return tok, l.errf("unexpected character %q", c)
+}
+
+// readUntil consumes up to an unescaped delimiter; escapes of the delimiter
+// are unescaped, all other escapes pass through for the regex engine.
+func (l *plexer) readUntil(delim byte) (string, error) {
+	var sb strings.Builder
+	for {
+		if l.peek() == 0 {
+			return "", l.errf("unterminated %q-delimited literal", delim)
+		}
+		ch := l.adv()
+		if ch == delim {
+			return sb.String(), nil
+		}
+		if ch == '\\' && l.peek() == delim {
+			sb.WriteByte(l.adv())
+			continue
+		}
+		sb.WriteByte(ch)
+	}
+}
+
+func (l *plexer) readFlags() string {
+	start := l.pos
+	for l.peek() == 'g' || l.peek() == 'i' {
+		l.adv()
+	}
+	return l.src[start:l.pos]
+}

@@ -1,0 +1,129 @@
+package perl
+
+import "interplab/internal/rx"
+
+// OpKind enumerates op-tree node types.  Each executed node is one virtual
+// command; the names below are the labels that appear in the Figure 1/2
+// distributions (they follow Perl 4's internal op names where reasonable).
+type OpKind uint8
+
+const (
+	opConst OpKind = iota
+	opScalarVar
+	opElem     // $a[i]
+	opHelem    // $h{k}
+	opArrayAll // @a as a list
+	opHashAll  // %h as a list (key, value, ...)
+	opAssign
+	opOpAssign // Str: "+", ".", ...
+	opArith    // Str: + - * / %
+	opConcat
+	opRepeat // x
+	opNumCmp // Str: == != < <= > >= <=>
+	opStrCmp // Str: eq ne lt gt le ge
+	opAnd
+	opOr
+	opNot
+	opNeg
+	opCond
+	opPreInc
+	opPreDec
+	opPostInc
+	opPostDec
+	opMatch // Re; kid 0 = subject (nil means $_)
+	opNotMatch
+	opSubst // Re, Repl, Global; kid 0 = target lvalue
+	opFunc  // builtin; Str = name; kids = args
+	opCall  // user sub; Str = name
+	opPrint // Str = filehandle ("" = STDOUT)
+	opReadLine
+	opList
+	opIf
+	opWhile // Num!=0 marks until
+	opFor
+	opForeach // Slot = loop scalar
+	opBlock
+	opReturn
+	opLast
+	opNext
+	opLocal // kids: lvalues; aux kid via Kids2
+	opSubDecl
+)
+
+var opKindNames = map[OpKind]string{
+	opConst: "const", opScalarVar: "gvsv", opElem: "aelem", opHelem: "helem",
+	opArrayAll: "av", opHashAll: "hv", opAssign: "sassign", opOpAssign: "opassign",
+	opArith: "arith", opConcat: "concat", opRepeat: "repeat",
+	opNumCmp: "ncmp", opStrCmp: "scmp", opAnd: "and", opOr: "or", opNot: "not",
+	opNeg: "negate", opCond: "cond_expr",
+	opPreInc: "preinc", opPreDec: "predec", opPostInc: "postinc", opPostDec: "postdec",
+	opMatch: "match", opNotMatch: "match", opSubst: "subst",
+	opFunc: "func", opCall: "entersub", opPrint: "print", opReadLine: "readline",
+	opList: "list", opIf: "if", opWhile: "while", opFor: "for",
+	opForeach: "foreach", opBlock: "block", opReturn: "return",
+	opLast: "last", opNext: "next", opLocal: "local", opSubDecl: "subdecl",
+}
+
+// Node is one op-tree node.
+type Node struct {
+	Op   OpKind
+	Line int
+	Kids []*Node
+
+	Str     string // operator text, builtin name, sub name, filehandle
+	Num     float64
+	Slot    int
+	Re      *rx.Regexp
+	Repl    string
+	Global  bool
+	IgnCase bool
+}
+
+// opName returns the virtual-command label for distributions: builtins
+// report their own names (split, length, substr, ...), arithmetic reports
+// its operator class.
+func (n *Node) opName() string {
+	switch n.Op {
+	case opFunc:
+		return n.Str
+	case opArith:
+		switch n.Str {
+		case "+":
+			return "add"
+		case "-":
+			return "subtract"
+		case "*":
+			return "multiply"
+		case "/":
+			return "divide"
+		case "%":
+			return "modulo"
+		}
+	case opOpAssign:
+		return "opassign"
+	}
+	if s, ok := opKindNames[n.Op]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// Sub is a user-defined subroutine.
+type Sub struct {
+	Name string
+	Body []*Node
+}
+
+// Program is a compiled script: the op tree plus the variable-slot layout
+// discovered during precompilation.
+type Program struct {
+	Stmts []*Node
+	Subs  map[string]*Sub
+
+	ScalarNames []string
+	ArrayNames  []string
+	HashNames   []string
+
+	// Nodes counts op-tree nodes, a precompilation cost driver.
+	Nodes int
+}

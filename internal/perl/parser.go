@@ -1,0 +1,846 @@
+package perl
+
+import (
+	"strings"
+
+	"interplab/internal/rx"
+)
+
+type pparser struct {
+	toks []token
+	pos  int
+	prog *Program
+
+	scalarSlots map[string]int
+	arraySlots  map[string]int
+	hashSlots   map[string]int
+}
+
+// ParseScript compiles source text to an op tree (the startup phase the
+// paper charges separately).
+func ParseScript(src string) (*Program, error) {
+	toks, err := lexPerl(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &pparser{
+		toks:        toks,
+		prog:        &Program{Subs: make(map[string]*Sub)},
+		scalarSlots: make(map[string]int),
+		arraySlots:  make(map[string]int),
+		hashSlots:   make(map[string]int),
+	}
+	// Slot 0 is $_; @_ is array slot 0.
+	p.scalarSlot("_")
+	p.arraySlot("_")
+	for !p.at(tEOF, "") {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			p.prog.Stmts = append(p.prog.Stmts, s)
+		}
+	}
+	p.prog.ScalarNames = names(p.scalarSlots)
+	p.prog.ArrayNames = names(p.arraySlots)
+	p.prog.HashNames = names(p.hashSlots)
+	return p.prog, nil
+}
+
+func names(m map[string]int) []string {
+	out := make([]string, len(m))
+	for n, i := range m {
+		out[i] = n
+	}
+	return out
+}
+
+func (p *pparser) scalarSlot(name string) int {
+	if i, ok := p.scalarSlots[name]; ok {
+		return i
+	}
+	i := len(p.scalarSlots)
+	p.scalarSlots[name] = i
+	return i
+}
+
+func (p *pparser) arraySlot(name string) int {
+	if i, ok := p.arraySlots[name]; ok {
+		return i
+	}
+	i := len(p.arraySlots)
+	p.arraySlots[name] = i
+	return i
+}
+
+func (p *pparser) hashSlot(name string) int {
+	if i, ok := p.hashSlots[name]; ok {
+		return i
+	}
+	i := len(p.hashSlots)
+	p.hashSlots[name] = i
+	return i
+}
+
+func (p *pparser) cur() token  { return p.toks[p.pos] }
+func (p *pparser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *pparser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *pparser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *pparser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return p.cur(), errLine(p.cur().line, "expected %q, found %s", text, p.cur())
+}
+
+func (p *pparser) node(op OpKind, kids ...*Node) *Node {
+	p.prog.Nodes++
+	return &Node{Op: op, Line: p.cur().line, Kids: kids}
+}
+
+// --- statements -------------------------------------------------------------
+
+var perlKeywords = map[string]bool{
+	"if": true, "elsif": true, "else": true, "unless": true,
+	"while": true, "until": true, "for": true, "foreach": true,
+	"sub": true, "return": true, "last": true, "next": true,
+	"local": true, "my": true, "print": true,
+}
+
+func (p *pparser) statement() (*Node, error) {
+	t := p.cur()
+	if t.kind == tPunct && t.text == ";" {
+		p.pos++
+		return nil, nil
+	}
+	if t.kind == tPunct && t.text == "{" {
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		n := p.node(opBlock)
+		n.Kids = body
+		return n, nil
+	}
+	if t.kind == tIdent {
+		switch t.text {
+		case "if", "unless":
+			return p.ifStmt(t.text == "unless")
+		case "while", "until":
+			return p.whileStmt(t.text == "until")
+		case "for", "foreach":
+			return p.forStmt()
+		case "sub":
+			return nil, p.subDecl()
+		case "return":
+			p.pos++
+			n := p.node(opReturn)
+			if !p.at(tPunct, ";") && !p.at(tPunct, "}") {
+				e, err := p.exprList()
+				if err != nil {
+					return nil, err
+				}
+				n.Kids = []*Node{e}
+			}
+			return p.finishSimple(n)
+		case "last":
+			p.pos++
+			return p.finishSimple(p.node(opLast))
+		case "next":
+			p.pos++
+			return p.finishSimple(p.node(opNext))
+		case "local", "my":
+			p.pos++
+			return p.localStmt()
+		case "print", "printf":
+			isPrintf := t.text == "printf"
+			p.pos++
+			return p.printStmt(isPrintf)
+		}
+	}
+	e, err := p.exprList()
+	if err != nil {
+		return nil, err
+	}
+	return p.finishSimple(e)
+}
+
+// finishSimple handles statement modifiers (EXPR if COND;) and the
+// terminating semicolon.
+func (p *pparser) finishSimple(n *Node) (*Node, error) {
+	if p.at(tIdent, "if") || p.at(tIdent, "unless") {
+		neg := p.next().text == "unless"
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if neg {
+			cond = p.node(opNot, cond)
+		}
+		wrapped := p.node(opIf, cond, p.node(opBlock, n))
+		n = wrapped
+	} else if p.at(tIdent, "while") {
+		p.pos++
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		n = p.node(opWhile, cond, p.node(opBlock, n))
+	}
+	if !p.accept(tPunct, ";") && !p.at(tPunct, "}") && !p.at(tEOF, "") {
+		return nil, errLine(p.cur().line, "expected ; found %s", p.cur())
+	}
+	return n, nil
+}
+
+func (p *pparser) block() ([]*Node, error) {
+	if _, err := p.expect(tPunct, "{"); err != nil {
+		return nil, err
+	}
+	var out []*Node
+	for !p.accept(tPunct, "}") {
+		if p.at(tEOF, "") {
+			return nil, errLine(p.cur().line, "unterminated block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+func (p *pparser) parenExpr() (*Node, error) {
+	if _, err := p.expect(tPunct, "("); err != nil {
+		return nil, err
+	}
+	e, err := p.exprList()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, ")"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *pparser) ifStmt(negate bool) (*Node, error) {
+	p.pos++ // if/unless
+	cond, err := p.parenExpr()
+	if err != nil {
+		return nil, err
+	}
+	if negate {
+		cond = p.node(opNot, cond)
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	n := p.node(opIf, cond)
+	blk := p.node(opBlock)
+	blk.Kids = body
+	n.Kids = append(n.Kids, blk)
+	switch {
+	case p.at(tIdent, "elsif"):
+		els, err := p.ifStmt(false)
+		if err != nil {
+			return nil, err
+		}
+		n.Kids = append(n.Kids, p.node(opBlock, els))
+	case p.accept(tIdent, "else"):
+		els, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		eb := p.node(opBlock)
+		eb.Kids = els
+		n.Kids = append(n.Kids, eb)
+	}
+	return n, nil
+}
+
+func (p *pparser) whileStmt(until bool) (*Node, error) {
+	p.pos++
+	cond, err := p.parenExpr()
+	if err != nil {
+		return nil, err
+	}
+	if until {
+		cond = p.node(opNot, cond)
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	n := p.node(opWhile, cond)
+	blk := p.node(opBlock)
+	blk.Kids = body
+	n.Kids = append(n.Kids, blk)
+	return n, nil
+}
+
+func (p *pparser) forStmt() (*Node, error) {
+	p.pos++ // for/foreach
+	// foreach $x (LIST) {...}
+	if p.cur().kind == tScalarVar {
+		v := p.next()
+		list, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		n := p.node(opForeach, list)
+		n.Slot = p.scalarSlot(v.text)
+		blk := p.node(opBlock)
+		blk.Kids = body
+		n.Kids = append(n.Kids, blk)
+		return n, nil
+	}
+	// C-style for (init; cond; post) {...} or foreach (LIST) over $_.
+	if _, err := p.expect(tPunct, "("); err != nil {
+		return nil, err
+	}
+	// Peek for a C-style for by scanning for a ';' before the matching ')'.
+	isC := false
+	depth := 1
+	for i := p.pos; i < len(p.toks) && depth > 0; i++ {
+		switch {
+		case p.toks[i].kind == tPunct && p.toks[i].text == "(":
+			depth++
+		case p.toks[i].kind == tPunct && p.toks[i].text == ")":
+			depth--
+		case p.toks[i].kind == tPunct && p.toks[i].text == ";" && depth == 1:
+			isC = true
+		}
+	}
+	if !isC {
+		list, err := p.exprList()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		n := p.node(opForeach, list)
+		n.Slot = 0 // $_
+		blk := p.node(opBlock)
+		blk.Kids = body
+		n.Kids = append(n.Kids, blk)
+		return n, nil
+	}
+	var init, cond, post *Node
+	var err error
+	if !p.at(tPunct, ";") {
+		if init, err = p.exprList(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tPunct, ";") {
+		if cond, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tPunct, ")") {
+		if post, err = p.exprList(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	n := p.node(opFor)
+	blk := p.node(opBlock)
+	blk.Kids = body
+	n.Kids = []*Node{orNop(p, init), orNop(p, cond), orNop(p, post), blk}
+	return n, nil
+}
+
+func orNop(p *pparser, n *Node) *Node {
+	if n == nil {
+		nop := p.node(opConst)
+		nop.Num = 1
+		nop.Str = "1"
+		return nop
+	}
+	return n
+}
+
+func (p *pparser) subDecl() error {
+	p.pos++ // sub
+	name, err := p.expect(tIdent, "")
+	if err != nil {
+		return err
+	}
+	body, err := p.block()
+	if err != nil {
+		return err
+	}
+	p.prog.Subs[name.text] = &Sub{Name: name.text, Body: body}
+	return nil
+}
+
+func (p *pparser) localStmt() (*Node, error) {
+	// local($a, $b) = EXPR;  or  local $a = EXPR;
+	var lvals []*Node
+	paren := p.accept(tPunct, "(")
+	for {
+		lv, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		lvals = append(lvals, lv)
+		if !p.accept(tPunct, ",") {
+			break
+		}
+	}
+	if paren {
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+	}
+	n := p.node(opLocal)
+	n.Kids = lvals
+	if p.accept(tPunct, "=") {
+		rhs, err := p.exprList()
+		if err != nil {
+			return nil, err
+		}
+		n.Kids = append(n.Kids, nil) // separator
+		n.Kids = append(n.Kids, rhs)
+	}
+	return p.finishSimple(n)
+}
+
+func (p *pparser) printStmt(isPrintf bool) (*Node, error) {
+	n := p.node(opPrint)
+	if isPrintf {
+		n.Num = 1 // format the first argument sprintf-style
+	}
+	// Optional filehandle: `print OUT "x"` — an identifier immediately
+	// followed by an argument (no comma).
+	if p.cur().kind == tIdent && !perlKeywords[p.cur().text] && !builtinNames[p.cur().text] {
+		nx := p.toks[p.pos+1]
+		if nx.kind != tPunct || nx.text == "(" && false {
+			_ = nx
+		}
+		if nx.kind == tString || nx.kind == tScalarVar || nx.kind == tArrayVar || nx.kind == tNumber {
+			n.Str = p.next().text
+		}
+	}
+	if !p.at(tPunct, ";") && !p.at(tPunct, "}") {
+		args, err := p.exprList()
+		if err != nil {
+			return nil, err
+		}
+		n.Kids = []*Node{args}
+	}
+	return p.finishSimple(n)
+}
+
+// --- expressions -------------------------------------------------------------
+
+// exprList parses comma-separated expressions into an opList (or the bare
+// expression when there is just one).
+func (p *pparser) exprList() (*Node, error) {
+	first, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tPunct, ",") {
+		return first, nil
+	}
+	list := p.node(opList, first)
+	for p.accept(tPunct, ",") {
+		if p.at(tPunct, ")") || p.at(tPunct, ";") {
+			break // trailing comma
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		list.Kids = append(list.Kids, e)
+	}
+	return list, nil
+}
+
+func (p *pparser) expr() (*Node, error) { return p.assign() }
+
+var perlAssignOps = map[string]string{
+	"=": "", "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+	".=": ".", "x=": "x",
+}
+
+func (p *pparser) assign() (*Node, error) {
+	lhs, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tPunct {
+		if base, ok := perlAssignOps[p.cur().text]; ok {
+			p.pos++
+			rhs, err := p.assign()
+			if err != nil {
+				return nil, err
+			}
+			if base == "" {
+				return p.node(opAssign, lhs, rhs), nil
+			}
+			n := p.node(opOpAssign, lhs, rhs)
+			n.Str = base
+			return n, nil
+		}
+	}
+	return lhs, nil
+}
+
+func (p *pparser) ternary() (*Node, error) {
+	c, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tPunct, "?") {
+		t, err := p.assign()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ":"); err != nil {
+			return nil, err
+		}
+		f, err := p.assign()
+		if err != nil {
+			return nil, err
+		}
+		return p.node(opCond, c, t, f), nil
+	}
+	return c, nil
+}
+
+func (p *pparser) orExpr() (*Node, error) {
+	lhs, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tPunct, "||") || p.at(tIdent, "or") {
+		p.pos++
+		rhs, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		lhs = p.node(opOr, lhs, rhs)
+	}
+	return lhs, nil
+}
+
+func (p *pparser) andExpr() (*Node, error) {
+	lhs, err := p.bitExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tPunct, "&&") || p.at(tIdent, "and") {
+		p.pos++
+		rhs, err := p.bitExpr()
+		if err != nil {
+			return nil, err
+		}
+		lhs = p.node(opAnd, lhs, rhs)
+	}
+	return lhs, nil
+}
+
+// bitExpr parses the bitwise operators (&, |, ^) at one level.
+func (p *pparser) bitExpr() (*Node, error) {
+	lhs, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tPunct || t.text != "&" && t.text != "|" && t.text != "^" {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		n := p.node(opArith, lhs, rhs)
+		n.Str = t.text
+		lhs = n
+	}
+}
+
+var numCmps = map[string]bool{"==": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true, "<=>": true}
+var strCmps = map[string]bool{"eq": true, "ne": true, "lt": true, "gt": true, "le": true, "ge": true}
+
+func (p *pparser) cmpExpr() (*Node, error) {
+	lhs, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case t.kind == tPunct && numCmps[t.text]:
+			p.pos++
+			rhs, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			n := p.node(opNumCmp, lhs, rhs)
+			n.Str = t.text
+			lhs = n
+		case t.kind == tIdent && strCmps[t.text]:
+			p.pos++
+			rhs, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			n := p.node(opStrCmp, lhs, rhs)
+			n.Str = t.text
+			lhs = n
+		default:
+			return lhs, nil
+		}
+	}
+}
+
+func (p *pparser) addExpr() (*Node, error) {
+	lhs, err := p.shiftExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tPunct || t.text != "+" && t.text != "-" && t.text != "." {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.shiftExpr()
+		if err != nil {
+			return nil, err
+		}
+		if t.text == "." {
+			lhs = p.node(opConcat, lhs, rhs)
+		} else {
+			n := p.node(opArith, lhs, rhs)
+			n.Str = t.text
+			lhs = n
+		}
+	}
+}
+
+// shiftExpr parses << and >>.
+func (p *pparser) shiftExpr() (*Node, error) {
+	lhs, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tPunct || t.text != "<<" && t.text != ">>" {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		n := p.node(opArith, lhs, rhs)
+		n.Str = t.text
+		lhs = n
+	}
+}
+
+func (p *pparser) mulExpr() (*Node, error) {
+	lhs, err := p.matchExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		isRep := t.kind == tIdent && t.text == "x"
+		if !isRep && (t.kind != tPunct || t.text != "*" && t.text != "/" && t.text != "%") {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.matchExpr()
+		if err != nil {
+			return nil, err
+		}
+		if isRep {
+			lhs = p.node(opRepeat, lhs, rhs)
+		} else {
+			n := p.node(opArith, lhs, rhs)
+			n.Str = t.text
+			lhs = n
+		}
+	}
+}
+
+// matchExpr handles EXPR =~ m//, EXPR =~ s///, EXPR !~ m//.
+func (p *pparser) matchExpr() (*Node, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tPunct, "=~") || p.at(tPunct, "!~") {
+		negate := p.next().text == "!~"
+		t := p.next()
+		switch t.kind {
+		case tRegex:
+			re, err := compilePattern(t)
+			if err != nil {
+				return nil, err
+			}
+			op := opMatch
+			if negate {
+				op = opNotMatch
+			}
+			n := p.node(op, lhs)
+			n.Re = re
+			n.IgnCase = strings.Contains(t.aux, "i")
+			lhs = n
+		case tSubst:
+			if negate {
+				return nil, errLine(t.line, "!~ s/// is not supported")
+			}
+			re, err := compilePattern(t)
+			if err != nil {
+				return nil, err
+			}
+			n := p.node(opSubst, lhs)
+			n.Re = re
+			n.Repl = t.repl
+			n.Global = strings.Contains(t.aux, "g")
+			lhs = n
+		default:
+			return nil, errLine(t.line, "=~ must be followed by a pattern, found %s", t)
+		}
+	}
+	return lhs, nil
+}
+
+// compilePattern compiles a regex token, applying case-insensitivity by
+// down-casing letters into classes when /i is given.
+func compilePattern(t token) (*rx.Regexp, error) {
+	pat := t.text
+	if strings.Contains(t.aux, "i") {
+		pat = caseFold(pat)
+	}
+	re, err := rx.Compile(pat)
+	if err != nil {
+		return nil, errLine(t.line, "bad pattern /%s/: %v", t.text, err)
+	}
+	return re, nil
+}
+
+// caseFold rewrites bare letters as two-case classes: a → [aA].
+func caseFold(pat string) string {
+	var sb strings.Builder
+	inClass := false
+	for i := 0; i < len(pat); i++ {
+		c := pat[i]
+		switch {
+		case c == '\\' && i+1 < len(pat):
+			sb.WriteByte(c)
+			i++
+			sb.WriteByte(pat[i])
+		case c == '[':
+			inClass = true
+			sb.WriteByte(c)
+		case c == ']':
+			inClass = false
+			sb.WriteByte(c)
+		case !inClass && c >= 'a' && c <= 'z':
+			sb.WriteString("[")
+			sb.WriteByte(c)
+			sb.WriteByte(c - 32)
+			sb.WriteString("]")
+		case !inClass && c >= 'A' && c <= 'Z':
+			sb.WriteString("[")
+			sb.WriteByte(c + 32)
+			sb.WriteByte(c)
+			sb.WriteString("]")
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}
+
+func (p *pparser) unary() (*Node, error) {
+	t := p.cur()
+	if t.kind == tPunct && (t.text == "!" || t.text == "-") || t.kind == tIdent && t.text == "not" {
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if t.text == "-" {
+			return p.node(opNeg, x), nil
+		}
+		return p.node(opNot, x), nil
+	}
+	if t.kind == tPunct && (t.text == "++" || t.text == "--") {
+		p.pos++
+		x, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		op := opPreInc
+		if t.text == "--" {
+			op = opPreDec
+		}
+		return p.node(op, x), nil
+	}
+	return p.postfix()
+}
+
+func (p *pparser) postfix() (*Node, error) {
+	x, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tPunct, "++") || p.at(tPunct, "--") {
+		op := opPostInc
+		if p.next().text == "--" {
+			op = opPostDec
+		}
+		x = p.node(op, x)
+	}
+	return x, nil
+}

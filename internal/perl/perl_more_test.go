@@ -1,0 +1,212 @@
+package perl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"interplab/internal/vfs"
+)
+
+func TestScalarConversions(t *testing.T) {
+	cases := []struct {
+		in  Scalar
+		num float64
+		str string
+		b   bool
+	}{
+		{Str("42"), 42, "42", true},
+		{Str("3.5kg"), 3.5, "3.5kg", true},
+		{Str("-7 items"), -7, "-7 items", true},
+		{Str("abc"), 0, "abc", true},
+		{Str(""), 0, "", false},
+		{Str("0"), 0, "0", false},
+		{Str("0.0"), 0, "0.0", true}, // Perl: "0.0" is true!
+		{Num(5), 5, "5", true},
+		{Num(0), 0, "0", false},
+		{Num(2.5), 2.5, "2.5", true},
+		{Undef, 0, "", false},
+		{Str("  12"), 12, "  12", true},
+	}
+	for _, c := range cases {
+		if got := c.in.ToNum(); got != c.num {
+			t.Errorf("ToNum(%q) = %v, want %v", c.in.ToStr(), got, c.num)
+		}
+		if got := c.in.ToStr(); got != c.str {
+			t.Errorf("ToStr = %q, want %q", got, c.str)
+		}
+		if got := c.in.ToBool(); got != c.b {
+			t.Errorf("ToBool(%q) = %v, want %v", c.str, got, c.b)
+		}
+	}
+}
+
+func TestScalarNumRoundTripProperty(t *testing.T) {
+	// Property: integer-valued scalars round-trip through string form.
+	f := func(v int32) bool {
+		s := Num(float64(v))
+		return Str(s.ToStr()).ToNum() == float64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitwiseOperators(t *testing.T) {
+	out := runPerl(t, `
+print 0xf0 & 0x3c, " ", 0xf0 | 0x0f, " ", 0xff ^ 0x0f, "\n";
+print 1 << 10, " ", 1024 >> 3, "\n";
+print (3 | 4) ;
+print "\n";
+`)
+	if out != "48 255 240\n1024 128\n7\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestForeachOverHashPairs(t *testing.T) {
+	out := runPerl(t, `
+%ages = ("ann", 31, "bob", 25);
+foreach $x (%ages) { print "$x;"; }
+print "\n";
+foreach $k (sort(keys(%ages))) { print "$k=$ages{$k} "; }
+print "\n";
+`)
+	if out != "ann;31;bob;25;\nann=31 bob=25 \n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestStatementModifiers(t *testing.T) {
+	out := runPerl(t, `
+$x = 5;
+print "big\n" if $x > 3;
+print "small\n" unless $x > 3;
+$n = 0;
+$n++ while $n < 4;
+print "$n\n";
+`)
+	if out != "big\n4\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestNestedSubstAndCaptures(t *testing.T) {
+	out := runPerl(t, `
+$s = "2026-07-04";
+if ($s =~ m/(\d+)-(\d+)-(\d+)/) {
+    print "y=$1 m=$2 d=$3\n";
+}
+$s =~ s/(\d+)-(\d+)-(\d+)/$3.$2.$1/;
+print "$s\n";
+`)
+	if out != "y=2026 m=07 d=04\n04.07.2026\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestLocalDynamicScoping(t *testing.T) {
+	out := runPerl(t, `
+$v = "global";
+sub inner { return $v; }
+sub outer {
+    local($v) = "dynamic";
+    return &inner();
+}
+print outer(), " ", $v, "\n";
+`)
+	// Dynamic scoping: inner sees outer's local binding.
+	if out != "dynamic global\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestArraysNegativeAndGrowth(t *testing.T) {
+	out := runPerl(t, `
+@a = (1, 2, 3);
+$a[6] = 9;
+print scalar(@a), " ", $a[-1], " ", defined($a[4]) ? "def" : "undef", "\n";
+`)
+	if out != "7 9 undef\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestUntilAndRepeatAssign(t *testing.T) {
+	out := runPerl(t, `
+$s = "ab";
+$s = $s x 3;
+print "$s\n";
+$i = 0;
+until ($i >= 3) { $i++; }
+print "$i\n";
+`)
+	if out != "ababab\n3\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestSprintfOctalAndWidth(t *testing.T) {
+	out := runPerl(t, `print sprintf("[%6.2f][%o][%-5d]", 3.14159, 8, 7), "\n";`)
+	if out != "[  3.14][10][7    ]\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestCaseInsensitiveMatch(t *testing.T) {
+	out := runPerl(t, `
+print "HELLO world" =~ m/hello/i ? "ci" : "no", "\n";
+print "HELLO world" =~ m/hello/ ? "cs" : "no", "\n";
+`)
+	if out != "ci\nno\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestWhileReadlineIdiom(t *testing.T) {
+	osys := vfs.New()
+	osys.AddFile("nums", []byte("3\n5\n7\n"))
+	out := runPerlFS(t, `
+open(F, "nums");
+$sum = 0;
+while ($n = <F>) {
+    chomp($n);
+    $sum += $n;
+}
+close(F);
+print "$sum\n";
+`, osys)
+	if out != "15\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestInterpolatedElements(t *testing.T) {
+	out := runPerl(t, `
+@a = (10, 20, 30);
+%h = ("k", 99);
+$i = 2;
+print "first=$a[0] dyn=$a[$i] last=$a[-1] hash=$h{k}\n";
+`)
+	if out != "first=10 dyn=30 last=30 hash=99\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestLexerTrUnsupported(t *testing.T) {
+	if _, err := New(`$x =~ tr/a/b/;`, vfs.New(), nil, nil); err == nil ||
+		!strings.Contains(err.Error(), "tr///") {
+		t.Errorf("tr should be rejected clearly, got %v", err)
+	}
+}
+
+func TestPrintf(t *testing.T) {
+	out := runPerl(t, `
+printf("%04d-%02d-%02d\n", 2026, 7, 4);
+printf("%s scored %d%%\n", "test", 97);
+printf OUTFMT if 0;
+`)
+	if out != "2026-07-04\ntest scored 97%\n" {
+		t.Errorf("out = %q", out)
+	}
+}

@@ -1,0 +1,393 @@
+package perl
+
+import (
+	"strings"
+	"testing"
+
+	"interplab/internal/atom"
+	"interplab/internal/trace"
+	"interplab/internal/vfs"
+)
+
+// runPerl executes a script and returns stdout.
+func runPerl(t *testing.T, src string) string {
+	t.Helper()
+	return runPerlFS(t, src, vfs.New())
+}
+
+func runPerlFS(t *testing.T, src string, osys *vfs.OS) string {
+	t.Helper()
+	i, err := New(src, osys, nil, nil)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := i.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return osys.Stdout.String()
+}
+
+func TestScalarsAndArithmetic(t *testing.T) {
+	out := runPerl(t, `
+$x = 6;
+$y = $x * 7 + 1 - 1;
+print "answer=$y\n";
+print 10 / 4, " ", 10 % 3, " ", -7 % 3, "\n";
+`)
+	if out != "answer=42\n2.5 1 2\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestStringsAndComparison(t *testing.T) {
+	out := runPerl(t, `
+$a = "foo";
+$b = $a . "bar";
+print $b, " ", length($b), "\n";
+print "abc" lt "abd" ? "yes" : "no", "\n";
+print 10 == 10.0 ? "eq" : "ne", "\n";
+print "5 apples" + 3, "\n";
+`)
+	if out != "foobar 6\nyes\neq\n8\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	out := runPerl(t, `
+$sum = 0;
+for ($i = 1; $i <= 10; $i++) {
+    next if $i == 5;
+    last if $i == 9;
+    $sum += $i;
+}
+while ($sum > 31) { $sum--; }
+until ($sum < 31) { $sum -= 2; }
+print "$sum\n";
+unless ($sum > 100) { print "small\n"; }
+`)
+	if out != "29\nsmall\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	out := runPerl(t, `
+@a = (3, 1, 4);
+push(@a, 1, 5);
+$n = @a;
+print "n=$n last=$a[-1] first=$a[0]\n";
+$x = pop(@a);
+$y = shift(@a);
+unshift(@a, 9);
+print join(",", @a), " popped=$x shifted=$y\n";
+foreach $e (@a) { $t += $e; }
+print "sum=$t\n";
+`)
+	if out != "n=5 last=5 first=3\n9,1,4,1 popped=5 shifted=3\nsum=15\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestHashes(t *testing.T) {
+	out := runPerl(t, `
+%h = ("b", 2, "a", 1);
+$h{c} = 3;
+print join(",", keys(%h)), "\n";
+print join(",", values(%h)), "\n";
+print exists($h{a}) ? "has" : "no", " ", exists($h{z}) ? "has" : "no", "\n";
+delete($h{b});
+print scalar(%h), "\n";
+`)
+	if out != "a,b,c\n1,2,3\nhas no\n2\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestSubsAndLocal(t *testing.T) {
+	out := runPerl(t, `
+sub add {
+    local($a, $b) = @_;
+    return $a + $b;
+}
+sub fact {
+    local($n) = @_;
+    return 1 if $n < 2;
+    return $n * &fact($n - 1);
+}
+print add(2, 3), " ", fact(5), "\n";
+`)
+	if out != "5 120\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestMatchAndCaptures(t *testing.T) {
+	out := runPerl(t, `
+$line = "From: alice@example.org";
+if ($line =~ m/(\w+)@(\w+)/) {
+    print "user=$1 host=$2\n";
+}
+$_ = "the cat sat";
+print "match\n" if /c.t/;
+print "nomatch\n" if $line !~ m/zebra/;
+`)
+	if out != "user=alice host=example\nmatch\nnomatch\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestSubstitution(t *testing.T) {
+	out := runPerl(t, `
+$s = "one fish two fish";
+$n = ($s =~ s/fish/cat/g);
+print "$s ($n)\n";
+$t = "hello";
+$t =~ s/l/L/;
+print "$t\n";
+$_ = "aaa";
+s/a/b/;
+print "$_\n";
+`)
+	if out != "one cat two cat (2)\nheLlo\nbaa\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestSplitJoin(t *testing.T) {
+	out := runPerl(t, `
+@parts = split(/,/, "a,b,,c");
+print scalar(@parts), ":", join("|", @parts), "\n";
+@ws = split(/\s+/, "the quick  brown");
+print join("-", @ws), "\n";
+`)
+	if out != "4:a|b||c\nthe-quick-brown\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestSprintfAndFuncs(t *testing.T) {
+	out := runPerl(t, `
+print sprintf("%05d|%-4s|%x|%c", 42, "ab", 255, 65), "\n";
+print uc("mixEd"), " ", lc("MiXed"), "\n";
+print index("hello world", "o"), " ", index("hello world", "o", 5), " ", rindex("hello world", "o"), "\n";
+print substr("abcdef", 2, 3), " ", substr("abcdef", -2), "\n";
+print ord("A"), " ", chr(66), "\n";
+$s = "trailing\n";
+chomp($s);
+print "[$s]\n";
+`)
+	want := "00042|ab  |ff|A\nMIXED mixed\n4 7 7\ncde ef\n65 B\n[trailing]\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestFileIO(t *testing.T) {
+	osys := vfs.New()
+	osys.AddFile("data.txt", []byte("alpha\nbeta\ngamma\n"))
+	out := runPerlFS(t, `
+open(IN, "data.txt") || die "cannot open";
+$count = 0;
+while ($line = <IN>) {
+    chomp($line);
+    $count++;
+    print "$count:$line\n";
+}
+close(IN);
+open(OUT, ">out.txt");
+print OUT "written";
+close(OUT);
+`, osys)
+	if out != "1:alpha\n2:beta\n3:gamma\n" {
+		t.Errorf("out = %q", out)
+	}
+	d, ok := osys.FileData("out.txt")
+	if !ok || string(d) != "written" {
+		t.Errorf("out.txt = %q", d)
+	}
+}
+
+func TestSortReverse(t *testing.T) {
+	out := runPerl(t, `
+@w = ("pear", "apple", "fig");
+print join(",", sort(@w)), "\n";
+print join(",", reverse(sort(@w))), "\n";
+`)
+	if out != "apple,fig,pear\npear,fig,apple\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestRepetitionAndTernary(t *testing.T) {
+	out := runPerl(t, `
+print "-" x 5, "\n";
+$x = 3 > 2 ? "big" : "small";
+print "$x\n";
+`)
+	if out != "-----\nbig\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestExit(t *testing.T) {
+	osys := vfs.New()
+	i, err := New(`print "a\n"; exit(3); print "b\n";`, osys, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := i.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if osys.Stdout.String() != "a\n" {
+		t.Errorf("out = %q", osys.Stdout.String())
+	}
+	if i.ExitCode() != 3 {
+		t.Errorf("exit = %d", i.ExitCode())
+	}
+}
+
+func TestDie(t *testing.T) {
+	osys := vfs.New()
+	i, err := New(`die "boom";`, osys, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := i.Run(); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		`$x = ;`,
+		`if ($x { }`,
+		`sub {`,
+		`$x = "unterminated`,
+		`$x =~ 5;`,
+		`@a = (1,2,3`,
+		`print $x ==;`,
+	} {
+		if _, err := New(src, vfs.New(), nil, nil); err == nil {
+			t.Errorf("src %q should fail to parse", src)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	for _, src := range []string{
+		`$x = 1 / 0;`,
+		`&nosuch();`,
+		`print NOPE "x";`,
+	} {
+		i, err := New(src, vfs.New(), nil, nil)
+		if err != nil {
+			t.Fatalf("compile %q: %v", src, err)
+		}
+		if err := i.Run(); err == nil {
+			t.Errorf("src %q should fail at runtime", src)
+		}
+	}
+}
+
+func TestDeepRecursionGuard(t *testing.T) {
+	i, err := New(`sub f { return &f(); } &f();`, vfs.New(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := i.Run(); err == nil || !strings.Contains(err.Error(), "recursion") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// --- instrumentation bands ----------------------------------------------------
+
+func instrumentedRun(t *testing.T, src string, osys *vfs.OS) (*Interp, atom.Stats) {
+	t.Helper()
+	img := atom.NewImage()
+	p := atom.NewProbe(img, trace.Discard)
+	osys.Instrument(img, p)
+	i, err := New(src, osys, img, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := i.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return i, p.Stats()
+}
+
+func TestInstrumentationBands(t *testing.T) {
+	// Table 2: Perl fetch/decode is ~130-200 native instructions per op,
+	// with precompilation charged separately to startup.
+	_, st := instrumentedRun(t, `
+$total = 0;
+for ($i = 0; $i < 200; $i++) {
+    $total += $i * 2;
+}
+print "$total\n";
+`, vfs.New())
+	if st.Startup == 0 {
+		t.Error("precompilation must be charged to startup")
+	}
+	fd, _ := st.InstructionsPerCommand()
+	if fd < 80 || fd > 260 {
+		t.Errorf("fetch/decode per op = %.1f, want ~130-200", fd)
+	}
+	if st.Commands < 1000 {
+		t.Errorf("commands = %d, implausibly few", st.Commands)
+	}
+}
+
+func TestHashMemoryModelBand(t *testing.T) {
+	// §3.3: associative arrays cost ~210 native instructions per access.
+	_, st := instrumentedRun(t, `
+for ($i = 0; $i < 100; $i++) {
+    $h{"key$i"} = $i;
+    $x += $h{"key$i"};
+}
+`, vfs.New())
+	mm, ok := st.Region("memmodel")
+	if !ok || mm.Accesses < 200 {
+		t.Fatalf("memmodel = %+v, want >= 200 accesses", mm)
+	}
+	per := mm.PerAccess()
+	if per < 100 || per > 350 {
+		t.Errorf("per-hash-access = %.0f, want ~210", per)
+	}
+	share := float64(mm.Instructions) / float64(st.Instructions-st.Startup)
+	if share > 0.25 {
+		t.Errorf("memmodel share = %.2f, too high", share)
+	}
+}
+
+func TestMatchDominatesExecute(t *testing.T) {
+	// Figure 2 (txt2html): the match command can dominate execute
+	// instructions while being a minority of commands.
+	osys := vfs.New()
+	var sb strings.Builder
+	for j := 0; j < 50; j++ {
+		sb.WriteString("the quick brown fox jumps over the lazy dog line\n")
+	}
+	osys.AddFile("text", []byte(sb.String()))
+	_, st := instrumentedRun(t, `
+open(IN, "text");
+while ($line = <IN>) {
+    if ($line =~ m/(\w+) (\w+) (\w+)/) { $n++; }
+    $m++ if $line =~ m/[a-f]+o[a-z]*x/;
+}
+print "$n $m\n";
+`, osys)
+	match, ok := st.Op("match")
+	if !ok {
+		t.Fatal("match op missing")
+	}
+	frac := float64(match.Execute) / float64(st.Execute)
+	cmdFrac := float64(match.Count) / float64(st.Commands)
+	if frac < 0.3 {
+		t.Errorf("match execute share = %.2f, want dominant", frac)
+	}
+	if cmdFrac > 0.3 {
+		t.Errorf("match command share = %.2f, want minority", cmdFrac)
+	}
+}

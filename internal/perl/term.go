@@ -1,0 +1,414 @@
+package perl
+
+import "strings"
+
+// builtinNames lists the functions implemented natively by the runtime —
+// Perl's string and list machinery.  Per Table 1, it is exactly this
+// native runtime library that makes Perl competitive (and often better
+// than compiled C loops) on string workloads.
+var builtinNames = map[string]bool{
+	"length": true, "substr": true, "index": true, "rindex": true,
+	"split": true, "join": true, "sprintf": true,
+	"push": true, "pop": true, "shift": true, "unshift": true,
+	"keys": true, "values": true, "delete": true, "exists": true,
+	"defined": true, "chop": true, "chomp": true,
+	"lc": true, "uc": true, "ord": true, "chr": true,
+	"scalar": true, "reverse": true, "sort": true,
+	"open": true, "close": true, "eof": true,
+	"die": true, "exit": true, "hex": true, "int": true, "abs": true,
+}
+
+func (p *pparser) term() (*Node, error) {
+	t := p.cur()
+	switch t.kind {
+	case tNumber:
+		p.pos++
+		n := p.node(opConst)
+		n.Num = t.num
+		n.Str = formatNum(t.num)
+		return n, nil
+
+	case tString:
+		p.pos++
+		if !t.interp || !strings.ContainsAny(t.text, "$") {
+			n := p.node(opConst)
+			n.Str = t.text
+			return n, nil
+		}
+		return p.interpolate(t)
+
+	case tScalarVar:
+		p.pos++
+		switch {
+		case p.accept(tPunct, "["):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tPunct, "]"); err != nil {
+				return nil, err
+			}
+			n := p.node(opElem, idx)
+			n.Slot = p.arraySlot(t.text)
+			n.Str = t.text
+			return n, nil
+		case p.accept(tPunct, "{"):
+			key, err := p.hashKey()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tPunct, "}"); err != nil {
+				return nil, err
+			}
+			n := p.node(opHelem, key)
+			n.Slot = p.hashSlot(t.text)
+			n.Str = t.text
+			return n, nil
+		default:
+			n := p.node(opScalarVar)
+			n.Slot = p.scalarSlot(t.text)
+			n.Str = t.text
+			return n, nil
+		}
+
+	case tArrayVar:
+		p.pos++
+		n := p.node(opArrayAll)
+		n.Slot = p.arraySlot(t.text)
+		n.Str = t.text
+		return n, nil
+
+	case tHashVar:
+		p.pos++
+		n := p.node(opHashAll)
+		n.Slot = p.hashSlot(t.text)
+		n.Str = t.text
+		return n, nil
+
+	case tRegex:
+		p.pos++
+		re, err := compilePattern(t)
+		if err != nil {
+			return nil, err
+		}
+		n := p.node(opMatch, nil) // nil subject = $_
+		n.Re = re
+		return n, nil
+
+	case tSubst:
+		p.pos++
+		re, err := compilePattern(t)
+		if err != nil {
+			return nil, err
+		}
+		underscore := p.node(opScalarVar)
+		underscore.Slot = 0
+		underscore.Str = "_"
+		n := p.node(opSubst, underscore)
+		n.Re = re
+		n.Repl = t.repl
+		n.Global = strings.Contains(t.aux, "g")
+		return n, nil
+
+	case tPunct:
+		switch t.text {
+		case "(":
+			p.pos++
+			if p.accept(tPunct, ")") {
+				// Empty list: %h = (), @a = ().
+				return p.node(opList), nil
+			}
+			e, err := p.exprList()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tPunct, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		case "<FH>":
+			p.pos++
+			n := p.node(opReadLine)
+			n.Str = t.aux
+			return n, nil
+		case "&":
+			p.pos++
+			name, err := p.expect(tIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return p.callArgs(name.text)
+		}
+
+	case tIdent:
+		if builtinNames[t.text] {
+			p.pos++
+			return p.builtinCall(t.text)
+		}
+		if !perlKeywords[t.text] {
+			p.pos++
+			if p.at(tPunct, "(") {
+				return p.callArgs(t.text)
+			}
+			// Bareword: treated as a string constant (Perl 4 behavior).
+			n := p.node(opConst)
+			n.Str = t.text
+			return n, nil
+		}
+	}
+	return nil, errLine(t.line, "unexpected %s in expression", t)
+}
+
+// hashKey parses a hash subscript: a bareword or a full expression.
+func (p *pparser) hashKey() (*Node, error) {
+	if p.cur().kind == tIdent && p.toks[p.pos+1].kind == tPunct && p.toks[p.pos+1].text == "}" {
+		t := p.next()
+		n := p.node(opConst)
+		n.Str = t.text
+		return n, nil
+	}
+	return p.expr()
+}
+
+// callArgs parses `name(args)` into a user-sub call.
+func (p *pparser) callArgs(name string) (*Node, error) {
+	n := p.node(opCall)
+	n.Str = name
+	if p.accept(tPunct, "(") {
+		if !p.at(tPunct, ")") {
+			args, err := p.exprList()
+			if err != nil {
+				return nil, err
+			}
+			if args.Op == opList {
+				n.Kids = args.Kids
+			} else {
+				n.Kids = []*Node{args}
+			}
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// builtinCall parses a builtin; parentheses required except for a few
+// list-y ones that commonly appear bare.
+func (p *pparser) builtinCall(name string) (*Node, error) {
+	n := p.node(opFunc)
+	n.Str = name
+	if p.accept(tPunct, "(") {
+		if !p.at(tPunct, ")") {
+			// split's first argument may be a naked pattern.
+			if name == "split" && p.cur().kind == tRegex {
+				t := p.next()
+				re, err := compilePattern(t)
+				if err != nil {
+					return nil, err
+				}
+				pat := p.node(opConst)
+				pat.Re = re
+				n.Kids = append(n.Kids, pat)
+				if p.accept(tPunct, ",") {
+					rest, err := p.exprList()
+					if err != nil {
+						return nil, err
+					}
+					if rest.Op == opList {
+						n.Kids = append(n.Kids, rest.Kids...)
+					} else {
+						n.Kids = append(n.Kids, rest)
+					}
+				}
+			} else {
+				args, err := p.exprList()
+				if err != nil {
+					return nil, err
+				}
+				if args.Op == opList {
+					n.Kids = args.Kids
+				} else {
+					n.Kids = []*Node{args}
+				}
+			}
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	// Bare forms: `shift`, `pop @a`, `length $x`, `die "msg"`, ...
+	switch name {
+	case "shift", "pop", "keys", "values", "scalar", "defined", "length",
+		"chop", "chomp", "lc", "uc", "ord", "chr", "die", "exit", "int",
+		"abs", "hex", "eof":
+		if p.at(tPunct, ";") || p.at(tPunct, "}") || p.at(tPunct, ")") ||
+			p.at(tPunct, ",") || p.at(tEOF, "") || p.at(tIdent, "if") ||
+			p.at(tIdent, "unless") || p.at(tIdent, "while") {
+			return n, nil
+		}
+		arg, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		n.Kids = []*Node{arg}
+		return n, nil
+	}
+	return nil, errLine(p.cur().line, "%s requires parentheses", name)
+}
+
+// interpolate compiles a double-quoted string with $var references into a
+// concat chain — the way Perl's own parser lowers interpolation.
+func (p *pparser) interpolate(t token) (*Node, error) {
+	var parts []*Node
+	lit := func(s string) {
+		if s == "" {
+			return
+		}
+		n := p.node(opConst)
+		n.Str = s
+		parts = append(parts, n)
+	}
+	s := t.text
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] != '$' || i+1 >= len(s) {
+			continue
+		}
+		j := i + 1
+		braced := false
+		if s[j] == '{' {
+			braced = true
+			j++
+		}
+		k := j
+		for k < len(s) && isWord(s[k]) {
+			k++
+		}
+		if k == j {
+			continue // bare $
+		}
+		name := s[j:k]
+		if braced {
+			if k >= len(s) || s[k] != '}' {
+				continue
+			}
+			k++
+		}
+		var v *Node
+		// Element interpolation: "$a[3]", "$a[-1]", "$a[$i]", "$h{key}",
+		// "$h{$k}".
+		if !braced && k < len(s) && (s[k] == '[' || s[k] == '{') {
+			open := s[k]
+			close := byte(']')
+			if open == '{' {
+				close = '}'
+			}
+			m := strings.IndexByte(s[k:], close)
+			if m > 1 {
+				sub := s[k+1 : k+m]
+				idx := p.subscriptNode(sub, open == '{')
+				if idx != nil {
+					if open == '[' {
+						v = p.node(opElem, idx)
+						v.Slot = p.arraySlot(name)
+					} else {
+						v = p.node(opHelem, idx)
+						v.Slot = p.hashSlot(name)
+					}
+					v.Str = name
+					k += m + 1
+				}
+			}
+		}
+		if v == nil {
+			v = p.node(opScalarVar)
+			v.Slot = p.scalarSlot(name)
+			v.Str = name
+		}
+		lit(s[start:i])
+		parts = append(parts, v)
+		start = k
+		i = k - 1
+	}
+	lit(s[start:])
+	if len(parts) == 0 {
+		n := p.node(opConst)
+		n.Str = s
+		return n, nil
+	}
+	out := parts[0]
+	for _, part := range parts[1:] {
+		out = p.node(opConcat, out, part)
+	}
+	return out, nil
+}
+
+// subscriptNode builds the index node for an interpolated element: an
+// integer, a $var, or (for hashes) a bareword key.  Returns nil when the
+// subscript is not a supported simple form.
+func (p *pparser) subscriptNode(sub string, hash bool) *Node {
+	if len(sub) == 0 {
+		return nil
+	}
+	if sub[0] == '$' && len(sub) > 1 {
+		ok := true
+		for j := 1; j < len(sub); j++ {
+			if !isWord(sub[j]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			n := p.node(opScalarVar)
+			n.Slot = p.scalarSlot(sub[1:])
+			n.Str = sub[1:]
+			return n
+		}
+		return nil
+	}
+	numeric := true
+	for j, ch := range []byte(sub) {
+		if ch == '-' && j == 0 {
+			continue
+		}
+		if ch < '0' || ch > '9' {
+			numeric = false
+			break
+		}
+	}
+	if numeric {
+		n := p.node(opConst)
+		v := 0
+		neg := sub[0] == '-'
+		str := sub
+		if neg {
+			str = sub[1:]
+		}
+		for _, ch := range []byte(str) {
+			v = v*10 + int(ch-'0')
+		}
+		if neg {
+			v = -v
+		}
+		n.Num = float64(v)
+		n.Str = sub
+		return n
+	}
+	if hash {
+		ok := true
+		for _, ch := range []byte(sub) {
+			if !isWord(ch) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			n := p.node(opConst)
+			n.Str = sub
+			return n
+		}
+	}
+	return nil
+}

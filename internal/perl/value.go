@@ -1,0 +1,134 @@
+// Package perl is the laboratory's Perl: a scripting-language interpreter
+// with the structure the paper attributes to Perl 4.036.
+//
+// A program is compiled *at startup* into an internal op tree — the paper
+// reports these precompilation instructions separately in Table 2, and we
+// do the same (atom.PhaseStartup).  Precompilation resolves scalar and
+// array names to slots, so the §3.3 observation holds: scalar and array
+// accesses cost almost nothing at runtime, while hash (associative array)
+// elements always pay a hash-table translation of a couple hundred native
+// instructions.  Execution walks the op tree; each op is one virtual
+// command with a moderate fetch/decode cost and a potentially enormous
+// execute cost (match, substitution, split run the real regex engine of
+// internal/rx over real strings).
+package perl
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Scalar is a Perl scalar: simultaneously a string and a number, converted
+// lazily like Perl's SV.
+type Scalar struct {
+	s    string
+	n    float64
+	hasS bool
+	hasN bool
+}
+
+// Undef is the undefined scalar.
+var Undef = Scalar{}
+
+// Str builds a string scalar.
+func Str(s string) Scalar { return Scalar{s: s, hasS: true} }
+
+// Num builds a numeric scalar.
+func Num(n float64) Scalar { return Scalar{n: n, hasN: true} }
+
+// Bool builds Perl's canonical truth values (1 and "").
+func Bool(b bool) Scalar {
+	if b {
+		return Num(1)
+	}
+	return Str("")
+}
+
+// Defined reports whether the scalar is defined.
+func (v Scalar) Defined() bool { return v.hasS || v.hasN }
+
+// ToNum converts to a number, Perl-style: leading numeric prefix, else 0.
+func (v Scalar) ToNum() float64 {
+	if v.hasN {
+		return v.n
+	}
+	if !v.hasS {
+		return 0
+	}
+	s := strings.TrimLeft(v.s, " \t\n")
+	end := 0
+	seenDigit := false
+	for end < len(s) {
+		c := s[end]
+		if c == '+' || c == '-' {
+			if end != 0 {
+				break
+			}
+		} else if c == '.' {
+			if strings.ContainsRune(s[:end], '.') {
+				break
+			}
+		} else if c >= '0' && c <= '9' {
+			seenDigit = true
+		} else {
+			break
+		}
+		end++
+	}
+	if !seenDigit {
+		return 0
+	}
+	n, err := strconv.ParseFloat(strings.TrimRight(s[:end], "."), 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// ToStr converts to a string, formatting integers without a decimal point.
+func (v Scalar) ToStr() string {
+	if v.hasS {
+		return v.s
+	}
+	if !v.hasN {
+		return ""
+	}
+	return formatNum(v.n)
+}
+
+func formatNum(n float64) string {
+	if n == math.Trunc(n) && math.Abs(n) < 1e15 {
+		return strconv.FormatInt(int64(n), 10)
+	}
+	return strconv.FormatFloat(n, 'g', 15, 64)
+}
+
+// ToBool applies Perl truth: "" and "0" and 0 and undef are false.
+func (v Scalar) ToBool() bool {
+	if v.hasN && !v.hasS {
+		return v.n != 0
+	}
+	if !v.hasS {
+		return false
+	}
+	return v.s != "" && v.s != "0"
+}
+
+// Len returns the string length (the cost driver for string ops).
+func (v Scalar) Len() int { return len(v.ToStr()) }
+
+func (v Scalar) String() string { return v.ToStr() }
+
+// Error is a runtime or compile error with source position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("perl: line %d: %s", e.Line, e.Msg) }
+
+func errLine(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,221 @@
+package rx
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicMatching(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"abc", "abc", true},
+		{"abc", "xabcy", true},
+		{"abc", "ab", false},
+		{"a.c", "axc", true},
+		{"a.c", "a\nc", false},
+		{"^abc$", "abc", true},
+		{"^abc$", "xabc", false},
+		{"^abc$", "abcx", false},
+		{"a*", "", true},
+		{"a+", "", false},
+		{"a+", "aaa", true},
+		{"ab?c", "ac", true},
+		{"ab?c", "abc", true},
+		{"ab?c", "abbc", false},
+		{"a|b", "b", true},
+		{"cat|dog", "hotdog", true},
+		{"cat|dog", "bird", false},
+		{"[abc]+", "cab", true},
+		{"[^abc]", "d", true},
+		{"[^abc]", "a", false},
+		{"[a-z0-9]+", "ab12", true},
+		{"[a-z]+$", "abc123", false},
+		{`\d+`, "x42y", true},
+		{`\d+`, "xy", false},
+		{`\w+`, "hi_there", true},
+		{`\s`, "a b", true},
+		{`\S+`, "  x  ", true},
+		{`\D`, "5a", true},
+		{`a\.b`, "a.b", true},
+		{`a\.b`, "axb", false},
+		{"(ab)+c", "ababc", true},
+		{"(a|b)*c", "abbac", true},
+		{"x(y(z))", "xyz", true},
+	}
+	for _, c := range cases {
+		re, err := Compile(c.pat)
+		if err != nil {
+			t.Fatalf("compile %q: %v", c.pat, err)
+		}
+		if got := re.MatchString(c.s).Ok; got != c.want {
+			t.Errorf("match(%q, %q) = %v, want %v", c.pat, c.s, got, c.want)
+		}
+	}
+}
+
+func TestCaptures(t *testing.T) {
+	re := MustCompile(`(\w+)@(\w+)\.com`)
+	s := []byte("mail bob@example.com now")
+	m := re.Search(s, 0)
+	if !m.Ok {
+		t.Fatal("no match")
+	}
+	if string(m.Group(s, 0)) != "bob@example.com" {
+		t.Errorf("group 0 = %q", m.Group(s, 0))
+	}
+	if string(m.Group(s, 1)) != "bob" || string(m.Group(s, 2)) != "example" {
+		t.Errorf("groups = %q %q", m.Group(s, 1), m.Group(s, 2))
+	}
+	if re.Groups() != 2 {
+		t.Errorf("ncap = %d", re.Groups())
+	}
+}
+
+func TestLeftmostMatch(t *testing.T) {
+	re := MustCompile(`a+`)
+	s := []byte("xxaayaaa")
+	m := re.Search(s, 0)
+	if !m.Ok || m.Caps[0] != 2 || m.Caps[1] != 4 {
+		t.Errorf("leftmost greedy: caps = %v", m.Caps)
+	}
+	m = re.Search(s, 4)
+	if !m.Ok || m.Caps[0] != 5 {
+		t.Errorf("search from 4: caps = %v", m.Caps)
+	}
+}
+
+func TestGreedy(t *testing.T) {
+	re := MustCompile(`<.*>`)
+	s := []byte("<a><b>")
+	m := re.Search(s, 0)
+	if !m.Ok || m.Caps[1] != 6 {
+		t.Errorf("greedy star should span both tags: %v", m.Caps)
+	}
+}
+
+func TestReplaceAll(t *testing.T) {
+	re := MustCompile(`(\w+)=(\d+)`)
+	out, n, _ := re.ReplaceAll([]byte("a=1, b=22"), []byte("$2:$1"), true)
+	if string(out) != "1:a, 22:b" || n != 2 {
+		t.Errorf("replace = %q, n = %d", out, n)
+	}
+	out, n, _ = re.ReplaceAll([]byte("a=1, b=22"), []byte("X"), false)
+	if string(out) != "X, b=22" || n != 1 {
+		t.Errorf("non-global replace = %q, n = %d", out, n)
+	}
+	// $& and literal $ handling.
+	re2 := MustCompile(`b+`)
+	out, _, _ = re2.ReplaceAll([]byte("abbbc"), []byte("[$&]$x"), true)
+	if string(out) != "a[bbb]$xc" {
+		t.Errorf("replace with $& = %q", out)
+	}
+}
+
+func TestReplaceEmptyMatch(t *testing.T) {
+	re := MustCompile(`x*`)
+	out, _, _ := re.ReplaceAll([]byte("ab"), []byte("-"), true)
+	// Must terminate and keep all input characters.
+	if !strings.Contains(string(out), "a") || !strings.Contains(string(out), "b") {
+		t.Errorf("empty-match replace lost text: %q", out)
+	}
+}
+
+func TestStepsCounted(t *testing.T) {
+	re := MustCompile(`(a+)+$`)
+	s := []byte(strings.Repeat("a", 18) + "b")
+	m := re.Search(s, 0)
+	if m.Ok {
+		t.Fatal("should not match")
+	}
+	if m.Steps < 1000 {
+		t.Errorf("catastrophic backtracking should cost many steps, got %d", m.Steps)
+	}
+	simple := MustCompile(`abc`).MatchString("abc")
+	if simple.Steps <= 0 || simple.Steps > 50 {
+		t.Errorf("simple match steps = %d", simple.Steps)
+	}
+}
+
+func TestStepLimitTerminates(t *testing.T) {
+	re := MustCompile(`(a*)*(a*)*(a*)*$`)
+	s := []byte(strings.Repeat("a", 64) + "b")
+	m := re.Search(s, 0)
+	if m.Ok {
+		t.Error("must not match")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	for _, pat := range []string{"(", "(a", "a)", "[abc", "*a", "+", "?", "a|*", "[z-a]"} {
+		if _, err := Compile(pat); err == nil {
+			t.Errorf("pattern %q should fail to compile", pat)
+		}
+	}
+}
+
+func TestAnchorFastPath(t *testing.T) {
+	re := MustCompile(`^x`)
+	m := re.Search([]byte(strings.Repeat("y", 1000)), 0)
+	if m.Ok {
+		t.Fatal("must not match")
+	}
+	if m.Steps > 100 {
+		t.Errorf("anchored search should bail out early, steps = %d", m.Steps)
+	}
+}
+
+// TestAgainstStdlib cross-checks the engine against Go's regexp on a
+// corpus of patterns and subjects (property-based differential test).
+func TestAgainstStdlib(t *testing.T) {
+	pats := []string{
+		`a`, `ab`, `a+b`, `a*b`, `ab?c`, `a|bc`, `(ab|cd)+`, `[a-c]+`,
+		`[^a-c]+`, `^ab`, `ab$`, `a.b`, `(a)(b)(c)`, `(a+)(b+)`, `x(yz|w)*`,
+	}
+	subjects := []string{
+		"", "a", "b", "ab", "abc", "abcabc", "xyzw", "aabbcc", "cdcdab",
+		"xwyz", "aaab", "bca", "ab\nab", "ccba",
+	}
+	for _, p := range pats {
+		mine := MustCompile(p)
+		std := regexp.MustCompile(p)
+		for _, s := range subjects {
+			got := mine.MatchString(s).Ok
+			want := std.MatchString(s)
+			if got != want {
+				t.Errorf("pattern %q subject %q: mine=%v stdlib=%v", p, s, got, want)
+			}
+			if got {
+				m := mine.Search([]byte(s), 0)
+				loc := std.FindStringIndex(s)
+				if m.Caps[0] != loc[0] {
+					t.Errorf("pattern %q subject %q: start mine=%d stdlib=%d", p, s, m.Caps[0], loc[0])
+				}
+			}
+		}
+	}
+}
+
+func TestMatchStartProperty(t *testing.T) {
+	// Property: for literal patterns the match offset equals
+	// strings.Index.
+	f := func(hay []byte, needle0 byte) bool {
+		needle := []byte{needle0%26 + 'a'}
+		re, err := Compile(string(needle))
+		if err != nil {
+			return false
+		}
+		m := re.Search(hay, 0)
+		idx := strings.Index(string(hay), string(needle))
+		if idx < 0 {
+			return !m.Ok
+		}
+		return m.Ok && m.Caps[0] == idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,456 @@
+package tcl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SplitList parses a Tcl list into its elements.
+func SplitList(s string) ([]string, error) {
+	var out []string
+	pos := 0
+	for pos < len(s) {
+		for pos < len(s) && (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n') {
+			pos++
+		}
+		if pos >= len(s) {
+			break
+		}
+		switch s[pos] {
+		case '{':
+			depth := 0
+			j := pos
+			for ; j < len(s); j++ {
+				if s[j] == '{' {
+					depth++
+				} else if s[j] == '}' {
+					depth--
+					if depth == 0 {
+						break
+					}
+				}
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("unmatched open brace in list")
+			}
+			out = append(out, s[pos+1:j])
+			pos = j + 1
+		case '"':
+			j := pos + 1
+			for j < len(s) && s[j] != '"' {
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("unmatched quote in list")
+			}
+			out = append(out, s[pos+1:j])
+			pos = j + 1
+		default:
+			j := pos
+			for j < len(s) && s[j] != ' ' && s[j] != '\t' && s[j] != '\n' {
+				j++
+			}
+			out = append(out, s[pos:j])
+			pos = j
+		}
+	}
+	return out, nil
+}
+
+// JoinList formats elements as a Tcl list, brace-quoting where needed.
+func JoinList(items []string) string {
+	var sb strings.Builder
+	for k, it := range items {
+		if k > 0 {
+			sb.WriteByte(' ')
+		}
+		if it == "" || strings.ContainsAny(it, " \t\n{}\"") {
+			sb.WriteByte('{')
+			sb.WriteString(it)
+			sb.WriteByte('}')
+		} else {
+			sb.WriteString(it)
+		}
+	}
+	return sb.String()
+}
+
+func wrongArgs(usage string) error { return fmt.Errorf(`wrong # args: should be "%s"`, usage) }
+
+func registerCore(i *Interp) {
+	i.Register("set", func(i *Interp, args []string) (string, error) {
+		switch len(args) {
+		case 1:
+			return i.GetVar(args[0])
+		case 2:
+			if err := i.SetVar(args[0], args[1]); err != nil {
+				return "", err
+			}
+			return args[1], nil
+		}
+		return "", wrongArgs("set varName ?newValue?")
+	})
+
+	i.Register("unset", func(i *Interp, args []string) (string, error) {
+		for _, a := range args {
+			if err := i.UnsetVar(a); err != nil {
+				return "", err
+			}
+		}
+		return "", nil
+	})
+
+	i.Register("incr", func(i *Interp, args []string) (string, error) {
+		if len(args) < 1 || len(args) > 2 {
+			return "", wrongArgs("incr varName ?increment?")
+		}
+		cur, err := i.GetVar(args[0])
+		if err != nil {
+			return "", err
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(cur))
+		if err != nil {
+			return "", fmt.Errorf(`expected integer but got "%s"`, cur)
+		}
+		delta := 1
+		if len(args) == 2 {
+			delta, err = strconv.Atoi(args[1])
+			if err != nil {
+				return "", fmt.Errorf(`expected integer but got "%s"`, args[1])
+			}
+		}
+		out := strconv.Itoa(v + delta)
+		return out, i.SetVar(args[0], out)
+	})
+
+	i.Register("expr", func(i *Interp, args []string) (string, error) {
+		return i.ExprString(strings.Join(args, " "))
+	})
+
+	i.Register("if", func(i *Interp, args []string) (string, error) {
+		pos := 0
+		for {
+			if pos >= len(args) {
+				return "", wrongArgs("if cond ?then? body ?elseif cond body? ?else body?")
+			}
+			cond, err := i.ExprBool(args[pos])
+			if err != nil {
+				return "", err
+			}
+			pos++
+			if pos < len(args) && args[pos] == "then" {
+				pos++
+			}
+			if pos >= len(args) {
+				return "", wrongArgs("if cond body")
+			}
+			if cond {
+				return i.Eval(args[pos])
+			}
+			pos++
+			if pos >= len(args) {
+				return "", nil
+			}
+			switch args[pos] {
+			case "elseif":
+				pos++
+				continue
+			case "else":
+				pos++
+				if pos >= len(args) {
+					return "", wrongArgs("if ... else body")
+				}
+				return i.Eval(args[pos])
+			default:
+				// Implicit else body.
+				return i.Eval(args[pos])
+			}
+		}
+	})
+
+	i.Register("while", func(i *Interp, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", wrongArgs("while test command")
+		}
+		for {
+			// The condition and body are re-parsed every iteration —
+			// direct string interpretation.
+			ok, err := i.ExprBool(args[0])
+			if err != nil {
+				return "", err
+			}
+			if !ok {
+				return "", nil
+			}
+			if _, err := i.Eval(args[1]); err != nil {
+				return "", err
+			}
+			switch i.signal {
+			case SigBreak:
+				i.signal = SigOK
+				return "", nil
+			case SigContinue:
+				i.signal = SigOK
+			case SigReturn, SigExit:
+				return "", nil
+			}
+		}
+	})
+
+	i.Register("for", func(i *Interp, args []string) (string, error) {
+		if len(args) != 4 {
+			return "", wrongArgs("for start test next command")
+		}
+		if _, err := i.Eval(args[0]); err != nil {
+			return "", err
+		}
+		for {
+			ok, err := i.ExprBool(args[1])
+			if err != nil {
+				return "", err
+			}
+			if !ok {
+				return "", nil
+			}
+			if _, err := i.Eval(args[3]); err != nil {
+				return "", err
+			}
+			switch i.signal {
+			case SigBreak:
+				i.signal = SigOK
+				return "", nil
+			case SigContinue:
+				i.signal = SigOK
+			case SigReturn, SigExit:
+				return "", nil
+			}
+			if _, err := i.Eval(args[2]); err != nil {
+				return "", err
+			}
+		}
+	})
+
+	i.Register("foreach", func(i *Interp, args []string) (string, error) {
+		if len(args) != 3 {
+			return "", wrongArgs("foreach varName list command")
+		}
+		items, err := SplitList(args[1])
+		if err != nil {
+			return "", err
+		}
+		for _, it := range items {
+			if err := i.SetVar(args[0], it); err != nil {
+				return "", err
+			}
+			if _, err := i.Eval(args[2]); err != nil {
+				return "", err
+			}
+			brk := false
+			switch i.signal {
+			case SigBreak:
+				i.signal = SigOK
+				brk = true
+			case SigContinue:
+				i.signal = SigOK
+			case SigReturn, SigExit:
+				return "", nil
+			}
+			if brk {
+				break
+			}
+		}
+		return "", nil
+	})
+
+	i.Register("proc", func(i *Interp, args []string) (string, error) {
+		if len(args) != 3 {
+			return "", wrongArgs("proc name args body")
+		}
+		params, err := SplitList(args[1])
+		if err != nil {
+			return "", err
+		}
+		i.procs[args[0]] = &Proc{Name: args[0], Params: params, Body: args[2]}
+		return "", nil
+	})
+
+	i.Register("return", func(i *Interp, args []string) (string, error) {
+		i.retVal = ""
+		if len(args) > 0 {
+			i.retVal = args[0]
+		}
+		i.signal = SigReturn
+		return i.retVal, nil
+	})
+
+	i.Register("break", func(i *Interp, args []string) (string, error) {
+		i.signal = SigBreak
+		return "", nil
+	})
+
+	i.Register("continue", func(i *Interp, args []string) (string, error) {
+		i.signal = SigContinue
+		return "", nil
+	})
+
+	i.Register("global", func(i *Interp, args []string) (string, error) {
+		if len(i.frames) == 0 {
+			return "", nil
+		}
+		f := i.frames[len(i.frames)-1]
+		for _, name := range args {
+			i.chargeLookup(name)
+			g, ok := i.globals[name]
+			if !ok {
+				g = &Var{}
+				i.globals[name] = g
+			}
+			f[name] = g
+		}
+		return "", nil
+	})
+
+	i.Register("catch", func(i *Interp, args []string) (string, error) {
+		if len(args) < 1 || len(args) > 2 {
+			return "", wrongArgs("catch command ?varName?")
+		}
+		out, err := i.Eval(args[0])
+		code := "0"
+		if err != nil {
+			code = "1"
+			out = err.Error()
+			if i.signal == SigReturn || i.signal == SigBreak || i.signal == SigContinue {
+				i.signal = SigOK
+			}
+		}
+		if len(args) == 2 {
+			if err := i.SetVar(args[1], out); err != nil {
+				return "", err
+			}
+		}
+		return code, nil
+	})
+
+	i.Register("error", func(i *Interp, args []string) (string, error) {
+		if len(args) < 1 {
+			return "", wrongArgs("error message")
+		}
+		return "", fmt.Errorf("%s", args[0])
+	})
+
+	i.Register("eval", func(i *Interp, args []string) (string, error) {
+		return i.Eval(strings.Join(args, " "))
+	})
+
+	i.Register("exit", func(i *Interp, args []string) (string, error) {
+		code := 0
+		if len(args) > 0 {
+			code, _ = strconv.Atoi(args[0])
+		}
+		i.exitCode = code
+		i.signal = SigExit
+		return "", nil
+	})
+
+	i.Register("info", func(i *Interp, args []string) (string, error) {
+		if len(args) < 1 {
+			return "", wrongArgs("info option ?arg?")
+		}
+		switch args[0] {
+		case "exists":
+			if len(args) != 2 {
+				return "", wrongArgs("info exists varName")
+			}
+			if i.VarExists(args[1]) {
+				return "1", nil
+			}
+			return "0", nil
+		case "procs":
+			var names []string
+			for n := range i.procs {
+				names = append(names, n)
+			}
+			return JoinList(sortedStrings(names)), nil
+		case "commands":
+			var names []string
+			for n := range i.cmds {
+				names = append(names, n)
+			}
+			return JoinList(sortedStrings(names)), nil
+		}
+		return "", fmt.Errorf(`bad option "%s"`, args[0])
+	})
+
+	i.Register("array", func(i *Interp, args []string) (string, error) {
+		if len(args) < 2 {
+			return "", wrongArgs("array option arrayName ?arg?")
+		}
+		name := args[1]
+		i.chargeLookup(name)
+		v := i.frame()[name]
+		switch args[0] {
+		case "exists":
+			if v != nil && v.arr != nil {
+				return "1", nil
+			}
+			return "0", nil
+		case "size":
+			if v == nil || v.arr == nil {
+				return "0", nil
+			}
+			return strconv.Itoa(len(v.arr)), nil
+		case "names":
+			if v == nil || v.arr == nil {
+				return "", nil
+			}
+			var names []string
+			for k := range v.arr {
+				names = append(names, k)
+			}
+			return JoinList(sortedStrings(names)), nil
+		case "get":
+			if v == nil || v.arr == nil {
+				return "", nil
+			}
+			var out []string
+			for _, k := range sortedStrings(keysOf(v.arr)) {
+				out = append(out, k, v.arr[k])
+			}
+			return JoinList(out), nil
+		case "set":
+			if len(args) != 3 {
+				return "", wrongArgs("array set arrayName list")
+			}
+			items, err := SplitList(args[2])
+			if err != nil {
+				return "", err
+			}
+			for k := 0; k+1 < len(items); k += 2 {
+				if err := i.SetVar(name+"("+items[k]+")", items[k+1]); err != nil {
+					return "", err
+				}
+			}
+			return "", nil
+		}
+		return "", fmt.Errorf(`bad option "%s"`, args[0])
+	})
+}
+
+func sortedStrings(in []string) []string {
+	out := append([]string(nil), in...)
+	for a := 1; a < len(out); a++ {
+		for b := a; b > 0 && out[b] < out[b-1]; b-- {
+			out[b], out[b-1] = out[b-1], out[b]
+		}
+	}
+	return out
+}
+
+func keysOf(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

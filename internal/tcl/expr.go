@@ -1,0 +1,455 @@
+package tcl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// exprValue is a Tcl expression operand: numeric when possible, string
+// otherwise.
+type exprValue struct {
+	f     float64
+	isNum bool
+	s     string
+}
+
+func numValue(f float64) exprValue { return exprValue{f: f, isNum: true} }
+
+func parseOperandValue(s string) exprValue {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return exprValue{s: s}
+	}
+	if v, err := strconv.ParseInt(t, 0, 64); err == nil {
+		return numValue(float64(v))
+	}
+	if v, err := strconv.ParseFloat(t, 64); err == nil {
+		return numValue(v)
+	}
+	return exprValue{s: s}
+}
+
+func (v exprValue) bool() bool {
+	if v.isNum {
+		return v.f != 0
+	}
+	return v.s != "" && v.s != "0"
+}
+
+func (v exprValue) str() string {
+	if v.isNum {
+		return formatExprNum(v.f)
+	}
+	return v.s
+}
+
+func formatExprNum(f float64) string {
+	if f == float64(int64(f)) {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', 12, 64)
+}
+
+// EvalExpr substitutes and evaluates a Tcl expression string.
+func (i *Interp) EvalExpr(raw string) (exprValue, error) {
+	sub, err := i.SubstituteString(raw)
+	if err != nil {
+		return exprValue{}, err
+	}
+	if i.p != nil {
+		i.p.Exec(i.rExpr, 30+6*len(sub))
+	}
+	ep := &exprParser{i: i, s: sub}
+	v, err := ep.ternary()
+	if err != nil {
+		return exprValue{}, err
+	}
+	ep.skip()
+	if ep.pos < len(ep.s) {
+		return exprValue{}, fmt.Errorf("syntax error in expression %q", raw)
+	}
+	return v, nil
+}
+
+// ExprBool evaluates a condition string.
+func (i *Interp) ExprBool(raw string) (bool, error) {
+	v, err := i.EvalExpr(raw)
+	return v.bool(), err
+}
+
+// ExprString evaluates an expression to its string result.
+func (i *Interp) ExprString(raw string) (string, error) {
+	v, err := i.EvalExpr(raw)
+	return v.str(), err
+}
+
+type exprParser struct {
+	i   *Interp
+	s   string
+	pos int
+}
+
+func (e *exprParser) skip() {
+	for e.pos < len(e.s) && (e.s[e.pos] == ' ' || e.s[e.pos] == '\t' || e.s[e.pos] == '\n') {
+		e.pos++
+	}
+}
+
+func (e *exprParser) peekOp(ops ...string) string {
+	e.skip()
+	for _, op := range ops {
+		if strings.HasPrefix(e.s[e.pos:], op) {
+			return op
+		}
+	}
+	return ""
+}
+
+func (e *exprParser) charge(n int) {
+	if e.i.p != nil {
+		e.i.p.Exec(e.i.rExpr, n)
+	}
+}
+
+func (e *exprParser) ternary() (exprValue, error) {
+	c, err := e.orExpr()
+	if err != nil {
+		return c, err
+	}
+	if e.peekOp("?") != "" {
+		e.pos++
+		e.charge(8)
+		t, err := e.ternary()
+		if err != nil {
+			return t, err
+		}
+		if e.peekOp(":") == "" {
+			return t, fmt.Errorf("missing : in ?:")
+		}
+		e.pos++
+		f, err := e.ternary()
+		if err != nil {
+			return f, err
+		}
+		if c.bool() {
+			return t, nil
+		}
+		return f, nil
+	}
+	return c, nil
+}
+
+func (e *exprParser) orExpr() (exprValue, error) {
+	lhs, err := e.andExpr()
+	if err != nil {
+		return lhs, err
+	}
+	for e.peekOp("||") != "" {
+		e.pos += 2
+		e.charge(10)
+		rhs, err := e.andExpr()
+		if err != nil {
+			return rhs, err
+		}
+		lhs = numValue(boolToF(lhs.bool() || rhs.bool()))
+	}
+	return lhs, nil
+}
+
+func (e *exprParser) andExpr() (exprValue, error) {
+	lhs, err := e.bitExpr()
+	if err != nil {
+		return lhs, err
+	}
+	for e.peekOp("&&") != "" {
+		e.pos += 2
+		e.charge(10)
+		rhs, err := e.bitExpr()
+		if err != nil {
+			return rhs, err
+		}
+		lhs = numValue(boolToF(lhs.bool() && rhs.bool()))
+	}
+	return lhs, nil
+}
+
+func (e *exprParser) bitExpr() (exprValue, error) {
+	lhs, err := e.cmpExpr()
+	if err != nil {
+		return lhs, err
+	}
+	for {
+		op := e.peekOp("&", "|", "^")
+		// Avoid eating && and ||.
+		if op == "" || strings.HasPrefix(e.s[e.pos:], "&&") || strings.HasPrefix(e.s[e.pos:], "||") {
+			return lhs, nil
+		}
+		e.pos++
+		e.charge(10)
+		rhs, err := e.cmpExpr()
+		if err != nil {
+			return rhs, err
+		}
+		a, b := int64(lhs.f), int64(rhs.f)
+		switch op {
+		case "&":
+			lhs = numValue(float64(a & b))
+		case "|":
+			lhs = numValue(float64(a | b))
+		case "^":
+			lhs = numValue(float64(a ^ b))
+		}
+	}
+}
+
+func boolToF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (e *exprParser) cmpExpr() (exprValue, error) {
+	lhs, err := e.shiftExpr()
+	if err != nil {
+		return lhs, err
+	}
+	for {
+		op := e.peekOp("==", "!=", "<=", ">=", "<", ">")
+		if op == "" || strings.HasPrefix(e.s[e.pos:], "<<") || strings.HasPrefix(e.s[e.pos:], ">>") {
+			return lhs, nil
+		}
+		e.pos += len(op)
+		e.charge(12)
+		rhs, err := e.shiftExpr()
+		if err != nil {
+			return rhs, err
+		}
+		var res bool
+		if lhs.isNum && rhs.isNum {
+			switch op {
+			case "==":
+				res = lhs.f == rhs.f
+			case "!=":
+				res = lhs.f != rhs.f
+			case "<":
+				res = lhs.f < rhs.f
+			case "<=":
+				res = lhs.f <= rhs.f
+			case ">":
+				res = lhs.f > rhs.f
+			case ">=":
+				res = lhs.f >= rhs.f
+			}
+		} else {
+			a, b := lhs.str(), rhs.str()
+			switch op {
+			case "==":
+				res = a == b
+			case "!=":
+				res = a != b
+			case "<":
+				res = a < b
+			case "<=":
+				res = a <= b
+			case ">":
+				res = a > b
+			case ">=":
+				res = a >= b
+			}
+		}
+		lhs = numValue(boolToF(res))
+	}
+}
+
+func (e *exprParser) shiftExpr() (exprValue, error) {
+	lhs, err := e.addExpr()
+	if err != nil {
+		return lhs, err
+	}
+	for {
+		op := e.peekOp("<<", ">>")
+		if op == "" {
+			return lhs, nil
+		}
+		e.pos += 2
+		e.charge(10)
+		rhs, err := e.addExpr()
+		if err != nil {
+			return rhs, err
+		}
+		a, b := int64(lhs.f), uint(int64(rhs.f))&63
+		if op == "<<" {
+			lhs = numValue(float64(a << b))
+		} else {
+			lhs = numValue(float64(a >> b))
+		}
+	}
+}
+
+func (e *exprParser) addExpr() (exprValue, error) {
+	lhs, err := e.mulExpr()
+	if err != nil {
+		return lhs, err
+	}
+	for {
+		op := e.peekOp("+", "-")
+		if op == "" {
+			return lhs, nil
+		}
+		e.pos++
+		e.charge(10)
+		rhs, err := e.mulExpr()
+		if err != nil {
+			return rhs, err
+		}
+		if op == "+" {
+			lhs = numValue(lhs.f + rhs.f)
+		} else {
+			lhs = numValue(lhs.f - rhs.f)
+		}
+	}
+}
+
+func (e *exprParser) mulExpr() (exprValue, error) {
+	lhs, err := e.unary()
+	if err != nil {
+		return lhs, err
+	}
+	for {
+		op := e.peekOp("*", "/", "%")
+		if op == "" {
+			return lhs, nil
+		}
+		e.pos++
+		e.charge(12)
+		rhs, err := e.unary()
+		if err != nil {
+			return rhs, err
+		}
+		switch op {
+		case "*":
+			lhs = numValue(lhs.f * rhs.f)
+		case "/":
+			if rhs.f == 0 {
+				return lhs, fmt.Errorf("divide by zero")
+			}
+			if lhs.f == float64(int64(lhs.f)) && rhs.f == float64(int64(rhs.f)) {
+				// Integer division truncates toward negative infinity.
+				a, b := int64(lhs.f), int64(rhs.f)
+				q := a / b
+				if (a%b != 0) && ((a < 0) != (b < 0)) {
+					q--
+				}
+				lhs = numValue(float64(q))
+			} else {
+				lhs = numValue(lhs.f / rhs.f)
+			}
+		case "%":
+			if int64(rhs.f) == 0 {
+				return lhs, fmt.Errorf("divide by zero")
+			}
+			a, b := int64(lhs.f), int64(rhs.f)
+			r := a % b
+			if r != 0 && (r < 0) != (b < 0) {
+				r += b
+			}
+			lhs = numValue(float64(r))
+		}
+	}
+}
+
+func (e *exprParser) unary() (exprValue, error) {
+	e.skip()
+	if e.pos < len(e.s) {
+		switch e.s[e.pos] {
+		case '-':
+			e.pos++
+			v, err := e.unary()
+			if err != nil {
+				return v, err
+			}
+			return numValue(-v.f), nil
+		case '!':
+			e.pos++
+			v, err := e.unary()
+			if err != nil {
+				return v, err
+			}
+			return numValue(boolToF(!v.bool())), nil
+		case '~':
+			e.pos++
+			v, err := e.unary()
+			if err != nil {
+				return v, err
+			}
+			return numValue(float64(^int64(v.f))), nil
+		case '(':
+			e.pos++
+			v, err := e.ternary()
+			if err != nil {
+				return v, err
+			}
+			if e.peekOp(")") == "" {
+				return v, fmt.Errorf("missing )")
+			}
+			e.pos++
+			return v, nil
+		}
+	}
+	return e.operand()
+}
+
+func (e *exprParser) operand() (exprValue, error) {
+	e.skip()
+	if e.pos >= len(e.s) {
+		return exprValue{}, fmt.Errorf("empty expression")
+	}
+	start := e.pos
+	c := e.s[e.pos]
+	// Quoted string operand.
+	if c == '"' {
+		e.pos++
+		for e.pos < len(e.s) && e.s[e.pos] != '"' {
+			e.pos++
+		}
+		if e.pos >= len(e.s) {
+			return exprValue{}, fmt.Errorf("missing close-quote in expression")
+		}
+		e.pos++
+		return exprValue{s: e.s[start+1 : e.pos-1]}, nil
+	}
+	if c == '{' {
+		depth := 0
+		for ; e.pos < len(e.s); e.pos++ {
+			if e.s[e.pos] == '{' {
+				depth++
+			} else if e.s[e.pos] == '}' {
+				depth--
+				if depth == 0 {
+					e.pos++
+					return exprValue{s: e.s[start+1 : e.pos-1]}, nil
+				}
+			}
+		}
+		return exprValue{}, fmt.Errorf("missing close-brace in expression")
+	}
+	// Number or bare token.
+	for e.pos < len(e.s) {
+		ch := e.s[e.pos]
+		if ch == ' ' || ch == '\t' || ch == '\n' || strings.ContainsRune("+-*/%()<>=!&|^?:~", rune(ch)) {
+			// Allow leading sign, exponent signs, and hex digits inside.
+			if (ch == '+' || ch == '-') && e.pos > start && (e.s[e.pos-1] == 'e' || e.s[e.pos-1] == 'E') {
+				e.pos++
+				continue
+			}
+			break
+		}
+		e.pos++
+	}
+	if e.pos == start {
+		return exprValue{}, fmt.Errorf("syntax error in expression at %q", e.s[start:])
+	}
+	return parseOperandValue(e.s[start:e.pos]), nil
+}

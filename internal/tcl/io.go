@@ -1,0 +1,135 @@
+package tcl
+
+import (
+	"strconv"
+	"strings"
+
+	"interplab/internal/vfs"
+)
+
+// registerIO installs the file commands over the shared in-memory OS.
+func registerIO(i *Interp) {
+	i.Register("puts", func(i *Interp, args []string) (string, error) {
+		// puts ?-nonewline? ?channel? string
+		newline := true
+		if len(args) > 0 && args[0] == "-nonewline" {
+			newline = false
+			args = args[1:]
+		}
+		fd := vfs.Stdout
+		if len(args) == 2 {
+			ch, ok := i.files[args[0]]
+			if !ok && args[0] != "stdout" {
+				return "", wrongArgs("puts ?-nonewline? ?channelId? string")
+			}
+			if ok {
+				fd = ch
+			}
+			args = args[1:]
+		}
+		if len(args) != 1 {
+			return "", wrongArgs("puts ?-nonewline? ?channelId? string")
+		}
+		out := args[0]
+		if newline {
+			out += "\n"
+		}
+		i.chargeString(len(out))
+		if _, err := i.OS.Write(fd, []byte(out)); err != nil {
+			return "", err
+		}
+		return "", nil
+	})
+
+	i.Register("open", func(i *Interp, args []string) (string, error) {
+		if len(args) < 1 || len(args) > 2 {
+			return "", wrongArgs("open fileName ?access?")
+		}
+		write := len(args) == 2 && strings.HasPrefix(args[1], "w")
+		fd, err := i.OS.Open(args[0], write)
+		if err != nil {
+			return "", err
+		}
+		name := "file" + strconv.Itoa(fd)
+		i.files[name] = fd
+		return name, nil
+	})
+
+	i.Register("close", func(i *Interp, args []string) (string, error) {
+		if len(args) != 1 {
+			return "", wrongArgs("close channelId")
+		}
+		fd, ok := i.files[args[0]]
+		if !ok {
+			return "", wrongArgs("close channelId")
+		}
+		delete(i.files, args[0])
+		return "", i.OS.Close(fd)
+	})
+
+	i.Register("gets", func(i *Interp, args []string) (string, error) {
+		// gets channelId ?varName?
+		if len(args) < 1 || len(args) > 2 {
+			return "", wrongArgs("gets channelId ?varName?")
+		}
+		fd, ok := i.files[args[0]]
+		if !ok {
+			return "", wrongArgs("gets channelId")
+		}
+		line, err := i.OS.ReadLine(fd)
+		if err != nil {
+			return "", err
+		}
+		atEOF := len(line) == 0
+		s := strings.TrimSuffix(string(line), "\n")
+		i.chargeString(len(s))
+		if len(args) == 2 {
+			if err := i.SetVar(args[1], s); err != nil {
+				return "", err
+			}
+			if atEOF {
+				return "-1", nil
+			}
+			return strconv.Itoa(len(s)), nil
+		}
+		return s, nil
+	})
+
+	i.Register("read", func(i *Interp, args []string) (string, error) {
+		// read channelId ?numBytes?
+		if len(args) < 1 || len(args) > 2 {
+			return "", wrongArgs("read channelId ?numBytes?")
+		}
+		fd, ok := i.files[args[0]]
+		if !ok {
+			return "", wrongArgs("read channelId")
+		}
+		var out []byte
+		var err error
+		if len(args) == 2 {
+			n, aerr := strconv.Atoi(args[1])
+			if aerr != nil {
+				return "", aerr
+			}
+			out, err = i.OS.Read(fd, n)
+		} else {
+			out, err = i.OS.ReadAll(fd)
+		}
+		if err != nil {
+			return "", err
+		}
+		i.chargeString(len(out))
+		return string(out), nil
+	})
+
+	i.Register("eof", func(i *Interp, args []string) (string, error) {
+		if len(args) != 1 {
+			return "", wrongArgs("eof channelId")
+		}
+		fd, ok := i.files[args[0]]
+		if !ok || i.OS.AtEOF(fd) {
+			return "1", nil
+		}
+		return "0", nil
+	})
+}

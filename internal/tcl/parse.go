@@ -1,0 +1,464 @@
+package tcl
+
+import (
+	"fmt"
+	"strings"
+)
+
+const maxEvalDepth = 500
+
+// pending buffers parse-time instrumentation so it can be attributed to the
+// command's fetch/decode phase once the command name is known.
+type pending struct {
+	charges []func()
+}
+
+// charge routes instrumentation either to the parse buffer (while a command
+// is being assembled) or straight to the probe.
+func (i *Interp) bufParse(off, n int) {
+	if i.pend != nil {
+		p := i.pend
+		p.charges = append(p.charges, func() { i.chargeParse(off, n) })
+		return
+	}
+	i.chargeParse(off, n)
+}
+
+func (i *Interp) bufWord(n int) {
+	if i.pend != nil {
+		p := i.pend
+		p.charges = append(p.charges, func() { i.chargeWord(n) })
+		return
+	}
+	i.chargeWord(n)
+}
+
+func (i *Interp) bufLookup(name string) {
+	if i.pend != nil {
+		p := i.pend
+		p.charges = append(p.charges, func() { i.chargeLookup(name) })
+		return
+	}
+	i.chargeLookup(name)
+}
+
+// Eval interprets a script: the main loop of the direct string interpreter.
+// Every call re-parses the text from scratch (unless CachedParse models a
+// compiling implementation).
+func (i *Interp) Eval(script string) (string, error) {
+	if i.depth++; i.depth > maxEvalDepth {
+		i.depth--
+		return "", fmt.Errorf("too many nested evaluations")
+	}
+	defer func() { i.depth-- }()
+
+	if i.CachedParse {
+		if i.seenBodies == nil {
+			i.seenBodies = make(map[string]bool)
+		}
+		wasHot := i.cacheHot
+		i.cacheHot = i.seenBodies[script]
+		i.seenBodies[script] = true
+		defer func() { i.cacheHot = wasHot }()
+	}
+
+	result := ""
+	pos := 0
+	for pos < len(script) {
+		// Skip leading separators.
+		for pos < len(script) {
+			c := script[pos]
+			if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';' {
+				pos++
+				continue
+			}
+			break
+		}
+		if pos >= len(script) {
+			break
+		}
+		if script[pos] == '#' {
+			for pos < len(script) && script[pos] != '\n' {
+				pos++
+			}
+			continue
+		}
+
+		words, next, err := i.parseCommand(script, pos)
+		if err != nil {
+			return "", err
+		}
+		pos = next
+		if len(words) == 0 {
+			continue
+		}
+		r, err := i.runCommand(words)
+		if err != nil {
+			return "", err
+		}
+		result = r
+		if i.signal != SigOK {
+			break
+		}
+	}
+	return result, nil
+}
+
+// parseCommand assembles one command's words, performing $-, \- and
+// [...]-substitution, and buffering the parse costs.
+func (i *Interp) parseCommand(s string, pos int) ([]string, int, error) {
+	outer := i.pend
+	i.pend = &pending{}
+	defer func() { i.pend = outer }()
+
+	start := pos
+	var words []string
+	for pos < len(s) {
+		// Skip intra-command whitespace; a backslash-newline continues
+		// the command on the next line and separates words.
+		for pos < len(s) {
+			if s[pos] == ' ' || s[pos] == '\t' {
+				pos++
+				continue
+			}
+			if s[pos] == '\\' && pos+1 < len(s) && s[pos+1] == '\n' {
+				pos += 2
+				continue
+			}
+			break
+		}
+		if pos >= len(s) || s[pos] == '\n' || s[pos] == ';' {
+			if pos < len(s) {
+				pos++
+			}
+			break
+		}
+		w, next, err := i.parseWord(s, pos)
+		if err != nil {
+			return nil, pos, err
+		}
+		i.bufParse(pos, next-pos)
+		i.bufWord(len(w))
+		words = append(words, w)
+		pos = next
+	}
+	i.bufParse(start, 2) // command terminator handling
+	// Transfer the buffered charges to the command executor.
+	i.parseCost = i.pend.charges
+	return words, pos, nil
+}
+
+// parseWord parses one word starting at pos.
+func (i *Interp) parseWord(s string, pos int) (string, int, error) {
+	switch s[pos] {
+	case '{':
+		depth := 0
+		j := pos
+		for ; j < len(s); j++ {
+			switch s[j] {
+			case '{':
+				depth++
+			case '}':
+				depth--
+				if depth == 0 {
+					return s[pos+1 : j], j + 1, nil
+				}
+			case '\\':
+				j++
+			}
+		}
+		return "", pos, fmt.Errorf("missing close-brace")
+	case '"':
+		var sb strings.Builder
+		j := pos + 1
+		for j < len(s) {
+			c := s[j]
+			switch c {
+			case '"':
+				return sb.String(), j + 1, nil
+			case '$':
+				val, next, err := i.substVar(s, j)
+				if err != nil {
+					return "", pos, err
+				}
+				sb.WriteString(val)
+				j = next
+			case '[':
+				val, next, err := i.substCommand(s, j)
+				if err != nil {
+					return "", pos, err
+				}
+				sb.WriteString(val)
+				j = next
+			case '\\':
+				ch, next := substBackslash(s, j)
+				sb.WriteString(ch)
+				j = next
+			default:
+				sb.WriteByte(c)
+				j++
+			}
+		}
+		return "", pos, fmt.Errorf("missing close-quote")
+	}
+	// Bare word with substitution.
+	var sb strings.Builder
+	j := pos
+	for j < len(s) {
+		c := s[j]
+		if c == ' ' || c == '\t' || c == '\n' || c == ';' {
+			break
+		}
+		if c == '\\' && j+1 < len(s) && s[j+1] == '\n' {
+			break // line continuation terminates the word
+		}
+		switch c {
+		case '$':
+			val, next, err := i.substVar(s, j)
+			if err != nil {
+				return "", pos, err
+			}
+			sb.WriteString(val)
+			j = next
+		case '[':
+			val, next, err := i.substCommand(s, j)
+			if err != nil {
+				return "", pos, err
+			}
+			sb.WriteString(val)
+			j = next
+		case '\\':
+			ch, next := substBackslash(s, j)
+			sb.WriteString(ch)
+			j = next
+		default:
+			sb.WriteByte(c)
+			j++
+		}
+	}
+	return sb.String(), j, nil
+}
+
+// substVar expands a $name, $name(index) or ${name} reference at pos.
+func (i *Interp) substVar(s string, pos int) (string, int, error) {
+	j := pos + 1
+	if j >= len(s) {
+		return "$", j, nil
+	}
+	if s[j] == '{' {
+		end := strings.IndexByte(s[j:], '}')
+		if end < 0 {
+			return "", pos, fmt.Errorf("missing close-brace for variable name")
+		}
+		name := s[j+1 : j+end]
+		i.bufLookup(name)
+		v, err := i.GetVar(name)
+		return v, j + end + 1, err
+	}
+	k := j
+	for k < len(s) && (isNameChar(s[k])) {
+		k++
+	}
+	if k == j {
+		return "$", j, nil
+	}
+	name := s[j:k]
+	// Array element: $name(index) with substitution inside the index.
+	if k < len(s) && s[k] == '(' {
+		depth := 0
+		m := k
+		for ; m < len(s); m++ {
+			if s[m] == '(' {
+				depth++
+			} else if s[m] == ')' {
+				depth--
+				if depth == 0 {
+					break
+				}
+			}
+		}
+		if m >= len(s) {
+			return "", pos, fmt.Errorf("missing )")
+		}
+		idx, err := i.SubstituteString(s[k+1 : m])
+		if err != nil {
+			return "", pos, err
+		}
+		name = name + "(" + idx + ")"
+		k = m + 1
+	}
+	i.bufLookup(name)
+	v, err := i.GetVar(name)
+	return v, k, err
+}
+
+func isNameChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// substCommand evaluates a [command] substitution at pos.
+func (i *Interp) substCommand(s string, pos int) (string, int, error) {
+	depth := 0
+	j := pos
+	for ; j < len(s); j++ {
+		switch s[j] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+			if depth == 0 {
+				inner := s[pos+1 : j]
+				// The nested script runs its own commands; suspend the
+				// outer parse buffer so attribution stays with them.
+				save := i.pend
+				i.pend = nil
+				val, err := i.Eval(inner)
+				i.pend = save
+				return val, j + 1, err
+			}
+		case '\\':
+			j++
+		}
+	}
+	return "", pos, fmt.Errorf("missing close-bracket")
+}
+
+// substBackslash expands one backslash escape.
+func substBackslash(s string, pos int) (string, int) {
+	if pos+1 >= len(s) {
+		return "\\", pos + 1
+	}
+	c := s[pos+1]
+	switch c {
+	case 'n':
+		return "\n", pos + 2
+	case 't':
+		return "\t", pos + 2
+	case 'r':
+		return "\r", pos + 2
+	case '\n':
+		return " ", pos + 2 // line continuation
+	default:
+		return string(c), pos + 2
+	}
+}
+
+// SubstituteString performs $-, \- and [...]-substitution over a whole
+// string (used by expr and the index of array references).
+func (i *Interp) SubstituteString(s string) (string, error) {
+	if i.p != nil {
+		// The substitution pass re-scans the text (rSubst is Tcl's
+		// Tcl_ParseVar/DoSubst machinery).
+		i.p.Exec(i.rSubst, 6+3*len(s))
+	}
+	var sb strings.Builder
+	j := 0
+	for j < len(s) {
+		switch s[j] {
+		case '$':
+			val, next, err := i.substVar(s, j)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(val)
+			j = next
+		case '[':
+			val, next, err := i.substCommand(s, j)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(val)
+			j = next
+		case '\\':
+			ch, next := substBackslash(s, j)
+			sb.WriteString(ch)
+			j = next
+		default:
+			sb.WriteByte(s[j])
+			j++
+		}
+	}
+	return sb.String(), nil
+}
+
+// runCommand dispatches one parsed command.
+func (i *Interp) runCommand(words []string) (string, error) {
+	name := words[0]
+	i.Commands++
+
+	instrumented := i.p != nil
+	if instrumented {
+		i.p.BeginCommand(i.opID(name))
+		// Fetch/decode: the buffered parse work plus registry dispatch.
+		for _, ch := range i.parseCost {
+			ch()
+		}
+		i.parseCost = nil
+		i.p.Exec(i.rParse, costCmdBase)
+		i.p.BeginExecute()
+	}
+
+	var out string
+	var err error
+	switch {
+	case i.cmds[name] != nil:
+		if instrumented {
+			i.p.Call(i.cmdRoutine(name))
+			i.p.Exec(i.cmdRoutine(name), 30)
+		}
+		out, err = i.cmds[name](i, words[1:])
+		if instrumented {
+			i.p.Ret()
+		}
+	case i.procs[name] != nil:
+		out, err = i.callProc(i.procs[name], words[1:])
+	default:
+		err = fmt.Errorf(`invalid command name "%s"`, name)
+	}
+	if instrumented {
+		i.p.EndCommand()
+	}
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", name, err)
+	}
+	return out, nil
+}
+
+// callProc invokes a script-defined procedure: new frame, bind formals,
+// re-interpret the body string.
+func (i *Interp) callProc(pr *Proc, args []string) (string, error) {
+	if i.p != nil {
+		i.p.Call(i.rProc)
+		i.p.Exec(i.rProc, costProcCall+20*len(args))
+	}
+	frame := make(map[string]*Var, len(pr.Params)+2)
+	i.frames = append(i.frames, frame)
+	var err error
+	for idx, param := range pr.Params {
+		name, def, hasDef := strings.Cut(param, " ")
+		val := def
+		if idx < len(args) {
+			val = args[idx]
+		} else if !hasDef && name != "args" {
+			err = fmt.Errorf(`no value given for parameter "%s" to "%s"`, name, pr.Name)
+			break
+		}
+		if name == "args" {
+			val = strings.Join(args[idx:], " ")
+		}
+		frame[name] = &Var{val: val}
+	}
+	var out string
+	if err == nil {
+		out, err = i.Eval(pr.Body)
+	}
+	i.frames = i.frames[:len(i.frames)-1]
+	if i.p != nil {
+		i.p.Ret()
+	}
+	if i.signal == SigReturn {
+		i.signal = SigOK
+		out = i.retVal
+	}
+	return out, err
+}

@@ -1,0 +1,511 @@
+package tcl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"interplab/internal/rx"
+)
+
+// registerStringList installs the string, list, format and regexp commands
+// — the native runtime library that makes Tcl's string microbenchmarks far
+// cheaper (relative to C) than its scalar arithmetic (Table 1).
+func registerStringList(i *Interp) {
+	i.Register("string", func(i *Interp, args []string) (string, error) {
+		if len(args) < 2 {
+			return "", wrongArgs("string option arg ?arg?")
+		}
+		op, s := args[0], args[1]
+		i.chargeString(len(s))
+		switch op {
+		case "length":
+			return strconv.Itoa(len(s)), nil
+		case "index":
+			if len(args) != 3 {
+				return "", wrongArgs("string index string charIndex")
+			}
+			n, err := strconv.Atoi(args[2])
+			if err != nil || n < 0 || n >= len(s) {
+				return "", nil
+			}
+			return s[n : n+1], nil
+		case "range":
+			if len(args) != 4 {
+				return "", wrongArgs("string range string first last")
+			}
+			first, err := strconv.Atoi(args[2])
+			if err != nil {
+				return "", err
+			}
+			last := len(s) - 1
+			if args[3] != "end" {
+				last, err = strconv.Atoi(args[3])
+				if err != nil {
+					return "", err
+				}
+			}
+			if first < 0 {
+				first = 0
+			}
+			if last >= len(s) {
+				last = len(s) - 1
+			}
+			if first > last {
+				return "", nil
+			}
+			return s[first : last+1], nil
+		case "compare":
+			if len(args) != 3 {
+				return "", wrongArgs("string compare string1 string2")
+			}
+			return strconv.Itoa(strings.Compare(s, args[2])), nil
+		case "first":
+			if len(args) != 3 {
+				return "", wrongArgs("string first needle haystack")
+			}
+			return strconv.Itoa(strings.Index(args[2], s)), nil
+		case "last":
+			if len(args) != 3 {
+				return "", wrongArgs("string last needle haystack")
+			}
+			return strconv.Itoa(strings.LastIndex(args[2], s)), nil
+		case "tolower":
+			return strings.ToLower(s), nil
+		case "toupper":
+			return strings.ToUpper(s), nil
+		case "trim":
+			return strings.TrimSpace(s), nil
+		case "trimleft":
+			return strings.TrimLeft(s, " \t\n"), nil
+		case "trimright":
+			return strings.TrimRight(s, " \t\n"), nil
+		case "match":
+			if len(args) != 3 {
+				return "", wrongArgs("string match pattern string")
+			}
+			if globMatch(s, args[2]) {
+				return "1", nil
+			}
+			return "0", nil
+		}
+		return "", fmt.Errorf(`bad option "%s"`, op)
+	})
+
+	i.Register("append", func(i *Interp, args []string) (string, error) {
+		if len(args) < 1 {
+			return "", wrongArgs("append varName ?value ...?")
+		}
+		cur := ""
+		if i.VarExists(args[0]) {
+			v, err := i.GetVar(args[0])
+			if err != nil {
+				return "", err
+			}
+			cur = v
+		}
+		for _, a := range args[1:] {
+			cur += a
+		}
+		i.chargeString(len(cur))
+		return cur, i.SetVar(args[0], cur)
+	})
+
+	i.Register("format", func(i *Interp, args []string) (string, error) {
+		if len(args) < 1 {
+			return "", wrongArgs("format formatString ?arg ...?")
+		}
+		out, err := tclFormat(args[0], args[1:])
+		if err != nil {
+			return "", err
+		}
+		i.chargeString(len(out))
+		return out, nil
+	})
+
+	i.Register("split", func(i *Interp, args []string) (string, error) {
+		if len(args) < 1 || len(args) > 2 {
+			return "", wrongArgs("split string ?splitChars?")
+		}
+		s := args[0]
+		chars := " \t\n"
+		if len(args) == 2 {
+			chars = args[1]
+		}
+		i.chargeString(len(s))
+		var parts []string
+		if chars == "" {
+			for k := 0; k < len(s); k++ {
+				parts = append(parts, s[k:k+1])
+			}
+		} else {
+			parts = strings.FieldsFunc(s, func(r rune) bool {
+				return strings.ContainsRune(chars, r)
+			})
+			// Tcl keeps empty fields; FieldsFunc drops them.  Redo
+			// faithfully.
+			parts = parts[:0]
+			cur := strings.Builder{}
+			for k := 0; k < len(s); k++ {
+				if strings.IndexByte(chars, s[k]) >= 0 {
+					parts = append(parts, cur.String())
+					cur.Reset()
+				} else {
+					cur.WriteByte(s[k])
+				}
+			}
+			parts = append(parts, cur.String())
+		}
+		return JoinList(parts), nil
+	})
+
+	i.Register("join", func(i *Interp, args []string) (string, error) {
+		if len(args) < 1 || len(args) > 2 {
+			return "", wrongArgs("join list ?joinString?")
+		}
+		sep := " "
+		if len(args) == 2 {
+			sep = args[1]
+		}
+		items, err := SplitList(args[0])
+		if err != nil {
+			return "", err
+		}
+		out := strings.Join(items, sep)
+		i.chargeString(len(out))
+		return out, nil
+	})
+
+	i.Register("list", func(i *Interp, args []string) (string, error) {
+		i.chargeList(len(args))
+		return JoinList(args), nil
+	})
+
+	i.Register("lindex", func(i *Interp, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", wrongArgs("lindex list index")
+		}
+		items, err := SplitList(args[0])
+		if err != nil {
+			return "", err
+		}
+		i.chargeList(len(items))
+		if args[1] == "end" {
+			if len(items) == 0 {
+				return "", nil
+			}
+			return items[len(items)-1], nil
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil || n < 0 || n >= len(items) {
+			return "", nil
+		}
+		return items[n], nil
+	})
+
+	i.Register("llength", func(i *Interp, args []string) (string, error) {
+		if len(args) != 1 {
+			return "", wrongArgs("llength list")
+		}
+		items, err := SplitList(args[0])
+		if err != nil {
+			return "", err
+		}
+		i.chargeList(len(items))
+		return strconv.Itoa(len(items)), nil
+	})
+
+	i.Register("lappend", func(i *Interp, args []string) (string, error) {
+		if len(args) < 1 {
+			return "", wrongArgs("lappend varName ?value ...?")
+		}
+		cur := ""
+		if i.VarExists(args[0]) {
+			v, err := i.GetVar(args[0])
+			if err != nil {
+				return "", err
+			}
+			cur = v
+		}
+		items, err := SplitList(cur)
+		if err != nil {
+			return "", err
+		}
+		items = append(items, args[1:]...)
+		i.chargeList(len(items))
+		out := JoinList(items)
+		return out, i.SetVar(args[0], out)
+	})
+
+	i.Register("lrange", func(i *Interp, args []string) (string, error) {
+		if len(args) != 3 {
+			return "", wrongArgs("lrange list first last")
+		}
+		items, err := SplitList(args[0])
+		if err != nil {
+			return "", err
+		}
+		i.chargeList(len(items))
+		first, err := strconv.Atoi(args[1])
+		if err != nil {
+			return "", err
+		}
+		last := len(items) - 1
+		if args[2] != "end" {
+			last, err = strconv.Atoi(args[2])
+			if err != nil {
+				return "", err
+			}
+		}
+		if first < 0 {
+			first = 0
+		}
+		if last >= len(items) {
+			last = len(items) - 1
+		}
+		if first > last {
+			return "", nil
+		}
+		return JoinList(items[first : last+1]), nil
+	})
+
+	i.Register("lsearch", func(i *Interp, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", wrongArgs("lsearch list pattern")
+		}
+		items, err := SplitList(args[0])
+		if err != nil {
+			return "", err
+		}
+		i.chargeList(len(items))
+		for k, it := range items {
+			if globMatch(args[1], it) {
+				return strconv.Itoa(k), nil
+			}
+		}
+		return "-1", nil
+	})
+
+	i.Register("lsort", func(i *Interp, args []string) (string, error) {
+		if len(args) != 1 {
+			return "", wrongArgs("lsort list")
+		}
+		items, err := SplitList(args[0])
+		if err != nil {
+			return "", err
+		}
+		i.chargeList(len(items) * 4)
+		return JoinList(sortedStrings(items)), nil
+	})
+
+	i.Register("concat", func(i *Interp, args []string) (string, error) {
+		var parts []string
+		for _, a := range args {
+			t := strings.TrimSpace(a)
+			if t != "" {
+				parts = append(parts, t)
+			}
+		}
+		out := strings.Join(parts, " ")
+		i.chargeString(len(out))
+		return out, nil
+	})
+
+	i.Register("regexp", func(i *Interp, args []string) (string, error) {
+		// regexp ?-nocase? exp string ?matchVar? ?subVar ...?
+		nocase := false
+		if len(args) > 0 && args[0] == "-nocase" {
+			nocase = true
+			args = args[1:]
+		}
+		if len(args) < 2 {
+			return "", wrongArgs("regexp ?-nocase? exp string ?matchVar? ?subVar ...?")
+		}
+		pat := args[0]
+		if nocase {
+			pat = strings.ToLower(pat)
+		}
+		re, err := rx.Compile(pat)
+		if err != nil {
+			return "", fmt.Errorf("couldn't compile regular expression: %v", err)
+		}
+		subject := args[1]
+		if nocase {
+			subject = strings.ToLower(subject)
+		}
+		m := re.Search([]byte(subject), 0)
+		i.chargeRegex(m.Steps)
+		if !m.Ok {
+			return "0", nil
+		}
+		for k, varName := range args[2:] {
+			g := m.Group([]byte(args[1]), k)
+			if err := i.SetVar(varName, string(g)); err != nil {
+				return "", err
+			}
+		}
+		return "1", nil
+	})
+
+	i.Register("regsub", func(i *Interp, args []string) (string, error) {
+		// regsub ?-all? exp string subSpec varName
+		all := false
+		if len(args) > 0 && args[0] == "-all" {
+			all = true
+			args = args[1:]
+		}
+		if len(args) != 4 {
+			return "", wrongArgs("regsub ?-all? exp string subSpec varName")
+		}
+		re, err := rx.Compile(args[0])
+		if err != nil {
+			return "", fmt.Errorf("couldn't compile regular expression: %v", err)
+		}
+		// Tcl uses & and \1; translate to the engine's $ syntax.
+		spec := strings.ReplaceAll(args[2], "&", "$0")
+		for d := '1'; d <= '9'; d++ {
+			spec = strings.ReplaceAll(spec, `\`+string(d), "$"+string(d))
+		}
+		out, n, steps := re.ReplaceAll([]byte(args[1]), []byte(spec), all)
+		i.chargeRegex(steps)
+		i.chargeString(len(out))
+		if err := i.SetVar(args[3], string(out)); err != nil {
+			return "", err
+		}
+		return strconv.Itoa(n), nil
+	})
+}
+
+// chargeList models native list-library work over n elements.
+func (i *Interp) chargeList(n int) {
+	if i.p == nil {
+		return
+	}
+	i.p.Exec(i.rList, 16+6*n)
+}
+
+// chargeRegex models the compiled regexp package's work.
+func (i *Interp) chargeRegex(steps int) {
+	if i.p == nil {
+		return
+	}
+	i.p.Call(i.rExpr)
+	i.p.Exec(i.rExpr, 20+3*steps)
+	i.p.Ret()
+}
+
+// globMatch implements Tcl's string match: * ? [chars].
+func globMatch(pattern, s string) bool {
+	p, n := 0, 0
+	starP, starN := -1, 0
+	for n < len(s) {
+		if p < len(pattern) {
+			switch pattern[p] {
+			case '*':
+				starP, starN = p, n
+				p++
+				continue
+			case '?':
+				p++
+				n++
+				continue
+			case '[':
+				end := strings.IndexByte(pattern[p:], ']')
+				if end > 0 && matchClass(pattern[p+1:p+end], s[n]) {
+					p += end + 1
+					n++
+					continue
+				}
+			default:
+				if pattern[p] == '\\' && p+1 < len(pattern) {
+					p++
+				}
+				if pattern[p] == s[n] {
+					p++
+					n++
+					continue
+				}
+			}
+		}
+		if starP >= 0 {
+			starN++
+			p, n = starP+1, starN
+			continue
+		}
+		return false
+	}
+	for p < len(pattern) && pattern[p] == '*' {
+		p++
+	}
+	return p == len(pattern)
+}
+
+func matchClass(class string, c byte) bool {
+	for k := 0; k < len(class); k++ {
+		if k+2 < len(class) && class[k+1] == '-' {
+			if c >= class[k] && c <= class[k+2] {
+				return true
+			}
+			k += 2
+			continue
+		}
+		if class[k] == c {
+			return true
+		}
+	}
+	return false
+}
+
+// tclFormat implements the format command (%d %s %x %o %c %f with flags).
+func tclFormat(format string, args []string) (string, error) {
+	var sb strings.Builder
+	ai := 0
+	next := func() string {
+		if ai < len(args) {
+			v := args[ai]
+			ai++
+			return v
+		}
+		return ""
+	}
+	for j := 0; j < len(format); j++ {
+		c := format[j]
+		if c != '%' {
+			sb.WriteByte(c)
+			continue
+		}
+		j++
+		if j >= len(format) {
+			break
+		}
+		spec := "%"
+		for j < len(format) && strings.IndexByte("-+ 0123456789.", format[j]) >= 0 {
+			spec += string(format[j])
+			j++
+		}
+		if j >= len(format) {
+			break
+		}
+		switch format[j] {
+		case '%':
+			sb.WriteByte('%')
+		case 'd':
+			v, _ := strconv.ParseInt(strings.TrimSpace(next()), 0, 64)
+			fmt.Fprintf(&sb, spec+"d", v)
+		case 'x', 'X', 'o':
+			v, _ := strconv.ParseInt(strings.TrimSpace(next()), 0, 64)
+			fmt.Fprintf(&sb, spec+string(format[j]), v)
+		case 's':
+			fmt.Fprintf(&sb, spec+"s", next())
+		case 'c':
+			v, _ := strconv.ParseInt(strings.TrimSpace(next()), 0, 64)
+			sb.WriteByte(byte(v))
+		case 'f', 'g', 'e':
+			v, _ := strconv.ParseFloat(strings.TrimSpace(next()), 64)
+			fmt.Fprintf(&sb, spec+string(format[j]), v)
+		default:
+			return "", fmt.Errorf(`bad field specifier "%c"`, format[j])
+		}
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,212 @@
+package tcl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"interplab/internal/vfs"
+)
+
+func TestListRoundTripProperty(t *testing.T) {
+	// Property: JoinList then SplitList recovers the elements, for
+	// elements without braces or backslashes.
+	sanitize := func(in []string) []string {
+		out := make([]string, 0, len(in))
+		for _, s := range in {
+			clean := make([]byte, 0, len(s))
+			for i := 0; i < len(s); i++ {
+				c := s[i]
+				if c == '{' || c == '}' || c == '\\' || c == '"' || c < 32 || c > 126 {
+					c = '_'
+				}
+				clean = append(clean, c)
+			}
+			out = append(out, string(clean))
+		}
+		return out
+	}
+	f := func(raw []string) bool {
+		items := sanitize(raw)
+		got, err := SplitList(JoinList(items))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(items) {
+			return false
+		}
+		for i := range got {
+			if got[i] != items[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitListForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"a b c", []string{"a", "b", "c"}},
+		{"  a   b  ", []string{"a", "b"}},
+		{"{a b} c", []string{"a b", "c"}},
+		{`"a b" c`, []string{"a b", "c"}},
+		{"{nested {braces here}} x", []string{"nested {braces here}", "x"}},
+		{"", nil},
+	}
+	for _, c := range cases {
+		got, err := SplitList(c.in)
+		if err != nil {
+			t.Errorf("SplitList(%q): %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("SplitList(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SplitList(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+	if _, err := SplitList("{unclosed"); err == nil {
+		t.Error("unbalanced list must fail")
+	}
+}
+
+func TestGlobMatch(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"*", "", true},
+		{"*", "anything", true},
+		{"a*b", "ab", true},
+		{"a*b", "axxxb", true},
+		{"a*b", "axxx", false},
+		{"?x", "ax", true},
+		{"?x", "x", false},
+		{"[a-c]z", "bz", true},
+		{"[a-c]z", "dz", false},
+		{"*.tcl", "prog.tcl", true},
+		{"*.tcl", "prog.c", false},
+		{"a*c*e", "abcde", true},
+	}
+	for _, c := range cases {
+		if got := globMatch(c.pat, c.s); got != c.want {
+			t.Errorf("globMatch(%q, %q) = %v, want %v", c.pat, c.s, got, c.want)
+		}
+	}
+}
+
+func TestExprPrecedenceAndFloats(t *testing.T) {
+	cases := map[string]string{
+		`expr 1 + 2 << 3`:        "24", // (1+2)<<3, C precedence
+		`expr 10 - 2 - 3`:        "5",
+		`expr 2 + 3 == 5`:        "1",
+		`expr 1 ? 2 ? 3 : 4 : 5`: "3",
+		`expr -3 % 5`:            "2", // Tcl: sign follows divisor
+		`expr 7 & 3 | 8`:         "11",
+		`expr 1.5 * 4`:           "6",
+		`expr (1 > 0) + (2 > 1)`: "2",
+	}
+	for script, want := range cases {
+		i := New(vfs.New(), nil, nil)
+		got, err := i.Eval(script)
+		if err != nil {
+			t.Errorf("%s: %v", script, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %q, want %q", script, got, want)
+		}
+	}
+}
+
+func TestForeachBreakContinue(t *testing.T) {
+	out := runTcl(t, `
+set acc {}
+foreach x {1 2 3 4 5} {
+    if {$x == 2} continue
+    if {$x == 5} break
+    lappend acc $x
+}
+puts $acc
+`)
+	if out != "1 3 4\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestProcArgsVariadic(t *testing.T) {
+	out := runTcl(t, `
+proc tally {first args} {
+    return "$first/[llength $args]"
+}
+puts [tally a]
+puts [tally a b c d]
+`)
+	if out != "a/0\na/3\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestIncrNegativeAndUnset(t *testing.T) {
+	out := runTcl(t, `
+set n 10
+incr n -3
+puts $n
+unset n
+puts [info exists n]
+`)
+	if out != "7\n0\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestCatchBreakReturnsError(t *testing.T) {
+	out := runTcl(t, `
+proc f {} {
+    set rc [catch {error deep} msg]
+    return "$rc:$msg"
+}
+puts [f]
+`)
+	if out != "1:error: deep\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestNestedArrayKeys(t *testing.T) {
+	out := runTcl(t, `
+set i 3
+set grid(1,$i) x
+set grid(2,[expr $i + 1]) y
+puts "$grid(1,3) $grid(2,4) [array size grid]"
+`)
+	if out != "x y 2\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestLineContinuationAndComments(t *testing.T) {
+	out := runTcl(t, "# leading comment\nset x \\\n42\nputs $x ;# trailing command\n")
+	if out != "42\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestConcatAndEvalList(t *testing.T) {
+	out := runTcl(t, `
+puts [concat {a b} {} {c}]
+puts [eval concat {1 2} {3}]
+`)
+	if out != "a b c\n1 2 3\n" {
+		t.Errorf("out = %q", out)
+	}
+}

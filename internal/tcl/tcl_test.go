@@ -1,0 +1,432 @@
+package tcl
+
+import (
+	"strings"
+	"testing"
+
+	"interplab/internal/atom"
+	"interplab/internal/trace"
+	"interplab/internal/vfs"
+)
+
+func runTcl(t *testing.T, script string) string {
+	t.Helper()
+	return runTclFS(t, script, vfs.New())
+}
+
+func runTclFS(t *testing.T, script string, osys *vfs.OS) string {
+	t.Helper()
+	i := New(osys, nil, nil)
+	if _, err := i.Eval(script); err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	return osys.Stdout.String()
+}
+
+func TestSetAndSubstitution(t *testing.T) {
+	out := runTcl(t, `
+set x 42
+set y $x
+puts "x=$x y=$y"
+set name x
+puts "indirect=[set $name]"
+puts {braced $x not substituted}
+`)
+	want := "x=42 y=42\nindirect=42\nbraced $x not substituted\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestExprCommand(t *testing.T) {
+	cases := map[string]string{
+		`expr 2 + 3 * 4`:        "14",
+		`expr (2 + 3) * 4`:      "20",
+		`expr 7 / 2`:            "3",
+		`expr -7 / 2`:           "-4", // Tcl truncates toward -inf
+		`expr 7 % 3`:            "1",
+		`expr 7.5 + 0.25`:       "7.75",
+		`expr 1 << 5`:           "32",
+		`expr 5 > 3 && 2 < 1`:   "0",
+		`expr 5 > 3 || 2 < 1`:   "1",
+		`expr !0`:               "1",
+		`expr 3 == 3 ? 10 : 20`: "10",
+		`expr "abc" == "abc"`:   "1",
+		`expr "abc" < "abd"`:    "1",
+		`expr 0xff & 0x0f`:      "15",
+		`expr ~0 & 0xff`:        "255",
+	}
+	for script, want := range cases {
+		i := New(vfs.New(), nil, nil)
+		got, err := i.Eval(script)
+		if err != nil {
+			t.Errorf("%s: %v", script, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %q, want %q", script, got, want)
+		}
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	out := runTcl(t, `
+set sum 0
+for {set i 1} {$i <= 10} {incr i} {
+    if {$i == 5} continue
+    if {$i == 9} break
+    set sum [expr $sum + $i]
+}
+while {$sum > 31} { incr sum -1 }
+puts $sum
+foreach w {a b c} { puts "w=$w" }
+`)
+	if out != "31\nw=a\nw=b\nw=c\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestProcs(t *testing.T) {
+	out := runTcl(t, `
+proc fact {n} {
+    if {$n < 2} { return 1 }
+    return [expr $n * [fact [expr $n - 1]]]
+}
+proc greet {name {greeting hello}} {
+    return "$greeting, $name"
+}
+puts [fact 6]
+puts [greet world]
+puts [greet tcl hi]
+`)
+	if out != "720\nhello, world\nhi, tcl\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestGlobalScoping(t *testing.T) {
+	out := runTcl(t, `
+set counter 10
+proc bump {} {
+    global counter
+    incr counter
+}
+bump
+bump
+puts $counter
+proc shadow {} {
+    set counter 99
+    return $counter
+}
+puts [shadow]
+puts $counter
+`)
+	if out != "12\n99\n12\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestStringCommands(t *testing.T) {
+	out := runTcl(t, `
+puts [string length "hello"]
+puts [string index "hello" 1]
+puts [string range "hello world" 6 end]
+puts [string toupper "mixed"]
+puts [string compare abc abd]
+puts [string first lo "hello"]
+puts [string match "a*c" "abc"]
+puts [string match "a?c" "axc"]
+puts [string trim "  pad  "]
+`)
+	want := "5\ne\nworld\nMIXED\n-1\n3\n1\n1\npad\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestListCommands(t *testing.T) {
+	out := runTcl(t, `
+set l [list a b "c d"]
+puts [llength $l]
+puts [lindex $l 2]
+puts [lindex $l end]
+lappend l e
+puts [llength $l]
+puts [lrange {1 2 3 4 5} 1 3]
+puts [lsearch {alpha beta gamma} b*]
+puts [lsort {pear apple fig}]
+puts [join {a b c} -]
+puts [split "a,b,,c" ,]
+`)
+	want := "3\nc d\nc d\n4\n2 3 4\n1\napple fig pear\na-b-c\na b {} c\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	out := runTcl(t, `
+set a(one) 1
+set a(two) 2
+set k two
+puts $a($k)
+puts [array size a]
+puts [array names a]
+array set b {x 10 y 20}
+puts [expr $b(x) + $b(y)]
+puts [array exists a][array exists nope]
+`)
+	if out != "2\n2\none two\n30\n10\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestFormatAndAppend(t *testing.T) {
+	out := runTcl(t, `
+puts [format "%05d|%-4s|%x" 42 ab 255]
+set s abc
+append s def ghi
+puts $s
+`)
+	if out != "00042|ab  |ff\nabcdefghi\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestRegexpCommands(t *testing.T) {
+	out := runTcl(t, `
+puts [regexp {([a-z]+)@([a-z]+)} "mail bob@example org" all user host]
+puts "$all $user $host"
+regsub -all {o} "foo boo" "0" result
+puts $result
+puts [regexp {xyz} "abc"]
+`)
+	if out != "1\nbob@example bob example\nf00 b00\n0\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestFileIO(t *testing.T) {
+	osys := vfs.New()
+	osys.AddFile("in.txt", []byte("line one\nline two\n"))
+	out := runTclFS(t, `
+set f [open in.txt]
+set n 0
+while {[gets $f line] >= 0} {
+    incr n
+    puts "$n: $line"
+}
+close $f
+set g [open out.txt w]
+puts $g "saved"
+close $g
+`, osys)
+	if out != "1: line one\n2: line two\n" {
+		t.Errorf("out = %q", out)
+	}
+	d, ok := osys.FileData("out.txt")
+	if !ok || string(d) != "saved\n" {
+		t.Errorf("out.txt = %q", d)
+	}
+}
+
+func TestReadAndEOF(t *testing.T) {
+	osys := vfs.New()
+	osys.AddFile("data", []byte("abcdef"))
+	out := runTclFS(t, `
+set f [open data]
+puts [eof $f]
+puts [read $f 3]
+puts [read $f]
+puts [eof $f]
+close $f
+`, osys)
+	if out != "0\nabc\ndef\n1\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestCatchAndError(t *testing.T) {
+	out := runTcl(t, `
+set rc [catch {error "boom"} msg]
+puts "$rc $msg"
+set rc [catch {expr 1 + 1} val]
+puts "$rc $val"
+`)
+	if out != "1 error: boom\n0 2\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestCommandSubstitutionNesting(t *testing.T) {
+	out := runTcl(t, `
+proc double {x} { return [expr $x * 2] }
+puts [double [double [double 3]]]
+`)
+	if out != "24\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestEvalAndExit(t *testing.T) {
+	osys := vfs.New()
+	i := New(osys, nil, nil)
+	if _, err := i.Eval(`eval {puts hi}; exit 4; puts unreachable`); err != nil {
+		t.Fatal(err)
+	}
+	if osys.Stdout.String() != "hi\n" {
+		t.Errorf("out = %q", osys.Stdout.String())
+	}
+	if i.ExitCode() != 4 {
+		t.Errorf("exit = %d", i.ExitCode())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, script := range []string{
+		`nosuchcommand`,
+		`puts $undefined`,
+		`set`,
+		`expr 1 +`,
+		`incr notanum`,
+		"set x {unclosed",
+		`expr 1/0`,
+		`proc p {a} {}; p`,
+	} {
+		i := New(vfs.New(), nil, nil)
+		if _, err := i.Eval(script); err == nil {
+			t.Errorf("script %q should fail", script)
+		}
+	}
+}
+
+func TestInfoCommands(t *testing.T) {
+	out := runTcl(t, `
+set x 1
+puts [info exists x][info exists y]
+proc p {} {}
+puts [lsearch [info procs] p]
+`)
+	if out != "10\n0\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+// --- instrumentation bands ----------------------------------------------------
+
+func instrumentedTcl(t *testing.T, script string, osys *vfs.OS) (*Interp, atom.Stats) {
+	t.Helper()
+	img := atom.NewImage()
+	p := atom.NewProbe(img, trace.Discard)
+	osys.Instrument(img, p)
+	i := New(osys, img, p)
+	if _, err := i.Eval(script); err != nil {
+		t.Fatal(err)
+	}
+	return i, p.Stats()
+}
+
+func TestInstrumentationBands(t *testing.T) {
+	// Table 2: Tcl fetch/decode is thousands of instructions per command
+	// because the source is re-parsed on every execution.
+	_, st := instrumentedTcl(t, `
+set total 0
+for {set i 0} {$i < 100} {incr i} {
+    set total [expr $total + $i * 2]
+}
+puts $total
+`, vfs.New())
+	fd, ex := st.InstructionsPerCommand()
+	if fd < 800 || fd > 8000 {
+		t.Errorf("fetch/decode per command = %.0f, want thousands", fd)
+	}
+	if ex <= 0 {
+		t.Errorf("execute per command = %.0f", ex)
+	}
+	if st.Commands < 300 {
+		t.Errorf("commands = %d, too few", st.Commands)
+	}
+}
+
+func TestLoopBodyReParsedEachIteration(t *testing.T) {
+	// The defining Tcl property: running the same loop twice as long
+	// roughly doubles fetch/decode work — the body is re-parsed per
+	// iteration, not compiled once.
+	measure := func(n string) uint64 {
+		img := atom.NewImage()
+		p := atom.NewProbe(img, trace.Discard)
+		i := New(vfs.New(), img, p)
+		if _, err := i.Eval(`for {set i 0} {$i < ` + n + `} {incr i} { set x "val$i" }`); err != nil {
+			t.Fatal(err)
+		}
+		return p.Stats().FetchDecode
+	}
+	fd1 := measure("50")
+	fd2 := measure("100")
+	ratio := float64(fd2) / float64(fd1)
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("fetch/decode ratio for 2x iterations = %.2f, want ~2", ratio)
+	}
+}
+
+func TestSymbolTableMemoryModel(t *testing.T) {
+	// §3.3: every variable access costs hundreds of instructions, and
+	// the cost grows with the symbol table.
+	_, stSmall := instrumentedTcl(t, `
+set v 0
+for {set i 0} {$i < 50} {incr i} { set v [expr $v + 1] }
+`, vfs.New())
+	mm, ok := stSmall.Region("memmodel")
+	if !ok || mm.Accesses == 0 {
+		t.Fatal("memmodel region missing")
+	}
+	per := mm.PerAccess()
+	if per < 150 || per > 600 {
+		t.Errorf("per-access = %.0f, want ~206-514", per)
+	}
+
+	// A program with many globals pays more per access.
+	var sb strings.Builder
+	for j := 0; j < 400; j++ {
+		sb.WriteString("set filler")
+		sb.WriteString(string(rune('a' + j%26)))
+		sb.WriteString(strings.Repeat("x", j%7))
+		sb.WriteString(" 1\n")
+	}
+	sb.WriteString("set v 0\nfor {set i 0} {$i < 50} {incr i} { set v [expr $v + 1] }\n")
+	_, stBig := instrumentedTcl(t, sb.String(), vfs.New())
+	mmBig, _ := stBig.Region("memmodel")
+	if mmBig.PerAccess() <= per {
+		t.Errorf("per-access with big symbol table (%.0f) should exceed small (%.0f)",
+			mmBig.PerAccess(), per)
+	}
+}
+
+func TestCachedParseReducesFetchDecode(t *testing.T) {
+	// The Tcl 8 ablation: re-executed bodies cost less to dispatch once
+	// parse results are cached, and behavior is unchanged.
+	script := `
+set s 0
+for {set i 0} {$i < 60} {incr i} { set s [expr $s + $i * 3] }
+puts $s
+`
+	run := func(cached bool) (uint64, string) {
+		img := atom.NewImage()
+		p := atom.NewProbe(img, trace.Discard)
+		osys := vfs.New()
+		i := New(osys, img, p)
+		i.CachedParse = cached
+		if _, err := i.Eval(script); err != nil {
+			t.Fatal(err)
+		}
+		return p.Stats().FetchDecode, osys.Stdout.String()
+	}
+	fdBase, outBase := run(false)
+	fdCached, outCached := run(true)
+	if outBase != outCached {
+		t.Fatalf("caching changed behavior: %q vs %q", outBase, outCached)
+	}
+	if float64(fdCached) > 0.8*float64(fdBase) {
+		t.Errorf("cached parse fd = %d, want well below %d", fdCached, fdBase)
+	}
+}

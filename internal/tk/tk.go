@@ -1,0 +1,405 @@
+// Package tk is the laboratory's Tk: a widget toolkit that extends the Tcl
+// interpreter with compiled application-specific commands, rendering
+// through the native graphics library (internal/gfx).
+//
+// This is the structure the paper describes: "one popular extension to Tcl
+// is the Tk toolkit, which provides a simple window system interface" —
+// and, like the AWT for Java, time spent inside Tk and the rasterizer is
+// precompiled native time, not interpreted time.
+package tk
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"interplab/internal/gfx"
+	"interplab/internal/tcl"
+)
+
+// Widget kinds.
+const (
+	KindFrame  = "frame"
+	KindButton = "button"
+	KindLabel  = "label"
+	KindCanvas = "canvas"
+)
+
+type canvasItem struct {
+	kind   string // line, rectangle, text, oval
+	coords []int
+	text   string
+	color  byte
+}
+
+// Widget is one node of the widget tree.
+type Widget struct {
+	Path    string
+	Kind    string
+	Text    string
+	Command string
+	Wd, Ht  int
+	Bg, Fg  byte
+	Side    string // pack side: top or left
+	Packed  bool
+
+	children []*Widget
+	items    []canvasItem
+
+	// Layout results from the last update.
+	X, Y, LW, LH int
+}
+
+// Toolkit owns the widget tree and display.
+type Toolkit struct {
+	Display *gfx.Display
+	widgets map[string]*Widget
+	root    *Widget
+
+	// Updates counts full redraw passes.
+	Updates uint64
+}
+
+// Attach creates a toolkit rendering into d and registers the Tk commands
+// on the interpreter.
+func Attach(i *tcl.Interp, d *gfx.Display) *Toolkit {
+	tk := &Toolkit{
+		Display: d,
+		widgets: make(map[string]*Widget),
+	}
+	tk.root = &Widget{Path: ".", Kind: KindFrame, Wd: d.W, Ht: d.H, Bg: 1}
+	tk.widgets["."] = tk.root
+	registerCommands(i, tk)
+	return tk
+}
+
+// Widget returns the widget at path.
+func (tk *Toolkit) Widget(path string) (*Widget, bool) {
+	w, ok := tk.widgets[path]
+	return w, ok
+}
+
+// parent returns the parent path of a widget path (".a.b" -> ".a").
+func parentPath(path string) string {
+	idx := strings.LastIndexByte(path, '.')
+	if idx <= 0 {
+		return "."
+	}
+	return path[:idx]
+}
+
+// create makes a widget and registers its instance command.
+func (tk *Toolkit) create(i *tcl.Interp, kind, path string, opts []string) (*Widget, error) {
+	if !strings.HasPrefix(path, ".") {
+		return nil, fmt.Errorf("bad window path name %q", path)
+	}
+	if _, dup := tk.widgets[path]; dup {
+		return nil, fmt.Errorf("window name %q already exists", path)
+	}
+	w := &Widget{Path: path, Kind: kind, Bg: 2, Fg: 15, Wd: 80, Ht: 24, Side: "top"}
+	switch kind {
+	case KindFrame:
+		w.Ht = 40
+	case KindCanvas:
+		w.Wd, w.Ht = 200, 150
+	}
+	if err := w.configure(opts); err != nil {
+		return nil, err
+	}
+	tk.widgets[path] = w
+	i.Register(path, func(i *tcl.Interp, args []string) (string, error) {
+		return tk.widgetCmd(i, w, args)
+	})
+	return w, nil
+}
+
+// configure applies -option value pairs.
+func (w *Widget) configure(opts []string) error {
+	for k := 0; k+1 < len(opts); k += 2 {
+		val := opts[k+1]
+		switch opts[k] {
+		case "-text":
+			w.Text = val
+		case "-command":
+			w.Command = val
+		case "-width":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("bad width %q", val)
+			}
+			w.Wd = n
+		case "-height":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("bad height %q", val)
+			}
+			w.Ht = n
+		case "-bg", "-background":
+			n, _ := strconv.Atoi(val)
+			w.Bg = byte(n)
+		case "-fg", "-foreground":
+			n, _ := strconv.Atoi(val)
+			w.Fg = byte(n)
+		case "-side":
+			w.Side = val
+		default:
+			return fmt.Errorf("unknown option %q", opts[k])
+		}
+	}
+	return nil
+}
+
+// widgetCmd handles `.path subcommand ...`.
+func (tk *Toolkit) widgetCmd(i *tcl.Interp, w *Widget, args []string) (string, error) {
+	if len(args) == 0 {
+		return "", fmt.Errorf("wrong # args: should be \"%s option ?arg ...?\"", w.Path)
+	}
+	switch args[0] {
+	case "configure":
+		return "", w.configure(args[1:])
+	case "cget":
+		if len(args) != 2 {
+			return "", fmt.Errorf("wrong # args: should be \"%s cget option\"", w.Path)
+		}
+		switch args[1] {
+		case "-text":
+			return w.Text, nil
+		case "-width":
+			return strconv.Itoa(w.Wd), nil
+		case "-height":
+			return strconv.Itoa(w.Ht), nil
+		}
+		return "", fmt.Errorf("unknown option %q", args[1])
+	case "invoke":
+		if w.Kind != KindButton {
+			return "", fmt.Errorf("%s is not a button", w.Path)
+		}
+		if w.Command == "" {
+			return "", nil
+		}
+		return i.Eval(w.Command)
+	case "create":
+		if w.Kind != KindCanvas {
+			return "", fmt.Errorf("%s is not a canvas", w.Path)
+		}
+		return tk.canvasCreate(w, args[1:])
+	case "delete":
+		if w.Kind != KindCanvas {
+			return "", fmt.Errorf("%s is not a canvas", w.Path)
+		}
+		w.items = nil
+		return "", nil
+	case "itemcount":
+		return strconv.Itoa(len(w.items)), nil
+	}
+	return "", fmt.Errorf("bad option %q", args[0])
+}
+
+// canvasCreate parses `create kind coords... ?-text t? ?-fill c?`.
+func (tk *Toolkit) canvasCreate(w *Widget, args []string) (string, error) {
+	if len(args) < 1 {
+		return "", fmt.Errorf("wrong # args for canvas create")
+	}
+	item := canvasItem{kind: args[0], color: 15}
+	k := 1
+	for k < len(args) && !strings.HasPrefix(args[k], "-") {
+		n, err := strconv.Atoi(args[k])
+		if err != nil {
+			break
+		}
+		item.coords = append(item.coords, n)
+		k++
+	}
+	for ; k+1 < len(args); k += 2 {
+		switch args[k] {
+		case "-text":
+			item.text = args[k+1]
+		case "-fill":
+			n, _ := strconv.Atoi(args[k+1])
+			item.color = byte(n)
+		}
+	}
+	need := 4
+	if item.kind == "text" {
+		need = 2
+	}
+	if len(item.coords) < need {
+		return "", fmt.Errorf("wrong # coordinates for %s", item.kind)
+	}
+	w.items = append(w.items, item)
+	return strconv.Itoa(len(w.items)), nil
+}
+
+// pack attaches a widget under its path parent.
+func (tk *Toolkit) pack(path string, opts []string) error {
+	w, ok := tk.widgets[path]
+	if !ok {
+		return fmt.Errorf("bad window path name %q", path)
+	}
+	if err := w.configure(opts); err != nil {
+		return err
+	}
+	parent, ok := tk.widgets[parentPath(path)]
+	if !ok {
+		return fmt.Errorf("no parent for %q", path)
+	}
+	if !w.Packed {
+		parent.children = append(parent.children, w)
+		w.Packed = true
+	}
+	return nil
+}
+
+// Update lays out and redraws the whole tree — the X-server round trip of
+// a real Tk, here a real rasterization pass.
+func (tk *Toolkit) Update() {
+	tk.Updates++
+	d := tk.Display
+	d.Clear(tk.root.Bg)
+	tk.layout(tk.root, 0, 0, d.W, d.H)
+	tk.draw(tk.root)
+}
+
+func (tk *Toolkit) layout(w *Widget, x, y, availW, availH int) {
+	w.X, w.Y, w.LW, w.LH = x, y, availW, availH
+	cx, cy := x, y
+	for _, c := range w.children {
+		cw, ch := c.Wd, c.Ht
+		if c.Side == "left" {
+			if cw > availW {
+				cw = availW
+			}
+			tk.layout(c, cx, cy, cw, min(ch, availH))
+			cx += cw
+			availW -= cw
+		} else {
+			if ch > availH {
+				ch = availH
+			}
+			tk.layout(c, cx, cy, min(cw, availW), ch)
+			cy += ch
+			availH -= ch
+		}
+	}
+}
+
+func (tk *Toolkit) draw(w *Widget) {
+	d := tk.Display
+	d.FillRect(w.X, w.Y, w.LW, w.LH, w.Bg)
+	switch w.Kind {
+	case KindButton:
+		d.FillRect(w.X+1, w.Y+1, w.LW-2, w.LH-2, w.Bg+1)
+		d.Text(w.X+4, w.Y+4, w.Text, w.Fg)
+	case KindLabel:
+		d.Text(w.X+2, w.Y+4, w.Text, w.Fg)
+	case KindCanvas:
+		for _, it := range w.items {
+			tk.drawItem(w, it)
+		}
+	}
+	for _, c := range w.children {
+		tk.draw(c)
+	}
+}
+
+func (tk *Toolkit) drawItem(w *Widget, it canvasItem) {
+	d := tk.Display
+	c := it.coords
+	switch it.kind {
+	case "line":
+		d.Line(w.X+c[0], w.Y+c[1], w.X+c[2], w.Y+c[3], it.color)
+	case "rectangle", "oval":
+		d.FillRect(w.X+c[0], w.Y+c[1], c[2]-c[0], c[3]-c[1], it.color)
+	case "text":
+		d.Text(w.X+c[0], w.Y+c[1], it.text, it.color)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// registerCommands installs the Tk command set.
+func registerCommands(i *tcl.Interp, tk *Toolkit) {
+	mk := func(kind string) tcl.CmdFunc {
+		return func(i *tcl.Interp, args []string) (string, error) {
+			if len(args) < 1 {
+				return "", fmt.Errorf("wrong # args: should be \"%s pathName ?options?\"", kind)
+			}
+			w, err := tk.create(i, kind, args[0], args[1:])
+			if err != nil {
+				return "", err
+			}
+			return w.Path, nil
+		}
+	}
+	i.Register("frame", mk(KindFrame))
+	i.Register("button", mk(KindButton))
+	i.Register("label", mk(KindLabel))
+	i.Register("canvas", mk(KindCanvas))
+
+	i.Register("pack", func(i *tcl.Interp, args []string) (string, error) {
+		if len(args) < 1 {
+			return "", fmt.Errorf("wrong # args: should be \"pack window ?options?\"")
+		}
+		return "", tk.pack(args[0], args[1:])
+	})
+
+	i.Register("update", func(i *tcl.Interp, args []string) (string, error) {
+		tk.Update()
+		return "", nil
+	})
+
+	i.Register("destroy", func(i *tcl.Interp, args []string) (string, error) {
+		for _, path := range args {
+			w, ok := tk.widgets[path]
+			if !ok {
+				continue
+			}
+			delete(tk.widgets, path)
+			parent := tk.widgets[parentPath(path)]
+			if parent != nil {
+				for k, c := range parent.children {
+					if c == w {
+						parent.children = append(parent.children[:k], parent.children[k+1:]...)
+						break
+					}
+				}
+			}
+		}
+		return "", nil
+	})
+
+	i.Register("wm", func(i *tcl.Interp, args []string) (string, error) {
+		// wm title . "..." — accepted for compatibility.
+		return "", nil
+	})
+
+	i.Register("winfo", func(i *tcl.Interp, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", fmt.Errorf("wrong # args: should be \"winfo option window\"")
+		}
+		w, ok := tk.widgets[args[1]]
+		if !ok {
+			return "", fmt.Errorf("bad window path name %q", args[1])
+		}
+		switch args[0] {
+		case "width":
+			return strconv.Itoa(w.LW), nil
+		case "height":
+			return strconv.Itoa(w.LH), nil
+		case "exists":
+			return "1", nil
+		case "children":
+			var out []string
+			for _, c := range w.children {
+				out = append(out, c.Path)
+			}
+			return tcl.JoinList(out), nil
+		}
+		return "", fmt.Errorf("unknown winfo option %q", args[0])
+	})
+}

@@ -1,0 +1,242 @@
+package tk
+
+import (
+	"strings"
+	"testing"
+
+	"interplab/internal/atom"
+	"interplab/internal/gfx"
+	"interplab/internal/tcl"
+	"interplab/internal/trace"
+	"interplab/internal/vfs"
+)
+
+func newTk(t *testing.T) (*tcl.Interp, *Toolkit, *vfs.OS) {
+	t.Helper()
+	osys := vfs.New()
+	i := tcl.New(osys, nil, nil)
+	d := gfx.New(nil, nil, 320, 240)
+	tk := Attach(i, d)
+	return i, tk, osys
+}
+
+func TestCreateAndPack(t *testing.T) {
+	i, tk, _ := newTk(t)
+	_, err := i.Eval(`
+frame .f -height 60
+label .f.l -text "hello tk"
+button .f.b -text "go" -command {set pressed 1}
+pack .f
+pack .f.l
+pack .f.b -side left
+update
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tk.Widget(".f.l"); !ok {
+		t.Error("label missing from tree")
+	}
+	w, _ := tk.Widget(".f.b")
+	if w.Side != "left" || !w.Packed {
+		t.Errorf("button pack state wrong: %+v", w)
+	}
+	if tk.Updates != 1 {
+		t.Errorf("updates = %d", tk.Updates)
+	}
+	// Rendering must have produced pixels.
+	sum := 0
+	for _, px := range tk.Display.Pix {
+		sum += int(px)
+	}
+	if sum == 0 {
+		t.Error("update drew nothing")
+	}
+}
+
+func TestButtonInvoke(t *testing.T) {
+	i, _, _ := newTk(t)
+	_, err := i.Eval(`
+set pressed 0
+button .b -text x -command {incr pressed}
+pack .b
+.b invoke
+.b invoke
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := i.GetVar("pressed")
+	if err != nil || v != "2" {
+		t.Errorf("pressed = %q, %v", v, err)
+	}
+}
+
+func TestCanvasItems(t *testing.T) {
+	i, tk, _ := newTk(t)
+	_, err := i.Eval(`
+canvas .c -width 100 -height 100
+pack .c
+.c create line 0 0 50 50
+.c create rectangle 10 10 30 30 -fill 5
+.c create text 5 60 -text "label"
+update
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := tk.Widget(".c")
+	if n, _ := i.Eval(`.c itemcount`); n != "3" {
+		t.Errorf("itemcount = %s", n)
+	}
+	_ = w
+	before := tk.Display.Checksum()
+	if _, err := i.Eval(`.c delete all; update`); err != nil {
+		t.Fatal(err)
+	}
+	if tk.Display.Checksum() == before {
+		t.Error("deleting items should change the rendering")
+	}
+}
+
+func TestConfigureAndCget(t *testing.T) {
+	i, _, _ := newTk(t)
+	out, err := i.Eval(`
+label .l -text before
+.l configure -text after -width 120
+.l cget -text
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "after" {
+		t.Errorf("cget = %q", out)
+	}
+	if w, err := i.Eval(`.l cget -width`); err != nil || w != "120" {
+		t.Errorf("width = %q, %v", w, err)
+	}
+}
+
+func TestDestroyAndWinfo(t *testing.T) {
+	i, tk, _ := newTk(t)
+	_, err := i.Eval(`
+frame .f
+label .f.a -text a
+pack .f
+pack .f.a
+destroy .f.a
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tk.Widget(".f.a"); ok {
+		t.Error("destroyed widget still present")
+	}
+	kids, err := i.Eval(`winfo children .f`)
+	if err != nil || kids != "" {
+		t.Errorf("children = %q, %v", kids, err)
+	}
+}
+
+func TestLayoutSides(t *testing.T) {
+	i, tk, _ := newTk(t)
+	_, err := i.Eval(`
+frame .top -height 50
+frame .bottom -height 50
+pack .top
+pack .bottom
+update
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, _ := tk.Widget(".top")
+	bottom, _ := tk.Widget(".bottom")
+	if top.Y >= bottom.Y {
+		t.Errorf("vertical pack order wrong: top.Y=%d bottom.Y=%d", top.Y, bottom.Y)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	i, _, _ := newTk(t)
+	for _, script := range []string{
+		`label noleadingdot`,
+		`label .x; label .x`,
+		`pack .nosuch`,
+		`label .l; .l invoke`,
+		`label .l2; .l2 create line 0 0 1 1`,
+		`canvas .c; .c create line 0 0`,
+		`label .l3 -width abc`,
+	} {
+		if _, err := i.Eval(script); err == nil {
+			t.Errorf("script %q should fail", script)
+		}
+	}
+}
+
+func TestInstrumentedRenderingIsNative(t *testing.T) {
+	// Tk drawing must land in the "native" region, like the paper's
+	// graphics-heavy workloads.
+	osys := vfs.New()
+	img := atom.NewImage()
+	p := atom.NewProbe(img, trace.Discard)
+	osys.Instrument(img, p)
+	i := tcl.New(osys, img, p)
+	d := gfx.New(img, p, 320, 240)
+	tk := Attach(i, d)
+	_, err := i.Eval(`
+canvas .c -width 300 -height 200
+pack .c
+for {set k 0} {$k < 20} {incr k} {
+    .c create line 0 0 [expr $k * 15] 199
+}
+update
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	nat, ok := st.Region("native")
+	if !ok || nat.Instructions == 0 {
+		t.Fatal("native region not charged")
+	}
+	frac := float64(nat.Instructions) / float64(st.Instructions)
+	if frac < 0.02 {
+		t.Errorf("native fraction = %.3f, want visible share", frac)
+	}
+	_ = tk
+	_ = strings.TrimSpace
+}
+
+func TestWinfoGeometryAfterUpdate(t *testing.T) {
+	i, tk, _ := newTk(t)
+	if _, err := i.Eval(`
+frame .f -height 50
+pack .f
+update
+`); err != nil {
+		t.Fatal(err)
+	}
+	w, err := i.Eval(`winfo width .f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := i.Eval(`winfo height .f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Packed children keep their requested size (80 is the frame default
+	// width), clipped to the available area.
+	if w != "80" || h != "50" {
+		t.Errorf("geometry = %sx%s, want 80x50", w, h)
+	}
+	_ = tk
+}
+
+func TestRootWidgetExists(t *testing.T) {
+	_, tk, _ := newTk(t)
+	root, ok := tk.Widget(".")
+	if !ok || root.Kind != KindFrame {
+		t.Fatalf("root widget missing: %+v", root)
+	}
+}

@@ -1,0 +1,58 @@
+package trace
+
+// Counter tallies an event stream without simulating anything.  It is the
+// cheapest sink and backs the pure-counting experiments (Tables 1 and 2).
+type Counter struct {
+	Total   uint64
+	ByKind  [numKinds]uint64
+	TakenBr uint64
+}
+
+// Emit records e.
+func (c *Counter) Emit(e Event) {
+	c.Total++
+	c.ByKind[e.Kind]++
+	if e.Kind == Branch && e.Taken() {
+		c.TakenBr++
+	}
+}
+
+// Loads returns the number of Load events seen.
+func (c *Counter) Loads() uint64 { return c.ByKind[Load] }
+
+// Stores returns the number of Store events seen.
+func (c *Counter) Stores() uint64 { return c.ByKind[Store] }
+
+// Branches returns the number of conditional branch events seen.
+func (c *Counter) Branches() uint64 { return c.ByKind[Branch] }
+
+// Kind returns the count for one instruction kind.
+func (c *Counter) Kind(k Kind) uint64 { return c.ByKind[k] }
+
+// Multi fans one stream out to several sinks in order.
+type Multi []Sink
+
+// Emit forwards e to every sink.
+func (m Multi) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// Discard drops every event.  A nil sink is not legal on a Probe; Discard is
+// the explicit "count nothing, simulate nothing" choice.
+var Discard Sink = discard{}
+
+type discard struct{}
+
+func (discard) Emit(Event) {}
+
+// Recorder appends every event to memory.  Only suitable for small runs
+// (unit tests, debugging); macro workloads produce tens of millions of
+// events.
+type Recorder struct {
+	Events []Event
+}
+
+// Emit appends e.
+func (r *Recorder) Emit(e Event) { r.Events = append(r.Events, e) }

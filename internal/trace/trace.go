@@ -1,0 +1,107 @@
+// Package trace defines the native-instruction event model shared by the
+// instrumentation layer (internal/atom) and the processor simulator
+// (internal/alphasim).
+//
+// The reproduced paper measures interpreters by observing the stream of
+// native (Alpha) instructions they execute, via ATOM binary rewriting.  Our
+// equivalent is a stream of Event values: each Event is one native
+// instruction with a program counter, a kind (integer op, load, store,
+// branch, ...), and, where relevant, an effective address or branch target.
+// Interpreters never construct Events directly; they drive an *atom.Probe*,
+// which synthesizes the stream.
+package trace
+
+// Kind classifies a native instruction.  The categories mirror the stall
+// sources of Table 3 in the paper: short integer ops (shift/byte) have a
+// 2-cycle latency on the simulated 21064, multiplies are long-latency
+// ("other"), loads incur load-use delay, and control transfers engage the
+// branch prediction hardware.
+type Kind uint8
+
+const (
+	// Int is a single-cycle integer ALU instruction.
+	Int Kind = iota
+	// ShortInt is a shift or byte-manipulation instruction (2-cycle
+	// latency on the 21064; the paper's "short int" stall class).
+	ShortInt
+	// Mul is an integer multiply or divide (long latency; "other").
+	Mul
+	// Float is a floating-point instruction (long latency; "other").
+	Float
+	// Load is a memory read; Addr holds the effective address.
+	Load
+	// Store is a memory write; Addr holds the effective address.
+	Store
+	// Branch is a conditional branch; Addr holds the target and the
+	// Taken flag records the outcome.
+	Branch
+	// Jump is an unconditional jump or call; Addr holds the target.
+	Jump
+	// Return is a subroutine return; Addr holds the return address.
+	Return
+
+	numKinds = int(Return) + 1
+)
+
+var kindNames = [numKinds]string{"int", "shortint", "mul", "float", "load", "store", "branch", "jump", "return"}
+
+// String returns the lower-case mnemonic class name.
+func (k Kind) String() string {
+	if int(k) < numKinds {
+		return kindNames[k]
+	}
+	return "invalid"
+}
+
+// IsMemory reports whether the kind accesses data memory.
+func (k Kind) IsMemory() bool { return k == Load || k == Store }
+
+// IsControl reports whether the kind transfers control.
+func (k Kind) IsControl() bool { return k == Branch || k == Jump || k == Return }
+
+// Flags carries per-event boolean attributes.
+type Flags uint8
+
+const (
+	// FlagTaken marks a conditional branch whose condition held.
+	FlagTaken Flags = 1 << iota
+	// FlagDep marks an instruction that consumes the result of the
+	// immediately preceding instruction.  The pipeline model uses it to
+	// decide whether load-use and long-latency delays actually stall.
+	FlagDep
+	// FlagCall marks a Jump that is a subroutine call (pushes the return
+	// stack in the branch predictor).
+	FlagCall
+)
+
+// Event is one native instruction.  Addresses are 32-bit: the synthetic
+// address space laid out by internal/atom fits comfortably, and the small
+// struct keeps multi-million-instruction runs cheap.
+type Event struct {
+	PC    uint32
+	Addr  uint32
+	Kind  Kind
+	Flags Flags
+}
+
+// Taken reports whether a Branch event was taken.
+func (e Event) Taken() bool { return e.Flags&FlagTaken != 0 }
+
+// Dep reports whether the event depends on the previous instruction.
+func (e Event) Dep() bool { return e.Flags&FlagDep != 0 }
+
+// Call reports whether a Jump event is a subroutine call.
+func (e Event) Call() bool { return e.Flags&FlagCall != 0 }
+
+// Sink consumes a native-instruction stream.  Implementations include the
+// pipeline simulator, cache sweeps, and counting sinks.  Emit is called once
+// per instruction, in program order.
+type Sink interface {
+	Emit(e Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(e Event)
+
+// Emit calls f(e).
+func (f SinkFunc) Emit(e Event) { f(e) }

@@ -1,0 +1,253 @@
+// Package vfs is the laboratory's in-memory filesystem — the "warm buffer
+// cache" of the paper's read microbenchmark, and the file substrate for the
+// text-processing workloads.
+//
+// All four interpreters and the mini-C syscall layer share one OS instance
+// per measured run.  Its routines are registered as native code with the
+// instrumentation image: time spent inside them is precompiled-library time,
+// which is exactly the effect the paper highlights ("operations that access
+// operating system service routines are slowed less than the other
+// operations, because most of the computation is done in precompiled
+// code").
+package vfs
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"interplab/internal/atom"
+)
+
+// Well-known descriptors.
+const (
+	Stdin  = 0
+	Stdout = 1
+	Stderr = 2
+)
+
+type openFile struct {
+	name   string
+	data   []byte
+	off    int
+	write  bool
+	closed bool
+}
+
+// OS is an in-memory operating system interface: a file store plus
+// per-process descriptor table and standard streams.
+type OS struct {
+	files map[string][]byte
+	fds   []*openFile
+
+	// Stdout and Stderr capture the run's console output.
+	Stdout bytes.Buffer
+	Stderr bytes.Buffer
+
+	probe    *atom.Probe
+	rOpen    *atom.Routine
+	rRead    *atom.Routine
+	rWrite   *atom.Routine
+	bufCache *atom.DataRegion
+	region   atom.RegionID
+}
+
+// New returns an empty OS with the standard streams open.
+func New() *OS {
+	o := &OS{files: make(map[string][]byte)}
+	o.fds = []*openFile{
+		{name: "<stdin>"},
+		{name: "<stdout>", write: true},
+		{name: "<stderr>", write: true},
+	}
+	return o
+}
+
+// Instrument registers the OS's native service routines with img and
+// directs accounting to p.  Without instrumentation the OS still works; it
+// just costs nothing (useful in unit tests).
+func (o *OS) Instrument(img *atom.Image, p *atom.Probe) {
+	o.probe = p
+	// Sizes approximate a kernel's syscall paths: entry/validation plus
+	// the filesystem fast path.
+	o.rOpen = img.Routine("sys_open", 400)
+	o.rRead = img.Routine("sys_read", 300, atom.WithShortEvery(6))
+	o.rWrite = img.Routine("sys_write", 300, atom.WithShortEvery(6))
+	o.bufCache = img.Data("buffer-cache", 256<<10)
+	o.region = p.RegionName("os")
+}
+
+// AddFile installs (or replaces) a file.
+func (o *OS) AddFile(name string, data []byte) { o.files[name] = append([]byte(nil), data...) }
+
+// FileNames returns the installed file names, sorted.
+func (o *OS) FileNames() []string {
+	names := make([]string, 0, len(o.files))
+	for n := range o.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FileData returns a file's current contents.
+func (o *OS) FileData(name string) ([]byte, bool) {
+	d, ok := o.files[name]
+	return d, ok
+}
+
+// Open opens a file for reading, or creates/truncates it for writing, and
+// returns a descriptor.
+func (o *OS) Open(path string, write bool) (int, error) {
+	if o.probe != nil {
+		o.probe.Enter(o.region)
+		o.probe.Call(o.rOpen)
+		// Path lookup: hash the name and probe the name cache.
+		o.probe.Exec(o.rOpen, 40+4*len(path))
+		o.probe.Load(o.bufCache.Addr(hashString(path) % o.bufCache.Size))
+		o.probe.Ret()
+		o.probe.Leave()
+	}
+	var data []byte
+	if write {
+		o.files[path] = nil
+	} else {
+		var ok bool
+		data, ok = o.files[path]
+		if !ok {
+			return -1, fmt.Errorf("vfs: open %s: no such file", path)
+		}
+	}
+	f := &openFile{name: path, data: append([]byte(nil), data...), write: write}
+	o.fds = append(o.fds, f)
+	return len(o.fds) - 1, nil
+}
+
+func (o *OS) file(fd int) (*openFile, error) {
+	if fd < 0 || fd >= len(o.fds) || o.fds[fd].closed {
+		return nil, fmt.Errorf("vfs: bad descriptor %d", fd)
+	}
+	return o.fds[fd], nil
+}
+
+// Read reads up to n bytes from fd.  It returns an empty slice at EOF.
+func (o *OS) Read(fd, n int) ([]byte, error) {
+	f, err := o.file(fd)
+	if err != nil {
+		return nil, err
+	}
+	if f.write {
+		return nil, fmt.Errorf("vfs: %s not open for reading", f.name)
+	}
+	if n > len(f.data)-f.off {
+		n = len(f.data) - f.off
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := f.data[f.off : f.off+n]
+	o.accountCopy(o.rRead, uint32(f.off), n)
+	f.off += n
+	return out, nil
+}
+
+// ReadAll reads the remainder of fd.
+func (o *OS) ReadAll(fd int) ([]byte, error) {
+	f, err := o.file(fd)
+	if err != nil {
+		return nil, err
+	}
+	return o.Read(fd, len(f.data)-f.off)
+}
+
+// ReadLine reads through the next newline (inclusive); empty at EOF.
+func (o *OS) ReadLine(fd int) ([]byte, error) {
+	f, err := o.file(fd)
+	if err != nil {
+		return nil, err
+	}
+	if f.write {
+		return nil, fmt.Errorf("vfs: %s not open for reading", f.name)
+	}
+	i := bytes.IndexByte(f.data[f.off:], '\n')
+	n := len(f.data) - f.off
+	if i >= 0 {
+		n = i + 1
+	}
+	out := f.data[f.off : f.off+n]
+	o.accountCopy(o.rRead, uint32(f.off), n)
+	f.off += n
+	return out, nil
+}
+
+// Write appends b to fd.  Writes to Stdout/Stderr go to the captured
+// streams; writes to files update the file store on Close.
+func (o *OS) Write(fd int, b []byte) (int, error) {
+	f, err := o.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	o.accountCopy(o.rWrite, uint32(len(f.data)), len(b))
+	switch fd {
+	case Stdout:
+		o.Stdout.Write(b)
+	case Stderr:
+		o.Stderr.Write(b)
+	default:
+		if !f.write {
+			return 0, fmt.Errorf("vfs: %s not open for writing", f.name)
+		}
+		f.data = append(f.data, b...)
+	}
+	return len(b), nil
+}
+
+// Close closes fd, flushing written data to the file store.
+func (o *OS) Close(fd int) error {
+	f, err := o.file(fd)
+	if err != nil {
+		return err
+	}
+	if f.write && fd > Stderr {
+		o.files[f.name] = f.data
+	}
+	f.closed = true
+	return nil
+}
+
+// accountCopy charges the precompiled kernel copy path: a fixed trap
+// overhead plus one load (from the buffer cache) and a word's worth of copy
+// arithmetic per 4 bytes.
+func (o *OS) accountCopy(r *atom.Routine, off uint32, n int) {
+	if o.probe == nil {
+		return
+	}
+	o.probe.Enter(o.region)
+	o.probe.Call(r)
+	o.probe.Exec(r, 90)
+	words := (n + 3) / 4
+	for w := 0; w < words; w++ {
+		o.probe.Load(o.bufCache.Addr(off + uint32(w)*4))
+		o.probe.Exec(r, 1)
+	}
+	o.probe.Ret()
+	o.probe.Leave()
+}
+
+func hashString(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// AtEOF reports whether fd has no more data to read (false for bad or
+// write-only descriptors' errors are folded into true).
+func (o *OS) AtEOF(fd int) bool {
+	f, err := o.file(fd)
+	if err != nil || f.write {
+		return true
+	}
+	return f.off >= len(f.data)
+}

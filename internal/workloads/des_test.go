@@ -1,0 +1,30 @@
+package workloads
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"interplab/internal/core"
+)
+
+// TestDESAgreesAcrossLanguages is the suite's anchor: the same cipher in
+// all five systems must print the same checksum.
+func TestDESAgreesAcrossLanguages(t *testing.T) {
+	const blocks = 5
+	want := strconv.Itoa(DESChecksum(blocks))
+	progs := []core.Program{
+		DESNative(blocks), DESMIPSI(blocks), DESJava(blocks),
+		DESPerl(blocks), DESTcl(blocks),
+	}
+	for _, p := range progs {
+		res, err := core.Measure(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.ID(), err)
+		}
+		out := strings.TrimSpace(res.Stdout)
+		if out != want {
+			t.Errorf("%s checksum = %q, want %q", p.ID(), out, want)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package workloads
+
+import (
+	"testing"
+
+	"interplab/internal/minicc"
+	"interplab/internal/perl"
+	"interplab/internal/tcl"
+	"interplab/internal/vfs"
+)
+
+// xorshift for deterministic garbage.
+func garbage(seed uint32, n int, alphabet string) string {
+	out := make([]byte, n)
+	for i := range out {
+		seed ^= seed << 13
+		seed ^= seed >> 17
+		seed ^= seed << 5
+		out[i] = alphabet[int(seed)%len(alphabet)]
+	}
+	return string(out)
+}
+
+const scriptAlphabet = "abcxyz $#{}[]()\"'\\;\n\t=+-*/<>&|!%123"
+
+// TestParsersNeverPanic feeds deterministic garbage to every front end:
+// errors are fine, panics are not.
+func TestParsersNeverPanic(t *testing.T) {
+	for seed := uint32(1); seed < 400; seed++ {
+		src := garbage(seed, int(seed%197)+3, scriptAlphabet)
+
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("perl parser panicked on %q: %v", src, r)
+				}
+			}()
+			if ip, err := perl.New(src, vfs.New(), nil, nil); err == nil {
+				// A parsed script may still fail at runtime; bound it.
+				_ = ip
+			}
+		}()
+
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("tcl parser panicked on %q: %v", src, r)
+				}
+			}()
+			i := tcl.New(vfs.New(), nil, nil)
+			_, _ = i.Eval(src)
+		}()
+
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("minicc panicked on %q: %v", src, r)
+				}
+			}()
+			_, _ = minicc.CompileMIPS("fuzz", src)
+			_, _ = minicc.CompileJVM("fuzz", src)
+		}()
+	}
+}
+
+// TestTclGarbageScriptsTerminate also executes short random scripts; they
+// must finish (with or without error) rather than loop.
+func TestTclGarbageScriptsTerminate(t *testing.T) {
+	for seed := uint32(500); seed < 600; seed++ {
+		src := garbage(seed, 40, "abc $[];{}")
+		i := tcl.New(vfs.New(), nil, nil)
+		_, _ = i.Eval(src)
+	}
+}

@@ -1,0 +1,164 @@
+package workloads
+
+import (
+	"regexp"
+	"testing"
+
+	"interplab/internal/core"
+)
+
+// TestInterpretedMatchesNativeOutputs runs every SPEC workalike both ways:
+// the MIPSI-interpreted output must equal the directly executed output.
+func TestInterpretedMatchesNativeOutputs(t *testing.T) {
+	interp := MIPSISuite(0.2)
+	native := NativeSuite(0.2)
+	if len(interp) != len(native) {
+		t.Fatal("suite size mismatch")
+	}
+	for k := range interp {
+		ri, err := core.Measure(interp[k])
+		if err != nil {
+			t.Fatalf("%s: %v", interp[k].ID(), err)
+		}
+		rn, err := core.Measure(native[k])
+		if err != nil {
+			t.Fatalf("%s: %v", native[k].ID(), err)
+		}
+		if ri.Stdout != rn.Stdout {
+			t.Errorf("%s: interpreted %q != native %q", interp[k].Name, ri.Stdout, rn.Stdout)
+		}
+		if ri.NativeInstructions() < 20*rn.NativeInstructions() {
+			t.Errorf("%s: interpretation should cost >20x native (%d vs %d)",
+				interp[k].Name, ri.NativeInstructions(), rn.NativeInstructions())
+		}
+	}
+}
+
+// Output shapes for each macro workload, pinned by pattern.
+var outputShapes = map[string]*regexp.Regexp{
+	"MIPSI/compress": regexp.MustCompile(`^\d+ \d+\n$`),
+	"MIPSI/eqntott":  regexp.MustCompile(`^\d+\n$`),
+	"MIPSI/espresso": regexp.MustCompile(`^\d+ \d+ \d+\n$`),
+	"MIPSI/li":       regexp.MustCompile(`^\d+ 36 \n$`), // sum(1..8) = 36
+	"Java/asteroids": regexp.MustCompile(`^\d+\n$`),
+	"Java/hanoi":     regexp.MustCompile(`^31\n$`), // 2^5 - 1 moves
+	"Java/javac":     regexp.MustCompile(`^\d+ \d+ \d+\n$`),
+	"Java/mand":      regexp.MustCompile(`^\d+\n$`),
+	"Perl/a2ps":      regexp.MustCompile(`^\d+ pages, \d+ lines\n$`),
+	"Perl/plexus":    regexp.MustCompile(`(?s)^\d+ served, \d+ errors, \d+ bytes\n.*`),
+	"Perl/txt2html":  regexp.MustCompile(`^\d+ paragraphs, \d+ links, \d+ numbered\n$`),
+	"Perl/weblint":   regexp.MustCompile(`(?s)\d+ problems in \d+ lines\n`),
+	"Tcl/tcllex":     regexp.MustCompile(`^\d+ idents, \d+ numbers, \d+ puncts, \d+ keywords\n$`),
+	"Tcl/tcltags":    regexp.MustCompile(`^\d+ tags from \d+ lines\n$`),
+	"Tcl/demos":      regexp.MustCompile(`^3 clicks, \d+ widgets\n$`),
+	"Tcl/hanoi":      regexp.MustCompile(`^\d+\n$`),
+	"Tcl/ical":       regexp.MustCompile(`^\d+ appointments, \d+ in june\n$`),
+	"Tcl/tkdiff":     regexp.MustCompile(`^\d+ differing lines of \d+\n$`),
+	"Tcl/xf":         regexp.MustCompile(`^10 widgets, \d+ generated lines\n$`),
+}
+
+func TestMacroOutputShapes(t *testing.T) {
+	for _, p := range Suite(0.2) {
+		re, ok := outputShapes[p.ID()]
+		if !ok {
+			continue
+		}
+		p := p
+		t.Run(p.ID(), func(t *testing.T) {
+			res, err := core.Measure(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !re.MatchString(res.Stdout) {
+				t.Errorf("output %q does not match %v", res.Stdout, re)
+			}
+		})
+	}
+}
+
+// TestWorkloadsAreDeterministic re-runs a sample and compares everything.
+func TestWorkloadsAreDeterministic(t *testing.T) {
+	for _, mk := range []func() core.Program{
+		func() core.Program { return DESTcl(4) },
+		func() core.Program { return DESPerl(6) },
+		func() core.Program { return JavaSuite(0.15)[0] },
+		func() core.Program { return TclSuite(0.15)[3] },
+	} {
+		a, err := core.Measure(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := core.Measure(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Stdout != b.Stdout {
+			t.Errorf("%s: stdout differs between runs", a.Program.ID())
+		}
+		if a.NativeInstructions() != b.NativeInstructions() {
+			t.Errorf("%s: instruction counts differ: %d vs %d",
+				a.Program.ID(), a.NativeInstructions(), b.NativeInstructions())
+		}
+		if a.Counter.Total != b.Counter.Total {
+			t.Errorf("%s: event counts differ", a.Program.ID())
+		}
+		if a.FrameChecksum != b.FrameChecksum {
+			t.Errorf("%s: rendering differs", a.Program.ID())
+		}
+	}
+}
+
+// TestGraphicsWorkloadsDraw verifies the native-library story: the Tk and
+// Java graphics workloads must spend a large share of execute instructions
+// in the native region and must actually have drawn.
+func TestGraphicsWorkloadsDraw(t *testing.T) {
+	for _, p := range Suite(0.2) {
+		switch p.ID() {
+		case "Java/hanoi", "Java/asteroids", "Tcl/hanoi", "Tcl/demos", "Tcl/xf":
+		default:
+			continue
+		}
+		p := p
+		t.Run(p.ID(), func(t *testing.T) {
+			res, err := core.Measure(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FrameChecksum == 0 {
+				t.Error("no frame rendered")
+			}
+			nat, ok := res.Stats.Region("native")
+			if !ok || nat.Instructions == 0 {
+				t.Fatal("no native-library time recorded")
+			}
+			share := float64(nat.Instructions) / float64(res.Stats.Execute)
+			if share < 0.25 {
+				t.Errorf("native share of execute = %.2f, want dominant-ish", share)
+			}
+		})
+	}
+}
+
+// TestMicroIterationScaling checks that the per-iteration cost is stable:
+// doubling iterations roughly doubles interpreted instructions.
+func TestMicroIterationScaling(t *testing.T) {
+	small := Micros(0.05)
+	big := Micros(0.1)
+	for k := range small {
+		if small[k].Iters*2 != big[k].Iters {
+			continue // clamped at the minimum
+		}
+		rs, err := core.Measure(small[k].Progs[core.SysMIPSI])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := core.Measure(big[k].Progs[core.SysMIPSI])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(rb.NativeInstructions()) / float64(rs.NativeInstructions())
+		if ratio < 1.5 || ratio > 2.5 {
+			t.Errorf("%s: 2x iterations gave %.2fx instructions", small[k].Name, ratio)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"interplab/internal/core"
+)
+
+// Deterministic input corpora for the file-processing workloads.  All text
+// is generated from a fixed word list with a fixed recurrence, so every run
+// (and every language) sees identical bytes.
+
+var corpusWords = []string{
+	"the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog",
+	"interpreter", "virtual", "machine", "command", "cache", "memory",
+	"performance", "alpha", "native", "instruction", "decode", "fetch",
+	"benchmark", "system", "program", "library", "runtime", "structure",
+}
+
+// textCorpus builds n lines of deterministic prose.
+func textCorpus(lines int) string {
+	var sb strings.Builder
+	seed := uint32(42)
+	for l := 0; l < lines; l++ {
+		words := 5 + int(seed%7)
+		for w := 0; w < words; w++ {
+			seed = seed*1664525 + 1013904223
+			if w > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(corpusWords[seed%uint32(len(corpusWords))])
+		}
+		if l%7 == 3 {
+			fmt.Fprintf(&sb, " %d", seed%10000)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// htmlCorpus builds a deterministic HTML-ish document with some deliberate
+// lint defects (unclosed tags, bad attributes) for weblint.
+func htmlCorpus(paras int) string {
+	var sb strings.Builder
+	sb.WriteString("<html>\n<head><title>Interpreter Study</title></head>\n<body>\n")
+	seed := uint32(7)
+	for p := 0; p < paras; p++ {
+		seed = seed*1664525 + 1013904223
+		switch seed % 5 {
+		case 0:
+			fmt.Fprintf(&sb, "<h2>Section %d</h2>\n", p)
+		case 1:
+			sb.WriteString("<p>")
+			for w := 0; w < 8; w++ {
+				seed = seed*1664525 + 1013904223
+				sb.WriteString(corpusWords[seed%uint32(len(corpusWords))])
+				sb.WriteByte(' ')
+			}
+			sb.WriteString("</p>\n")
+		case 2:
+			fmt.Fprintf(&sb, "<a href=\"doc%d.html\">link %d</a>\n", p, p)
+		case 3:
+			// Deliberate defect: unclosed bold.
+			sb.WriteString("<p><b>important text</p>\n")
+		case 4:
+			fmt.Fprintf(&sb, "<img src=\"fig%d.gif\">\n", p)
+		}
+	}
+	sb.WriteString("</body>\n</html>\n")
+	return sb.String()
+}
+
+// sourceCorpus builds deterministic C-like source text for the tag and
+// lexer tools.
+func sourceCorpus(funcs int) string {
+	var sb strings.Builder
+	sb.WriteString("/* generated corpus */\n#include <stdio.h>\n\n")
+	for f := 0; f < funcs; f++ {
+		fmt.Fprintf(&sb, "int helper_%d(int a, int b) {\n", f)
+		fmt.Fprintf(&sb, "    int result = a * %d + b;\n", f+1)
+		sb.WriteString("    if (result > 100) { result = result - 100; }\n")
+		fmt.Fprintf(&sb, "    return result; /* helper %d */\n}\n\n", f)
+	}
+	sb.WriteString("int main() { return helper_0(1, 2); }\n")
+	return sb.String()
+}
+
+// requestLog builds HTTP request lines for the plexus server workload.
+func requestLog(n int) string {
+	var sb strings.Builder
+	seed := uint32(99)
+	paths := []string{"/", "/index.html", "/docs/paper.ps", "/cgi/search", "/img/logo.gif", "/missing"}
+	for k := 0; k < n; k++ {
+		seed = seed*1664525 + 1013904223
+		method := "GET"
+		if seed%11 == 0 {
+			method = "POST"
+		}
+		fmt.Fprintf(&sb, "%s %s HTTP/1.0\n", method, paths[seed%uint32(len(paths))])
+	}
+	return sb.String()
+}
+
+// installInputs populates the run's filesystem with every corpus.
+func installInputs(ctx *core.Ctx) {
+	ctx.OS.AddFile("compress.in", []byte(textCorpus(40)))
+	ctx.OS.AddFile("text.in", []byte(textCorpus(60)))
+	ctx.OS.AddFile("doc.html", []byte(htmlCorpus(50)))
+	ctx.OS.AddFile("prog.c", []byte(sourceCorpus(18)))
+	ctx.OS.AddFile("requests.log", []byte(requestLog(40)))
+	ctx.OS.AddFile("index.html", []byte(htmlCorpus(10)))
+	ctx.OS.AddFile("readfile.bin", []byte(strings.Repeat("x", 4096)))
+	ctx.OS.AddFile("calendar.dat", []byte(calendarData(30)))
+	ctx.OS.AddFile("old.txt", []byte(textCorpus(25)))
+	ctx.OS.AddFile("new.txt", []byte(diffedCorpus(25)))
+}
+
+// calendarData builds appointment lines for the ical workload.
+func calendarData(n int) string {
+	var sb strings.Builder
+	seed := uint32(3)
+	for k := 0; k < n; k++ {
+		seed = seed*1664525 + 1013904223
+		fmt.Fprintf(&sb, "%d %d meeting-%s\n", seed%12+1, seed%28+1,
+			corpusWords[seed%uint32(len(corpusWords))])
+	}
+	return sb.String()
+}
+
+// diffedCorpus is textCorpus(25) with a few changed lines, for tkdiff.
+func diffedCorpus(lines int) string {
+	base := strings.Split(textCorpus(lines), "\n")
+	for k := 3; k < len(base); k += 7 {
+		base[k] = base[k] + " CHANGED"
+	}
+	return strings.Join(base, "\n")
+}

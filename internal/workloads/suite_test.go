@@ -1,0 +1,60 @@
+package workloads
+
+import (
+	"testing"
+
+	"interplab/internal/core"
+)
+
+// TestSuiteRunsClean executes every macro program at a small scale and
+// requires success plus sane accounting.
+func TestSuiteRunsClean(t *testing.T) {
+	for _, p := range Suite(0.2) {
+		p := p
+		t.Run(p.ID(), func(t *testing.T) {
+			res, err := core.Measure(p)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.Commands() == 0 {
+				t.Error("no virtual commands recorded")
+			}
+			if res.NativeInstructions() == 0 {
+				t.Error("no native instructions recorded")
+			}
+			if res.Stdout == "" {
+				t.Error("workload produced no output")
+			}
+		})
+	}
+}
+
+// TestNativeSuiteRunsClean executes the compiled baselines.
+func TestNativeSuiteRunsClean(t *testing.T) {
+	for _, p := range NativeSuite(0.2) {
+		p := p
+		t.Run(p.ID(), func(t *testing.T) {
+			res, err := core.Measure(p)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.Counter.Total == 0 {
+				t.Error("no instructions")
+			}
+		})
+	}
+}
+
+// TestMicrosRunClean executes every microbenchmark in every system.
+func TestMicrosRunClean(t *testing.T) {
+	for _, m := range Micros(0.1) {
+		for sys, p := range m.Progs {
+			p := p
+			t.Run(string(sys)+"/"+m.Name, func(t *testing.T) {
+				if _, err := core.Measure(p); err != nil {
+					t.Fatalf("run: %v", err)
+				}
+			})
+		}
+	}
+}
