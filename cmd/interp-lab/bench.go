@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"interplab/internal/core"
+	"interplab/internal/telemetry"
+	"interplab/internal/workloads"
+)
+
+// benchResult is one arm of the telemetry overhead measurement.
+type benchResult struct {
+	Events       uint64  `json:"events"`
+	BestSeconds  float64 `json:"best_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// benchReport is the BENCH_telemetry.json document: the event throughput
+// of a harness measurement with telemetry off vs. on, seeding the repo's
+// performance trajectory.
+type benchReport struct {
+	Benchmark   string      `json:"benchmark"`
+	Workload    string      `json:"workload"`
+	Runs        int         `json:"runs"`
+	Off         benchResult `json:"telemetry_off"`
+	On          benchResult `json:"telemetry_on"`
+	OverheadPct float64     `json:"overhead_pct"`
+}
+
+// cmdBenchTelemetry wall-times a small harness measurement with telemetry
+// disabled and enabled and writes the throughput comparison to out.
+func cmdBenchTelemetry(out string, scale float64) {
+	if scale <= 0 {
+		fatalf("-scale must be > 0 (got %g)", scale)
+	}
+	blocks := int(30 * scale)
+	if blocks < 2 {
+		blocks = 2
+	}
+	mk := func() core.Program { return workloads.DESMIPSI(blocks) }
+	const runs = 3
+
+	off := benchArm(runs, mk, nil)
+	reg := telemetry.NewRegistry()
+	on := benchArm(runs, mk, reg)
+
+	rep := benchReport{
+		Benchmark: "telemetry-overhead",
+		Workload:  mk().ID(),
+		Runs:      runs,
+		Off:       off,
+		On:        on,
+	}
+	if off.EventsPerSec > 0 {
+		rep.OverheadPct = 100 * (off.EventsPerSec - on.EventsPerSec) / off.EventsPerSec
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		fatalf("write %s: %v", out, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("close %s: %v", out, err)
+	}
+	fmt.Printf("telemetry off: %.0f events/s, on: %.0f events/s, overhead %.2f%% -> %s\n",
+		off.EventsPerSec, on.EventsPerSec, rep.OverheadPct, out)
+}
+
+// benchArm measures best-of-n wall time for one configuration.
+func benchArm(n int, mk func() core.Program, reg *telemetry.Registry) benchResult {
+	var best time.Duration
+	var events uint64
+	for i := 0; i < n; i++ {
+		var opts []core.MeasureOption
+		if reg != nil {
+			opts = append(opts, core.WithTelemetry(reg))
+		}
+		start := time.Now()
+		res, err := core.Measure(mk(), opts...)
+		el := time.Since(start)
+		if err != nil {
+			fatalf("bench workload: %v", err)
+		}
+		events = res.Counter.Total
+		if best == 0 || el < best {
+			best = el
+		}
+	}
+	r := benchResult{Events: events, BestSeconds: best.Seconds()}
+	if best > 0 {
+		r.EventsPerSec = float64(events) / best.Seconds()
+	}
+	return r
+}

@@ -4,32 +4,102 @@
 //
 // Usage:
 //
-//	interp-lab [-scale f] [table1|table2|table3|fig1|fig2|fig3|fig4|memmodel|ablation|all]
+//	interp-lab [-scale f] [-json manifest.json] [-trace trace.json] experiment...
+//	interp-lab list
+//	interp-lab report manifest.json
+//	interp-lab bench-telemetry [file]
+//
+// Experiments: table1 table2 table3 fig1 fig2 fig3 fig4 memmodel ablation,
+// or "all".  -json writes a versioned machine-readable run manifest that
+// `interp-lab report` re-renders to the exact text of a direct run; -trace
+// writes a Chrome trace-event file of the run's span hierarchy for
+// chrome://tracing or Perfetto.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"interplab/internal/harness"
+	"interplab/internal/telemetry"
 )
 
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: interp-lab [-scale f] [-json file] [-trace file] experiment...
+       interp-lab list
+       interp-lab report manifest.json
+       interp-lab bench-telemetry [file]
+
+experiments: %v, all
+`, harness.Experiments)
+}
+
 func main() {
-	scale := flag.Float64("scale", 1, "workload size multiplier")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: interp-lab [-scale f] experiment...\nexperiments: %v, all\n", harness.Experiments)
-	}
+	scale := flag.Float64("scale", 1, "workload size multiplier (> 0)")
+	jsonOut := flag.String("json", "", "write a machine-readable run manifest to `file`")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event file to `file`")
+	flag.Usage = usage
 	flag.Parse()
-	ids := flag.Args()
-	if len(ids) == 0 {
-		flag.Usage()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		fmt.Fprintln(os.Stderr, "\navailable experiments (interp-lab list):")
+		for _, id := range harness.Experiments {
+			fmt.Fprintf(os.Stderr, "  %s\n", id)
+		}
 		os.Exit(2)
 	}
+	switch args[0] {
+	case "list":
+		for _, id := range harness.Experiments {
+			fmt.Println(id)
+		}
+		return
+	case "report":
+		if len(args) != 2 {
+			fatalf("report takes exactly one manifest file")
+		}
+		cmdReport(args[1])
+		return
+	case "bench-telemetry":
+		out := "BENCH_telemetry.json"
+		if len(args) > 1 {
+			out = args[1]
+		}
+		cmdBenchTelemetry(out, *scale)
+		return
+	}
+	if *scale <= 0 {
+		fatalf("-scale must be > 0 (got %g)", *scale)
+	}
+	cmdRun(args, *scale, *jsonOut, *traceOut)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "interp-lab: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// cmdRun executes the named experiments, optionally recording a run
+// manifest (-json) and a span trace (-trace).
+func cmdRun(ids []string, scale float64, jsonOut, traceOut string) {
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = harness.Experiments
 	}
-	opt := harness.Options{Scale: *scale, Out: os.Stdout}
+	opt := harness.Options{Scale: scale, Out: os.Stdout}
+	var reg *telemetry.Registry
+	var man *telemetry.Manifest
+	if jsonOut != "" {
+		reg = telemetry.NewRegistry()
+		man = telemetry.NewManifest(scale)
+		opt.Telemetry = reg
+		opt.Manifest = man
+	}
+	if traceOut != "" {
+		opt.Tracer = telemetry.NewTracer()
+	}
 	for k, id := range ids {
 		if k > 0 {
 			fmt.Println()
@@ -38,5 +108,43 @@ func main() {
 			fmt.Fprintf(os.Stderr, "interp-lab: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+	}
+	if man != nil {
+		man.AttachMetrics(reg)
+		writeFileVia(jsonOut, man.Write)
+	}
+	if opt.Tracer != nil {
+		writeFileVia(traceOut, opt.Tracer.WriteJSON)
+	}
+}
+
+// writeFileVia writes path through the given serializer.
+func writeFileVia(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatalf("write %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("close %s: %v", path, err)
+	}
+}
+
+// cmdReport re-renders a saved manifest to the text a direct run printed.
+func cmdReport(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	man, err := telemetry.ReadManifest(f)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := man.RenderText(os.Stdout); err != nil {
+		fatalf("render %s: %v", path, err)
 	}
 }

@@ -97,15 +97,23 @@ func DefaultConfig() Config {
 }
 
 // Stats is the outcome of a simulated run, in the paper's issue-slot terms.
+// The JSON tags are the manifest schema (docs/OBSERVABILITY.md); Stalls
+// serializes as an array indexed by Cause (see causeNames for the order).
 type Stats struct {
-	Instructions uint64
-	Cycles       uint64
-	Stalls       [NumCauses]uint64 // stall cycles per cause
+	Instructions uint64            `json:"instructions"`
+	Cycles       uint64            `json:"cycles"`
+	Stalls       [NumCauses]uint64 `json:"stalls"` // stall cycles per cause
 
-	IFetches, IMisses1, IMisses2  uint64
-	DAccesses, DMisses1, DMisses2 uint64
-	ITLBMisses, DTLBMisses        uint64
-	Branches, Mispredicts         uint64
+	IFetches    uint64 `json:"ifetches"`
+	IMisses1    uint64 `json:"imisses1"`
+	IMisses2    uint64 `json:"imisses2"`
+	DAccesses   uint64 `json:"daccesses"`
+	DMisses1    uint64 `json:"dmisses1"`
+	DMisses2    uint64 `json:"dmisses2"`
+	ITLBMisses  uint64 `json:"itlb_misses"`
+	DTLBMisses  uint64 `json:"dtlb_misses"`
+	Branches    uint64 `json:"branches"`
+	Mispredicts uint64 `json:"mispredicts"`
 }
 
 // IssueSlots returns the total issue slots offered (width × cycles).

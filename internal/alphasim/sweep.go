@@ -9,11 +9,11 @@ import (
 // SweepPoint is one (size, associativity) instruction-cache configuration in
 // a Figure 4 sweep.
 type SweepPoint struct {
-	SizeKB int
-	Assoc  int
+	SizeKB int `json:"size_kb"`
+	Assoc  int `json:"assoc"`
 
-	Instructions uint64
-	Misses       uint64
+	Instructions uint64 `json:"instructions"`
+	Misses       uint64 `json:"misses"`
 }
 
 // MissPer100 returns misses per 100 instructions, Figure 4's y-axis.

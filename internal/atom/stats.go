@@ -2,12 +2,13 @@ package atom
 
 import "sort"
 
-// OpStats reports the accounting for one virtual command.
+// OpStats reports the accounting for one virtual command.  The JSON tags
+// are the manifest schema (docs/OBSERVABILITY.md); keep them stable.
 type OpStats struct {
-	Name        string
-	Count       uint64
-	FetchDecode uint64 // native instructions spent fetching/decoding
-	Execute     uint64 // native instructions spent executing
+	Name        string `json:"name"`
+	Count       uint64 `json:"count"`
+	FetchDecode uint64 `json:"fetch_decode"` // native instructions spent fetching/decoding
+	Execute     uint64 `json:"execute"`      // native instructions spent executing
 }
 
 // Total returns the command's combined instruction count.
@@ -15,9 +16,9 @@ func (o OpStats) Total() uint64 { return o.FetchDecode + o.Execute }
 
 // RegionStats reports the accounting for one attribution region.
 type RegionStats struct {
-	Name         string
-	Instructions uint64
-	Accesses     uint64
+	Name         string `json:"name"`
+	Instructions uint64 `json:"instructions"`
+	Accesses     uint64 `json:"accesses"`
 }
 
 // PerAccess returns the average instructions per recorded access, the §3.3
@@ -31,15 +32,15 @@ func (r RegionStats) PerAccess() float64 {
 
 // Stats is the complete account of one measured run.
 type Stats struct {
-	Commands     uint64
-	Instructions uint64 // everything, including startup
-	Startup      uint64
-	FetchDecode  uint64
-	Execute      uint64
-	Loads        uint64
-	Stores       uint64
-	Ops          []OpStats     // sorted by descending total instructions
-	Regions      []RegionStats // in registration order
+	Commands     uint64        `json:"commands"`
+	Instructions uint64        `json:"instructions"` // everything, including startup
+	Startup      uint64        `json:"startup"`
+	FetchDecode  uint64        `json:"fetch_decode"`
+	Execute      uint64        `json:"execute"`
+	Loads        uint64        `json:"loads"`
+	Stores       uint64        `json:"stores"`
+	Ops          []OpStats     `json:"ops,omitempty"`     // sorted by descending total instructions
+	Regions      []RegionStats `json:"regions,omitempty"` // in registration order
 }
 
 // InstructionsPerCommand returns the average native instructions per virtual

@@ -19,6 +19,7 @@ import (
 	"interplab/internal/alphasim"
 	"interplab/internal/atom"
 	"interplab/internal/gfx"
+	"interplab/internal/telemetry"
 	"interplab/internal/trace"
 	"interplab/internal/vfs"
 )
@@ -92,6 +93,10 @@ type Result struct {
 
 	// Stdout is the run's captured console output.
 	Stdout string
+
+	// Samples holds the telemetry observer's periodic snapshots when the
+	// run was measured with WithTelemetry; nil otherwise.
+	Samples []telemetry.Sample
 }
 
 // Commands returns the virtual-command count.  For compiled C the paper
@@ -124,26 +129,68 @@ func (r Result) PerCommand() (fd, ex float64) {
 	return r.Stats.InstructionsPerCommand()
 }
 
+// measureConfig carries the optional instrumentation of a measured run.
+type measureConfig struct {
+	tracer      *telemetry.Tracer
+	reg         *telemetry.Registry
+	sampleEvery uint64
+}
+
+// MeasureOption configures optional telemetry on Measure* calls.
+type MeasureOption func(*measureConfig)
+
+// WithTracer records spans for the run (workload execution, stats
+// collection) into tr.  A nil tracer is allowed and disables tracing.
+func WithTracer(tr *telemetry.Tracer) MeasureOption {
+	return func(c *measureConfig) { c.tracer = tr }
+}
+
+// WithTelemetry wires the run's native-instruction stream through a
+// sampling observer feeding reg, and counts runs/events there.  A nil
+// registry is allowed and disables metrics (the event path is then
+// byte-for-byte the uninstrumented one).
+func WithTelemetry(reg *telemetry.Registry) MeasureOption {
+	return func(c *measureConfig) { c.reg = reg }
+}
+
+// WithSampleInterval sets the observer's sampling period in events
+// (default 65536).  Only meaningful together with WithTelemetry.
+func WithSampleInterval(n uint64) MeasureOption {
+	return func(c *measureConfig) { c.sampleEvery = n }
+}
+
 // run executes p against a fresh environment with the given sink.
-func run(p Program, sink trace.Sink) (Result, error) {
+func run(p Program, sink trace.Sink, opts ...MeasureOption) (Result, error) {
+	var mc measureConfig
+	for _, o := range opts {
+		o(&mc)
+	}
 	res := Result{Program: p}
 	var counter trace.Counter
 	var fan trace.Sink = &counter
 	if sink != nil {
 		fan = trace.Multi{&counter, sink}
 	}
+	// With telemetry enabled the stream is observed on its way to the
+	// counting/simulation sinks; disabled, Wrap returns fan unchanged.
+	observed := telemetry.Wrap(fan, mc.reg, mc.sampleEvery)
 	img := atom.NewImage()
-	probe := atom.NewProbe(img, fan)
+	probe := atom.NewProbe(img, observed)
 	osys := vfs.New()
 	// Compiled-C runs emit their own synthetic kernel path (mipsi.Native);
 	// instrumenting the vfs as well would double-charge system time.
 	if p.System != SysC {
 		osys.Instrument(img, probe)
 	}
-	ctx := &Ctx{Image: img, Probe: probe, Sink: fan, OS: osys}
-	if err := p.Run(ctx); err != nil {
+	ctx := &Ctx{Image: img, Probe: probe, Sink: observed, OS: osys}
+	span := mc.tracer.Start("workload "+p.ID(), "program", p.ID())
+	err := p.Run(ctx)
+	span.End()
+	if err != nil {
+		mc.reg.Counter("core.errors").Inc()
 		return res, fmt.Errorf("%s: %w", p.ID(), err)
 	}
+	collect := mc.tracer.Start("collect " + p.ID())
 	res.Stats = probe.Stats()
 	res.Counter = counter
 	res.SizeBytes = ctx.size
@@ -151,17 +198,26 @@ func run(p Program, sink trace.Sink) (Result, error) {
 	if ctx.display != nil {
 		res.FrameChecksum = ctx.display.Checksum()
 	}
-	return res, nil
+	if obs, ok := observed.(*telemetry.Observer); ok {
+		obs.Flush()
+		res.Samples = obs.Samples()
+	}
+	collect.End()
+	mc.reg.Counter("core.measures").Inc()
+	mc.reg.Counter("core.events").Add(counter.Total)
+	mc.reg.Histogram("core.events_per_run").Observe(counter.Total)
+	mc.reg.Histogram("core.commands_per_run").Observe(res.Commands())
+	return res, err
 }
 
 // Measure runs p and collects the software metrics only.
-func Measure(p Program) (Result, error) { return run(p, nil) }
+func Measure(p Program, opts ...MeasureOption) (Result, error) { return run(p, nil, opts...) }
 
 // MeasureWithPipeline runs p with the trace streaming through a simulated
 // processor.
-func MeasureWithPipeline(p Program, cfg alphasim.Config) (Result, error) {
+func MeasureWithPipeline(p Program, cfg alphasim.Config, opts ...MeasureOption) (Result, error) {
 	pipe := alphasim.New(cfg)
-	res, err := run(p, pipe)
+	res, err := run(p, pipe, opts...)
 	if err != nil {
 		return res, err
 	}
@@ -172,6 +228,6 @@ func MeasureWithPipeline(p Program, cfg alphasim.Config) (Result, error) {
 
 // MeasureWithSweep runs p once while probing every geometry of the
 // instruction-cache sweep (Figure 4).
-func MeasureWithSweep(p Program, sweep *alphasim.ICacheSweep) (Result, error) {
-	return run(p, sweep)
+func MeasureWithSweep(p Program, sweep *alphasim.ICacheSweep, opts ...MeasureOption) (Result, error) {
+	return run(p, sweep, opts...)
 }

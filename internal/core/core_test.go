@@ -6,6 +6,7 @@ import (
 
 	"interplab/internal/alphasim"
 	"interplab/internal/atom"
+	"interplab/internal/telemetry"
 )
 
 // toyProgram emits a deterministic instruction stream through the probe.
@@ -156,3 +157,44 @@ func TestDisplayChecksumCaptured(t *testing.T) {
 }
 
 var _ = atom.CodeBase
+
+// TestMeasureTelemetryFidelity pins that instrumenting a run with
+// telemetry does not perturb the measurement: stats, counters and pipeline
+// results are identical with and without the observer, and the observed
+// run additionally yields samples.
+func TestMeasureTelemetryFidelity(t *testing.T) {
+	p := toyProgram(SysPerl)
+	plain, err := MeasureWithPipeline(p, alphasim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer()
+	observed, err := MeasureWithPipeline(p, alphasim.DefaultConfig(),
+		WithTelemetry(reg), WithTracer(tr), WithSampleInterval(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observed.Counter != plain.Counter {
+		t.Errorf("counter perturbed: %+v != %+v", observed.Counter, plain.Counter)
+	}
+	if observed.Stats.Instructions != plain.Stats.Instructions ||
+		observed.Stats.Commands != plain.Stats.Commands {
+		t.Errorf("stats perturbed: %+v != %+v", observed.Stats, plain.Stats)
+	}
+	if *observed.Pipe != *plain.Pipe {
+		t.Errorf("pipeline perturbed: %+v != %+v", observed.Pipe, plain.Pipe)
+	}
+	if len(observed.Samples) == 0 {
+		t.Error("observed run must yield telemetry samples")
+	}
+	if plain.Samples != nil {
+		t.Error("plain run must not yield samples")
+	}
+	if reg.Counter("core.measures").Value() != 1 {
+		t.Errorf("core.measures = %d, want 1", reg.Counter("core.measures").Value())
+	}
+	if len(tr.Events()) == 0 {
+		t.Error("tracer recorded no spans")
+	}
+}

@@ -2,7 +2,6 @@ package harness
 
 import (
 	"fmt"
-	"io"
 
 	"interplab/internal/alphasim"
 	"interplab/internal/core"
@@ -25,7 +24,7 @@ import (
 //  4. Dispatch (fetch/decode) share per interpreter — the bound on what
 //     those optimizations can ever save.
 func Ablation(opt Options) error {
-	w := opt.Out
+	w := opt.out()
 	scale := opt.scale()
 
 	fmt.Fprintf(w, "Ablation 1: iTLB size (Tcl/Tk tkdiff through the pipeline)\n")
@@ -38,7 +37,7 @@ func Ablation(opt Options) error {
 	for _, entries := range []int{8, 32} {
 		cfg := alphasim.DefaultConfig()
 		cfg.ITLBEntries = entries
-		res, err := core.MeasureWithPipeline(tkdiff, cfg)
+		res, err := opt.measurePipeline(tkdiff, cfg)
 		if err != nil {
 			return err
 		}
@@ -68,7 +67,7 @@ func Ablation(opt Options) error {
 				return ip.Run(0)
 			},
 		}
-		res, err := core.Measure(p)
+		res, err := opt.measure(p)
 		if err != nil {
 			return err
 		}
@@ -84,7 +83,7 @@ func Ablation(opt Options) error {
 	}
 
 	fmt.Fprintf(w, "\nAblation 3: dispatch implementation (§5: threaded code, bytecode caching)\n")
-	if err := dispatchAblation(w, blocks, scale); err != nil {
+	if err := dispatchAblation(opt, blocks, scale); err != nil {
 		return err
 	}
 
@@ -95,7 +94,7 @@ func Ablation(opt Options) error {
 		workloads.DESPerl(int(18 * scale)),
 		workloads.DESTcl(int(6 * scale)),
 	} {
-		res, err := core.Measure(p)
+		res, err := opt.measure(p)
 		if err != nil {
 			return err
 		}
@@ -115,7 +114,8 @@ func desSourceForAblation(blocks int) string {
 // dispatchAblation measures the §5 software optimizations as implemented
 // knobs: threaded dispatch for the low-level VMs, and parse caching (the
 // Tcl 8 direction) for Tcl.
-func dispatchAblation(w io.Writer, blocks int, scale float64) error {
+func dispatchAblation(opt Options, blocks int, scale float64) error {
+	w := opt.out()
 	// MIPSI: switch vs. threaded dispatch.
 	for _, threaded := range []bool{false, true} {
 		threaded := threaded
@@ -134,7 +134,7 @@ func dispatchAblation(w io.Writer, blocks int, scale float64) error {
 				return ip.Run(0)
 			},
 		}
-		res, err := core.Measure(p)
+		res, err := opt.measure(p)
 		if err != nil {
 			return err
 		}
@@ -173,7 +173,7 @@ func dispatchAblation(w io.Writer, blocks int, scale float64) error {
 				return err
 			},
 		}
-		res, err := core.Measure(p)
+		res, err := opt.measure(p)
 		if err != nil {
 			return err
 		}
@@ -202,7 +202,7 @@ func dispatchAblation(w io.Writer, blocks int, scale float64) error {
 				return err
 			},
 		}
-		res, err := core.Measure(p)
+		res, err := opt.measure(p)
 		if err != nil {
 			return err
 		}

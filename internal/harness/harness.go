@@ -5,23 +5,43 @@
 package harness
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"interplab/internal/alphasim"
 	"interplab/internal/atom"
 	"interplab/internal/core"
+	"interplab/internal/telemetry"
 	"interplab/internal/workloads"
 )
 
 // Options configures an experiment run.
 type Options struct {
-	// Scale multiplies workload sizes (1 = default).
+	// Scale multiplies workload sizes (1 = default; 0 means "default",
+	// negative is rejected by Run).
 	Scale float64
-	// Out receives the rendered table/figure.
+	// Out receives the rendered table/figure.  nil means os.Stdout, so
+	// library callers can leave it unset without nil-dereferencing.
 	Out io.Writer
+
+	// Telemetry, when non-nil, receives run metrics (counters, histograms)
+	// and enables the sampling observer on every measured stream.
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, records the span hierarchy
+	// experiment → measure → workload/collect for Chrome trace export.
+	Tracer *telemetry.Tracer
+	// Manifest, when non-nil, captures each experiment's rendered text and
+	// structured measurements for the machine-readable run record.
+	Manifest *telemetry.Manifest
+
+	// rec is the manifest entry of the experiment currently dispatched by
+	// Run; the measure helpers record into it.
+	rec *telemetry.RunEntry
 }
 
 func (o Options) scale() float64 {
@@ -31,13 +51,57 @@ func (o Options) scale() float64 {
 	return o.Scale
 }
 
+// out returns the destination writer, defaulting to os.Stdout.
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return os.Stdout
+	}
+	return o.Out
+}
+
 // Experiments lists the runnable experiment ids.
 var Experiments = []string{
 	"table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "memmodel", "ablation",
 }
 
+// Known reports whether id names an experiment.
+func Known(id string) bool {
+	for _, e := range Experiments {
+		if e == id {
+			return true
+		}
+	}
+	return false
+}
+
 // Run dispatches an experiment by id.
 func Run(id string, opt Options) error {
+	if opt.Scale < 0 {
+		return fmt.Errorf("harness: scale must be positive (got %g)", opt.Scale)
+	}
+	if !Known(id) {
+		return fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(Experiments, ", "))
+	}
+	span := opt.Tracer.Start("experiment "+id, "id", id, "scale", opt.scale())
+	defer span.End()
+	start := time.Now()
+	var buf *bytes.Buffer
+	if opt.Manifest != nil {
+		opt.rec = opt.Manifest.StartRun(id)
+		buf = &bytes.Buffer{}
+		opt.Out = io.MultiWriter(opt.out(), buf)
+	}
+	err := dispatch(id, opt)
+	if opt.rec != nil && err == nil {
+		opt.rec.Text = buf.String()
+		opt.rec.DurationUS = float64(time.Since(start)) / float64(time.Microsecond)
+	}
+	opt.Telemetry.Counter("harness.experiments").Inc()
+	opt.Telemetry.Histogram("harness.experiment_us").Observe(uint64(time.Since(start) / time.Microsecond))
+	return err
+}
+
+func dispatch(id string, opt Options) error {
 	switch id {
 	case "table1":
 		return Table1(opt)
@@ -61,6 +125,74 @@ func Run(id string, opt Options) error {
 	return fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(Experiments, ", "))
 }
 
+// measureOpts threads the harness's telemetry into core measurements.
+func (o Options) measureOpts() []core.MeasureOption {
+	return []core.MeasureOption{core.WithTracer(o.Tracer), core.WithTelemetry(o.Telemetry)}
+}
+
+// record adds one structured measurement to the current experiment's
+// manifest entry (no-op without a manifest).
+func (o Options) record(kind string, res core.Result, start time.Time, sweep *alphasim.ICacheSweep) {
+	if o.rec == nil {
+		return
+	}
+	stats := res.Stats
+	mm := telemetry.Measurement{
+		Program:    res.Program.ID(),
+		System:     string(res.Program.System),
+		Name:       res.Program.Name,
+		SizeBytes:  res.SizeBytes,
+		Events:     res.Counter.Total,
+		Kind:       kind,
+		DurationUS: float64(time.Since(start)) / float64(time.Microsecond),
+		Stats:      &stats,
+		Pipe:       res.Pipe,
+	}
+	if sweep != nil {
+		mm.Sweep = sweep.Points()
+	}
+	o.rec.Add(mm)
+}
+
+// measure is core.Measure with the harness's spans, metrics and manifest.
+func (o Options) measure(p core.Program) (core.Result, error) {
+	span := o.Tracer.Start("measure "+p.ID(), "program", p.ID())
+	defer span.End()
+	start := time.Now()
+	res, err := core.Measure(p, o.measureOpts()...)
+	if err != nil {
+		return res, err
+	}
+	o.record("measure", res, start, nil)
+	return res, nil
+}
+
+// measurePipeline is core.MeasureWithPipeline with spans/metrics/manifest.
+func (o Options) measurePipeline(p core.Program, cfg alphasim.Config) (core.Result, error) {
+	span := o.Tracer.Start("measure "+p.ID(), "program", p.ID(), "sink", "pipeline")
+	defer span.End()
+	start := time.Now()
+	res, err := core.MeasureWithPipeline(p, cfg, o.measureOpts()...)
+	if err != nil {
+		return res, err
+	}
+	o.record("pipeline", res, start, nil)
+	return res, nil
+}
+
+// measureSweep is core.MeasureWithSweep with spans/metrics/manifest.
+func (o Options) measureSweep(p core.Program, sweep *alphasim.ICacheSweep) (core.Result, error) {
+	span := o.Tracer.Start("measure "+p.ID(), "program", p.ID(), "sink", "icache-sweep")
+	defer span.End()
+	start := time.Now()
+	res, err := core.MeasureWithSweep(p, sweep, o.measureOpts()...)
+	if err != nil {
+		return res, err
+	}
+	o.record("sweep", res, start, sweep)
+	return res, nil
+}
+
 // systems is the presentation order.
 var systems = []core.System{core.SysMIPSI, core.SysJava, core.SysPerl, core.SysTcl}
 
@@ -68,18 +200,18 @@ var systems = []core.System{core.SysMIPSI, core.SysJava, core.SysPerl, core.SysT
 // ratios of simulated machine cycles against the compiled-C run of the
 // same operation count.
 func Table1(opt Options) error {
-	w := opt.Out
+	w := opt.out()
 	fmt.Fprintf(w, "Table 1: microbenchmark slowdowns relative to C (simulated cycles)\n\n")
 	fmt.Fprintf(w, "%-14s %-50s %9s %9s %9s %9s\n", "Benchmark", "Description", "MIPSI", "Java", "Perl", "Tcl")
 	for _, m := range workloads.Micros(opt.scale()) {
-		base, err := core.MeasureWithPipeline(m.Progs[core.SysC], alphasim.DefaultConfig())
+		base, err := opt.measurePipeline(m.Progs[core.SysC], alphasim.DefaultConfig())
 		if err != nil {
 			return err
 		}
 		cCycles := float64(base.Pipe.Cycles)
 		fmt.Fprintf(w, "%-14s %-50s", m.Name, m.Desc)
 		for _, sys := range systems {
-			res, err := core.MeasureWithPipeline(m.Progs[sys], alphasim.DefaultConfig())
+			res, err := opt.measurePipeline(m.Progs[sys], alphasim.DefaultConfig())
 			if err != nil {
 				return err
 			}
@@ -105,12 +237,12 @@ func fmtSlowdown(s float64) string {
 // Table2 regenerates the baseline performance table: commands, native
 // instructions, fetch/decode and execute averages, and simulated cycles.
 func Table2(opt Options) error {
-	w := opt.Out
+	w := opt.out()
 	fmt.Fprintf(w, "Table 2: baseline interpreter performance\n\n")
 	fmt.Fprintf(w, "%-6s %-10s %8s %10s %14s %10s %8s %8s %12s\n",
 		"Lang", "Benchmark", "Size(KB)", "VCmds(K)", "NativeI(K)", "(startup)", "FD/cmd", "Ex/cmd", "Cycles(K)")
 	for _, p := range table2Order(opt.scale()) {
-		res, err := core.MeasureWithPipeline(p, alphasim.DefaultConfig())
+		res, err := opt.measurePipeline(p, alphasim.DefaultConfig())
 		if err != nil {
 			return err
 		}
@@ -161,7 +293,7 @@ func fmtK(v uint64) string {
 
 // Table3 prints the simulated machine description.
 func Table3(opt Options) error {
-	w := opt.Out
+	w := opt.out()
 	cfg := alphasim.DefaultConfig()
 	fmt.Fprintf(w, "Table 3: simulated processor (2-issue, 21064-like)\n\n")
 	fmt.Fprintf(w, "%-12s %-10s %s\n", "Cause", "Latency", "Description")
@@ -188,7 +320,7 @@ func Table3(opt Options) error {
 // Fig1 regenerates the cumulative execute-instruction distributions: the
 // share of execute instructions covered by the top-x virtual commands.
 func Fig1(opt Options) error {
-	w := opt.Out
+	w := opt.out()
 	fmt.Fprintf(w, "Figure 1: cumulative native instruction count distributions\n")
 	fmt.Fprintf(w, "(execute instructions covered by the top-x virtual commands)\n\n")
 	fmt.Fprintf(w, "%-18s %6s %6s %6s %6s %6s\n", "Benchmark", "top1", "top2", "top3", "top5", "top10")
@@ -196,7 +328,7 @@ func Fig1(opt Options) error {
 		if p.System == core.SysC {
 			continue
 		}
-		res, err := core.Measure(p)
+		res, err := opt.measure(p)
 		if err != nil {
 			return err
 		}
@@ -237,13 +369,13 @@ func max(a, b float64) float64 {
 // top virtual commands with their share of commands and of execute
 // instructions.
 func Fig2(opt Options) error {
-	w := opt.Out
+	w := opt.out()
 	fmt.Fprintf(w, "Figure 2: virtual command and execute-instruction distributions\n\n")
 	for _, p := range workloads.Suite(opt.scale()) {
 		if p.System == core.SysC {
 			continue
 		}
-		res, err := core.Measure(p)
+		res, err := opt.measure(p)
 		if err != nil {
 			return err
 		}
@@ -277,14 +409,14 @@ func bar(pct float64) string {
 
 // MemModel regenerates the §3.3 memory-model measurements.
 func MemModel(opt Options) error {
-	w := opt.Out
+	w := opt.out()
 	fmt.Fprintf(w, "Section 3.3: memory model costs\n\n")
 	fmt.Fprintf(w, "%-18s %-12s %10s %12s %8s\n", "Benchmark", "Region", "Accesses", "Instr/access", "%total")
 	for _, p := range workloads.Suite(opt.scale()) {
 		if p.System == core.SysC {
 			continue
 		}
-		res, err := core.Measure(p)
+		res, err := opt.measure(p)
 		if err != nil {
 			return err
 		}
@@ -307,21 +439,22 @@ func MemModel(opt Options) error {
 // Fig3 regenerates the issue-slot stall distributions for the interpreted
 // suite and the native baselines.
 func Fig3(opt Options) error {
-	w := opt.Out
+	w := opt.out()
 	fmt.Fprintf(w, "Figure 3: overall execution behavior (%% of issue slots)\n\n")
 	fmt.Fprintf(w, "%-18s %5s %6s %6s %6s %6s %6s %6s %6s %6s\n",
 		"Benchmark", "busy", "other", "shint", "load", "mispr", "dtlb", "itlb", "dmiss", "imiss")
 	progs := append(workloads.NativeSuite(opt.scale()), workloads.Suite(opt.scale())...)
 	for _, p := range progs {
-		if err := fig3Row(w, p); err != nil {
+		if err := fig3Row(opt, p); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func fig3Row(w io.Writer, p core.Program) error {
-	res, err := core.MeasureWithPipeline(p, alphasim.DefaultConfig())
+func fig3Row(opt Options, p core.Program) error {
+	w := opt.out()
+	res, err := opt.measurePipeline(p, alphasim.DefaultConfig())
 	if err != nil {
 		return err
 	}
@@ -345,7 +478,7 @@ func fig3Row(w io.Writer, p core.Program) error {
 // instructions across sizes and associativities for the Java, Perl and
 // Tcl suites (plus MIPSI des for contrast).
 func Fig4(opt Options) error {
-	w := opt.Out
+	w := opt.out()
 	fmt.Fprintf(w, "Figure 4: instruction cache behavior (misses per 100 instructions)\n\n")
 	fmt.Fprintf(w, "%-18s", "Benchmark")
 	sweepCfg := alphasim.DefaultICacheSweep()
@@ -363,7 +496,7 @@ func Fig4(opt Options) error {
 			}
 		}
 		sweep := alphasim.DefaultICacheSweep()
-		if _, err := core.MeasureWithSweep(p, sweep); err != nil {
+		if _, err := opt.measureSweep(p, sweep); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "%-18s", p.ID())

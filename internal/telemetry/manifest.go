@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"interplab/internal/alphasim"
+	"interplab/internal/atom"
+)
+
+// ManifestSchema identifies the manifest document type.
+const ManifestSchema = "interp-lab/manifest"
+
+// ManifestVersion is the current manifest schema version.  Readers accept
+// any version up to this one.
+const ManifestVersion = 1
+
+// Manifest is the machine-readable record of one interp-lab run: the
+// configuration, every experiment's rendered text and structured
+// measurements, and the run's metric snapshot.  It is versioned so later
+// tooling can read old records.
+type Manifest struct {
+	Schema    string      `json:"schema"`
+	Version   int         `json:"version"`
+	CreatedAt time.Time   `json:"created_at"`
+	Config    RunConfig   `json:"config"`
+	Runs      []*RunEntry `json:"experiments"`
+	Metrics   []Metric    `json:"metrics,omitempty"`
+}
+
+// RunConfig records the knobs the run was launched with.
+type RunConfig struct {
+	Scale       float64  `json:"scale"`
+	Experiments []string `json:"experiments"`
+}
+
+// RunEntry is one experiment's record: the exact text a direct run would
+// have printed, plus the structured per-program measurements behind it.
+type RunEntry struct {
+	ID           string        `json:"id"`
+	Text         string        `json:"text"`
+	DurationUS   float64       `json:"duration_us,omitempty"`
+	Measurements []Measurement `json:"measurements,omitempty"`
+}
+
+// Measurement is the structured result of measuring one program: the
+// probe's software metrics (atom.Stats) and, when the run was simulated,
+// the processor results (alphasim.Stats).
+type Measurement struct {
+	Program    string  `json:"program"` // "system/name"
+	System     string  `json:"system"`
+	Name       string  `json:"name"`
+	SizeBytes  int     `json:"size_bytes,omitempty"`
+	Events     uint64  `json:"events"` // native-instruction stream length
+	Kind       string  `json:"kind"`   // "measure", "pipeline", "sweep"
+	DurationUS float64 `json:"duration_us,omitempty"`
+
+	Stats *atom.Stats           `json:"stats,omitempty"`
+	Pipe  *alphasim.Stats       `json:"pipe,omitempty"`
+	Sweep []alphasim.SweepPoint `json:"sweep,omitempty"`
+}
+
+// NewManifest starts a manifest for a run at the given scale.
+func NewManifest(scale float64) *Manifest {
+	return &Manifest{
+		Schema:    ManifestSchema,
+		Version:   ManifestVersion,
+		CreatedAt: time.Now().UTC(),
+		Config:    RunConfig{Scale: scale},
+	}
+}
+
+// StartRun appends (or returns the existing) record for one experiment id
+// and registers the id in the config.
+func (m *Manifest) StartRun(id string) *RunEntry {
+	for _, r := range m.Runs {
+		if r.ID == id {
+			return r
+		}
+	}
+	r := &RunEntry{ID: id}
+	m.Runs = append(m.Runs, r)
+	m.Config.Experiments = append(m.Config.Experiments, id)
+	return r
+}
+
+// Add appends one measurement to the entry.  A nil entry no-ops, so
+// recording code need not branch on whether a manifest is being kept.
+func (r *RunEntry) Add(mm Measurement) {
+	if r == nil {
+		return
+	}
+	r.Measurements = append(r.Measurements, mm)
+}
+
+// AttachMetrics snapshots reg into the manifest.
+func (m *Manifest) AttachMetrics(reg *Registry) { m.Metrics = reg.Snapshot() }
+
+// Write serializes the manifest as indented JSON.
+func (m *Manifest) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadManifest parses and validates a manifest document.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("telemetry: parse manifest: %w", err)
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("telemetry: not a manifest (schema %q, want %q)", m.Schema, ManifestSchema)
+	}
+	if m.Version < 1 || m.Version > ManifestVersion {
+		return nil, fmt.Errorf("telemetry: unsupported manifest version %d (reader supports <= %d)", m.Version, ManifestVersion)
+	}
+	return &m, nil
+}
+
+// RenderText re-renders the manifest to the text a direct run of the same
+// experiments would have printed: each experiment's captured output, with
+// a blank line between experiments (the interp-lab CLI's separator).
+func (m *Manifest) RenderText(w io.Writer) error {
+	for k, r := range m.Runs {
+		if k > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, r.Text); err != nil {
+			return err
+		}
+	}
+	return nil
+}

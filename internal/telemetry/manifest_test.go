@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"interplab/internal/alphasim"
+	"interplab/internal/atom"
+)
+
+func sampleManifest() *Manifest {
+	m := NewManifest(0.5)
+	r := m.StartRun("table1")
+	r.Text = "Table 1: header\nrow1\n"
+	r.Add(Measurement{
+		Program: "Tcl/des", System: "Tcl", Name: "des", Events: 12345, Kind: "pipeline",
+		Stats: &atom.Stats{Commands: 10, Instructions: 12345, FetchDecode: 9000, Execute: 3345},
+		Pipe:  &alphasim.Stats{Instructions: 12345, Cycles: 20000},
+	})
+	r2 := m.StartRun("fig1")
+	r2.Text = "Figure 1: header\nrowA\n"
+	return m
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := sampleManifest()
+	reg := NewRegistry()
+	reg.Counter("core.measures").Add(2)
+	m.AttachMetrics(reg)
+
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != ManifestSchema || got.Version != ManifestVersion {
+		t.Errorf("schema/version = %q/%d", got.Schema, got.Version)
+	}
+	if got.Config.Scale != 0.5 || len(got.Config.Experiments) != 2 {
+		t.Errorf("config wrong: %+v", got.Config)
+	}
+	if len(got.Runs) != 2 || got.Runs[0].ID != "table1" {
+		t.Fatalf("runs wrong: %+v", got.Runs)
+	}
+	mm := got.Runs[0].Measurements[0]
+	if mm.Program != "Tcl/des" || mm.Stats.FetchDecode != 9000 || mm.Pipe.Cycles != 20000 {
+		t.Errorf("measurement did not survive: %+v", mm)
+	}
+	if len(got.Metrics) != 1 || got.Metrics[0].Name != "core.measures" || got.Metrics[0].Value != 2 {
+		t.Errorf("metrics did not survive: %+v", got.Metrics)
+	}
+}
+
+func TestManifestRenderText(t *testing.T) {
+	m := sampleManifest()
+	var buf bytes.Buffer
+	if err := m.RenderText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Experiments render in order with a blank-line separator, exactly as
+	// the CLI prints a direct multi-experiment run.
+	want := "Table 1: header\nrow1\n\nFigure 1: header\nrowA\n"
+	if buf.String() != want {
+		t.Errorf("render = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestReadManifestRejectsForeignAndFutureDocs(t *testing.T) {
+	if _, err := ReadManifest(strings.NewReader(`{"schema":"other","version":1}`)); err == nil {
+		t.Error("foreign schema must be rejected")
+	}
+	if _, err := ReadManifest(strings.NewReader(`{"schema":"interp-lab/manifest","version":99}`)); err == nil {
+		t.Error("future version must be rejected")
+	}
+	if _, err := ReadManifest(strings.NewReader(`not json`)); err == nil {
+		t.Error("junk must be rejected")
+	}
+}
+
+func TestStartRunIsIdempotent(t *testing.T) {
+	m := NewManifest(1)
+	a := m.StartRun("fig2")
+	b := m.StartRun("fig2")
+	if a != b {
+		t.Error("StartRun must return the same entry for the same id")
+	}
+	if len(m.Runs) != 1 || len(m.Config.Experiments) != 1 {
+		t.Errorf("duplicate entries created: %+v", m.Config)
+	}
+}
+
+func TestRunEntryNilAdd(t *testing.T) {
+	var r *RunEntry
+	r.Add(Measurement{Program: "x"}) // must not panic
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"time"
+
+	"interplab/internal/trace"
+)
+
+// Observer is a sampling trace.Sink wrapper: it forwards every event to
+// the wrapped sink unchanged (pass-through fidelity — the measured stream
+// is not perturbed, reordered, or filtered), and every interval events it
+// snapshots the cumulative instruction mix, the loads/stores ratio, and
+// the observed event throughput into the registry and its sample log.
+//
+// Construct via Wrap, which collapses to the bare sink when telemetry is
+// disabled so the hot emit path pays nothing.
+type Observer struct {
+	sink     trace.Sink
+	reg      *Registry
+	interval uint64
+	now      func() time.Time // test seam
+
+	total      uint64
+	byKind     [trace.NumKinds]uint64
+	start      time.Time
+	lastSample time.Time
+	lastTotal  uint64
+	samples    []Sample
+}
+
+// Sample is one periodic snapshot of the observed stream.
+type Sample struct {
+	// Events is the cumulative event count at snapshot time.
+	Events uint64 `json:"events"`
+	// Mix is the cumulative share of each instruction kind, in trace.Kind
+	// order, summing to ~1.
+	Mix [trace.NumKinds]float64 `json:"mix"`
+	// LoadsPerStore is the cumulative loads/stores ratio (0 when no
+	// stores have been seen).
+	LoadsPerStore float64 `json:"loads_per_store"`
+	// EventsPerSec is the throughput over the window since the previous
+	// snapshot.
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// Wrap returns a sink that feeds sink and samples into reg every interval
+// events.  When reg is nil (telemetry disabled) it returns sink unchanged,
+// so the disabled path is exactly the baseline path.  An interval of 0
+// defaults to 65536.
+func Wrap(sink trace.Sink, reg *Registry, interval uint64) trace.Sink {
+	if reg == nil {
+		return sink
+	}
+	return NewObserver(sink, reg, interval)
+}
+
+// NewObserver builds the sampling wrapper unconditionally (reg may be nil,
+// in which case snapshots only accumulate in the sample log).
+func NewObserver(sink trace.Sink, reg *Registry, interval uint64) *Observer {
+	if interval == 0 {
+		interval = 65536
+	}
+	o := &Observer{sink: sink, reg: reg, interval: interval, now: time.Now}
+	o.start = o.now()
+	o.lastSample = o.start
+	return o
+}
+
+// Emit forwards e and, on sampling boundaries, snapshots.
+func (o *Observer) Emit(e trace.Event) {
+	o.sink.Emit(e)
+	o.total++
+	o.byKind[e.Kind]++
+	if o.total%o.interval == 0 {
+		o.snapshot()
+	}
+}
+
+func (o *Observer) snapshot() {
+	now := o.now()
+	s := Sample{Events: o.total}
+	for k, n := range o.byKind {
+		s.Mix[k] = float64(n) / float64(o.total)
+	}
+	if stores := o.byKind[trace.Store]; stores > 0 {
+		s.LoadsPerStore = float64(o.byKind[trace.Load]) / float64(stores)
+	}
+	if dt := now.Sub(o.lastSample).Seconds(); dt > 0 {
+		s.EventsPerSec = float64(o.total-o.lastTotal) / dt
+	}
+	o.lastSample = now
+	o.lastTotal = o.total
+	o.samples = append(o.samples, s)
+
+	o.reg.Counter("observer.samples").Inc()
+	o.reg.Gauge("observer.events").Set(float64(o.total))
+	o.reg.Gauge("observer.loads_per_store").Set(s.LoadsPerStore)
+	o.reg.Gauge("observer.events_per_sec").Set(s.EventsPerSec)
+	for k := 0; k < trace.NumKinds; k++ {
+		o.reg.Gauge("observer.mix." + trace.Kind(k).String()).Set(s.Mix[k])
+	}
+}
+
+// Flush takes a final snapshot if events arrived since the last boundary,
+// so short streams still produce at least one sample.
+func (o *Observer) Flush() {
+	if o.total > o.lastTotal || (o.total > 0 && len(o.samples) == 0) {
+		o.snapshot()
+	}
+}
+
+// Samples returns the snapshots taken so far.
+func (o *Observer) Samples() []Sample { return o.samples }
+
+// Total returns the number of events observed.
+func (o *Observer) Total() uint64 { return o.total }

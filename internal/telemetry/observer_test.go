@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"interplab/internal/trace"
+)
+
+// stream synthesizes a deterministic mixed-kind event stream.
+func stream(n int) []trace.Event {
+	evs := make([]trace.Event, n)
+	for i := range evs {
+		e := trace.Event{PC: uint32(4 * i)}
+		switch i % 5 {
+		case 0:
+			e.Kind = trace.Int
+		case 1:
+			e.Kind = trace.Load
+			e.Addr = uint32(i)
+		case 2:
+			e.Kind = trace.Load
+			e.Addr = uint32(i * 2)
+		case 3:
+			e.Kind = trace.Store
+			e.Addr = uint32(i)
+		case 4:
+			e.Kind = trace.Branch
+			if i%10 == 4 {
+				e.Flags = trace.FlagTaken
+			}
+		}
+		evs[i] = e
+	}
+	return evs
+}
+
+// TestObserverPassThroughFidelity pins the tentpole contract: the wrapped
+// sink sees the identical event stream — same events, same order, same
+// count — whether or not the observer sits in front of it.
+func TestObserverPassThroughFidelity(t *testing.T) {
+	evs := stream(1000)
+	var direct trace.Recorder
+	for _, e := range evs {
+		direct.Emit(e)
+	}
+	var observed trace.Recorder
+	obs := NewObserver(&observed, NewRegistry(), 64)
+	for _, e := range evs {
+		obs.Emit(e)
+	}
+	if len(observed.Events) != len(direct.Events) {
+		t.Fatalf("observed %d events, direct %d", len(observed.Events), len(direct.Events))
+	}
+	for i := range direct.Events {
+		if observed.Events[i] != direct.Events[i] {
+			t.Fatalf("event %d perturbed: %+v != %+v", i, observed.Events[i], direct.Events[i])
+		}
+	}
+}
+
+func TestObserverSampling(t *testing.T) {
+	reg := NewRegistry()
+	obs := NewObserver(trace.Discard, reg, 100)
+	obs.now = fakeClock(time.Millisecond)
+	obs.start = obs.now()
+	obs.lastSample = obs.start
+	for _, e := range stream(250) {
+		obs.Emit(e)
+	}
+	if got := len(obs.Samples()); got != 2 {
+		t.Fatalf("got %d samples, want 2 (every 100 of 250)", got)
+	}
+	obs.Flush()
+	samples := obs.Samples()
+	if got := len(samples); got != 3 {
+		t.Fatalf("after flush got %d samples, want 3", got)
+	}
+	last := samples[2]
+	if last.Events != 250 {
+		t.Errorf("final sample events = %d, want 250", last.Events)
+	}
+	// The 5-way kind rotation gives 2/5 loads, 1/5 stores.
+	if last.LoadsPerStore < 1.9 || last.LoadsPerStore > 2.1 {
+		t.Errorf("loads/store = %g, want ~2", last.LoadsPerStore)
+	}
+	wantMix := map[trace.Kind]float64{trace.Int: 0.2, trace.Load: 0.4, trace.Store: 0.2, trace.Branch: 0.2}
+	for k, want := range wantMix {
+		got := last.Mix[k]
+		if got < want-0.01 || got > want+0.01 {
+			t.Errorf("mix[%v] = %g, want ~%g", k, got, want)
+		}
+	}
+	if last.EventsPerSec <= 0 {
+		t.Error("events/sec must be positive with an advancing clock")
+	}
+	// Registry gauges mirror the last snapshot.
+	if got := reg.Gauge("observer.events").Value(); got != 250 {
+		t.Errorf("observer.events gauge = %g, want 250", got)
+	}
+	if got := reg.Counter("observer.samples").Value(); got != 3 {
+		t.Errorf("observer.samples counter = %d, want 3", got)
+	}
+}
+
+// TestWrapDisabledIsIdentity pins the near-zero-cost disabled path: with a
+// nil registry, Wrap returns the wrapped sink itself, so the event path is
+// byte-for-byte the uninstrumented one.
+func TestWrapDisabledIsIdentity(t *testing.T) {
+	var c trace.Counter
+	if got := Wrap(&c, nil, 0); got != trace.Sink(&c) {
+		t.Fatalf("Wrap with nil registry must return the sink unchanged, got %T", got)
+	}
+	if got := Wrap(&c, NewRegistry(), 0); got == trace.Sink(&c) {
+		t.Fatal("Wrap with a registry must interpose an observer")
+	}
+}
+
+func TestObserverFlushIdempotentOnEmpty(t *testing.T) {
+	obs := NewObserver(trace.Discard, NewRegistry(), 10)
+	obs.Flush()
+	if len(obs.Samples()) != 0 {
+		t.Error("flush of an empty stream must not synthesize samples")
+	}
+}

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one Chrome trace-event record.  The exported file follows
+// the Trace Event Format's "JSON Object Format" ({"traceEvents": [...]}),
+// which chrome://tracing and Perfetto both load.  Ts and Dur are in
+// microseconds, per the format.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer records spans of the experiment pipeline.  A nil *Tracer is the
+// disabled state: Start returns a nil *Span and everything no-ops.  The
+// tracer is safe for concurrent Start/End, though the lab's pipeline is
+// sequential; all spans land on one pid/tid so nesting renders as a flame
+// graph.
+type Tracer struct {
+	mu     sync.Mutex
+	events []TraceEvent
+	epoch  time.Time
+	now    func() time.Time // test seam
+}
+
+// NewTracer returns an enabled tracer whose timestamps are relative to now.
+func NewTracer() *Tracer {
+	t := &Tracer{now: time.Now}
+	t.epoch = t.now()
+	return t
+}
+
+// Span is one open interval.  End closes it; a nil Span no-ops.
+type Span struct {
+	tracer *Tracer
+	name   string
+	cat    string
+	begin  time.Time
+	args   map[string]any
+}
+
+// Start opens a span.  Args are alternating key, value pairs attached to
+// the trace event ("program", "Tcl/des").  Returns nil when t is nil.
+func (t *Tracer) Start(name string, args ...any) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tracer: t, name: name, begin: t.now()}
+	if len(args) >= 2 {
+		s.args = make(map[string]any, len(args)/2)
+		for i := 0; i+1 < len(args); i += 2 {
+			s.args[fmt.Sprint(args[i])] = args[i+1]
+		}
+	}
+	return s
+}
+
+// SetArg attaches one key/value to the span's trace event.
+func (s *Span) SetArg(key string, value any) {
+	if s == nil {
+		return
+	}
+	if s.args == nil {
+		s.args = make(map[string]any)
+	}
+	s.args[key] = value
+}
+
+// End closes the span, emitting a complete ("X") trace event.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	end := t.now()
+	t.mu.Lock()
+	t.events = append(t.events, TraceEvent{
+		Name: s.name,
+		Cat:  s.cat,
+		Ph:   "X",
+		Ts:   float64(s.begin.Sub(t.epoch)) / float64(time.Microsecond),
+		Dur:  float64(end.Sub(s.begin)) / float64(time.Microsecond),
+		Pid:  1,
+		Tid:  1,
+		Args: s.args,
+	})
+	t.mu.Unlock()
+}
+
+// Instant emits a zero-duration instant ("i") event, useful for marking
+// one-off occurrences inside a run.
+func (t *Tracer) Instant(name string, args ...any) {
+	if t == nil {
+		return
+	}
+	s := t.Start(name, args...)
+	t.mu.Lock()
+	t.events = append(t.events, TraceEvent{
+		Name: s.name,
+		Ph:   "i",
+		Ts:   float64(s.begin.Sub(t.epoch)) / float64(time.Microsecond),
+		Pid:  1,
+		Tid:  1,
+		Args: s.args,
+	})
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in completion order.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// traceFile is the JSON Object Format wrapper.
+type traceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteJSON writes the recorded spans as a Chrome trace-event file that
+// loads in chrome://tracing and Perfetto.  A nil tracer writes an empty
+// (still valid) trace.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	f := traceFile{TraceEvents: t.Events(), DisplayTimeUnit: "ms"}
+	if f.TraceEvents == nil {
+		f.TraceEvents = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}

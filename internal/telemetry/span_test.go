@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a deterministic amount per reading.
+func fakeClock(step time.Duration) func() time.Time {
+	t0 := time.Unix(1000, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * step)
+	}
+}
+
+func newTestTracer(step time.Duration) *Tracer {
+	tr := &Tracer{now: fakeClock(step)}
+	tr.epoch = tr.now()
+	return tr
+}
+
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x", "k", "v")
+	if sp != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	sp.SetArg("a", 1) // must not panic
+	sp.End()          // must not panic
+	tr.Instant("mark")
+	if tr.Events() != nil {
+		t.Error("nil tracer has no events")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil tracer WriteJSON: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"].([]any); !ok {
+		t.Error("empty trace must still carry a traceEvents array")
+	}
+}
+
+func TestSpanNestingAndArgs(t *testing.T) {
+	tr := newTestTracer(time.Millisecond)
+	outer := tr.Start("experiment table1", "id", "table1")
+	inner := tr.Start("measure Tcl/des", "program", "Tcl/des")
+	inner.SetArg("events", 42)
+	inner.End()
+	outer.End()
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	// Completion order: inner closes first.
+	if evs[0].Name != "measure Tcl/des" || evs[1].Name != "experiment table1" {
+		t.Fatalf("order wrong: %v, %v", evs[0].Name, evs[1].Name)
+	}
+	if evs[0].Args["program"] != "Tcl/des" || evs[0].Args["events"] != 42 {
+		t.Errorf("inner args wrong: %v", evs[0].Args)
+	}
+	// The outer span must strictly contain the inner one.
+	in, out := evs[0], evs[1]
+	if !(out.Ts <= in.Ts && out.Ts+out.Dur >= in.Ts+in.Dur) {
+		t.Errorf("outer [%g,%g] does not contain inner [%g,%g]",
+			out.Ts, out.Ts+out.Dur, in.Ts, in.Ts+in.Dur)
+	}
+	if in.Dur <= 0 || out.Dur <= 0 {
+		t.Errorf("durations must be positive: inner %g, outer %g", in.Dur, out.Dur)
+	}
+}
+
+// TestTraceEventSchema validates the exported file against the Chrome
+// trace-event "JSON Object Format" that chrome://tracing and Perfetto
+// load: a top-level traceEvents array whose entries carry name, ph, ts,
+// pid and tid, with complete ("X") events also carrying dur >= 0.
+func TestTraceEventSchema(t *testing.T) {
+	tr := newTestTracer(time.Millisecond)
+	sp := tr.Start("experiment fig1", "id", "fig1")
+	tr.Instant("sample", "events", 1000)
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		DisplayUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d trace events, want 2", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		name, ok := ev["name"].(string)
+		if !ok || name == "" {
+			t.Errorf("event missing name: %v", ev)
+		}
+		ph, ok := ev["ph"].(string)
+		if !ok || (ph != "X" && ph != "i" && ph != "B" && ph != "E") {
+			t.Errorf("event has invalid phase %v", ev["ph"])
+		}
+		if ts, ok := ev["ts"].(float64); !ok || ts < 0 {
+			t.Errorf("event missing non-negative ts: %v", ev)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			t.Errorf("event missing pid: %v", ev)
+		}
+		if _, ok := ev["tid"].(float64); !ok {
+			t.Errorf("event missing tid: %v", ev)
+		}
+		if ph == "X" {
+			if dur, ok := ev["dur"].(float64); !ok || dur < 0 {
+				t.Errorf("complete event missing non-negative dur: %v", ev)
+			}
+		}
+	}
+}
