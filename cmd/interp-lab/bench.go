@@ -19,15 +19,18 @@ type benchResult struct {
 }
 
 // benchReport is the BENCH_telemetry.json document: the event throughput
-// of a harness measurement with telemetry off vs. on, seeding the repo's
-// performance trajectory.
+// of a harness measurement with telemetry off vs. on, and with the
+// attribution-profile sink attached, seeding the repo's performance
+// trajectory.
 type benchReport struct {
-	Benchmark   string      `json:"benchmark"`
-	Workload    string      `json:"workload"`
-	Runs        int         `json:"runs"`
-	Off         benchResult `json:"telemetry_off"`
-	On          benchResult `json:"telemetry_on"`
-	OverheadPct float64     `json:"overhead_pct"`
+	Benchmark          string      `json:"benchmark"`
+	Workload           string      `json:"workload"`
+	Runs               int         `json:"runs"`
+	Off                benchResult `json:"telemetry_off"`
+	On                 benchResult `json:"telemetry_on"`
+	Profiling          benchResult `json:"profiling_on"`
+	OverheadPct        float64     `json:"overhead_pct"`
+	ProfileOverheadPct float64     `json:"profile_overhead_pct"`
 }
 
 // cmdBenchTelemetry wall-times a small harness measurement with telemetry
@@ -43,9 +46,10 @@ func cmdBenchTelemetry(out string, scale float64) {
 	mk := func() core.Program { return workloads.DESMIPSI(blocks) }
 	const runs = 3
 
-	off := benchArm(runs, mk, nil)
+	off := benchArm(runs, mk)
 	reg := telemetry.NewRegistry()
-	on := benchArm(runs, mk, reg)
+	on := benchArm(runs, mk, core.WithTelemetry(reg))
+	prof := benchArm(runs, mk, core.WithProfiling())
 
 	rep := benchReport{
 		Benchmark: "telemetry-overhead",
@@ -53,9 +57,11 @@ func cmdBenchTelemetry(out string, scale float64) {
 		Runs:      runs,
 		Off:       off,
 		On:        on,
+		Profiling: prof,
 	}
 	if off.EventsPerSec > 0 {
 		rep.OverheadPct = 100 * (off.EventsPerSec - on.EventsPerSec) / off.EventsPerSec
+		rep.ProfileOverheadPct = 100 * (off.EventsPerSec - prof.EventsPerSec) / off.EventsPerSec
 	}
 	f, err := os.Create(out)
 	if err != nil {
@@ -70,19 +76,15 @@ func cmdBenchTelemetry(out string, scale float64) {
 	if err := f.Close(); err != nil {
 		fatalf("close %s: %v", out, err)
 	}
-	fmt.Printf("telemetry off: %.0f events/s, on: %.0f events/s, overhead %.2f%% -> %s\n",
-		off.EventsPerSec, on.EventsPerSec, rep.OverheadPct, out)
+	fmt.Printf("telemetry off: %.0f events/s, on: %.0f events/s (overhead %.2f%%), profiling: %.0f events/s (overhead %.2f%%) -> %s\n",
+		off.EventsPerSec, on.EventsPerSec, rep.OverheadPct, prof.EventsPerSec, rep.ProfileOverheadPct, out)
 }
 
-// benchArm measures best-of-n wall time for one configuration.
-func benchArm(n int, mk func() core.Program, reg *telemetry.Registry) benchResult {
+// benchArm measures best-of-n wall time for one measurement configuration.
+func benchArm(n int, mk func() core.Program, opts ...core.MeasureOption) benchResult {
 	var best time.Duration
 	var events uint64
 	for i := 0; i < n; i++ {
-		var opts []core.MeasureOption
-		if reg != nil {
-			opts = append(opts, core.WithTelemetry(reg))
-		}
 		start := time.Now()
 		res, err := core.Measure(mk(), opts...)
 		el := time.Since(start)

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	interp-lab [-scale f] [-json manifest.json] [-trace trace.json] experiment...
+//	interp-lab profile [-scale f] [-pprof file] [-folded file] [-top n] [-value type] [-json file] experiment
 //	interp-lab list
 //	interp-lab report manifest.json
 //	interp-lab bench-telemetry [file]
@@ -13,7 +14,10 @@
 // or "all".  -json writes a versioned machine-readable run manifest that
 // `interp-lab report` re-renders to the exact text of a direct run; -trace
 // writes a Chrome trace-event file of the run's span hierarchy for
-// chrome://tracing or Perfetto.
+// chrome://tracing or Perfetto.  The profile subcommand attaches the
+// attribution profiler and exports per-routine/per-opcode profiles as
+// pprof (go tool pprof) and folded stacks (flamegraphs); see
+// docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: interp-lab [-scale f] [-json file] [-trace file] experiment...
+       interp-lab profile [-scale f] [-pprof file] [-folded file] [-top n] [-value type] [-json file] experiment
        interp-lab list
        interp-lab report manifest.json
        interp-lab bench-telemetry [file]
@@ -61,7 +66,12 @@ func main() {
 		if len(args) != 2 {
 			fatalf("report takes exactly one manifest file")
 		}
-		cmdReport(args[1])
+		if err := report(args[1], os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	case "profile":
+		cmdProfile(args[1:], *scale)
 		return
 	case "bench-telemetry":
 		out := "BENCH_telemetry.json"
@@ -133,18 +143,22 @@ func writeFileVia(path string, write func(w io.Writer) error) {
 	}
 }
 
-// cmdReport re-renders a saved manifest to the text a direct run printed.
-func cmdReport(path string) {
+// report re-renders a saved manifest to the text a direct run printed.
+// Every error identifies the file, in one line: a malformed or truncated
+// manifest should read as "that file is bad", not as a raw JSON decode
+// trace.
+func report(path string, w io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
-		fatalf("%v", err)
+		return err // os errors already name the file
 	}
 	defer f.Close()
 	man, err := telemetry.ReadManifest(f)
 	if err != nil {
-		fatalf("%v", err)
+		return fmt.Errorf("%s: not a readable run manifest (%v)", path, err)
 	}
-	if err := man.RenderText(os.Stdout); err != nil {
-		fatalf("render %s: %v", path, err)
+	if err := man.RenderText(w); err != nil {
+		return fmt.Errorf("render %s: %v", path, err)
 	}
+	return nil
 }

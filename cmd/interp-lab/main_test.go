@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"interplab/internal/harness"
+	"interplab/internal/telemetry"
+)
+
+// TestReportMalformedManifest pins the error contract: a truncated or
+// non-manifest file must fail with a single-line error naming the file,
+// not surface a raw JSON decode error.
+func TestReportMalformedManifest(t *testing.T) {
+	for _, fixture := range []string{
+		filepath.Join("testdata", "truncated.json"),
+		filepath.Join("testdata", "not-manifest.json"),
+	} {
+		err := report(fixture, io.Discard)
+		if err == nil {
+			t.Fatalf("%s: expected an error", fixture)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, fixture) {
+			t.Errorf("%s: error does not name the file: %q", fixture, msg)
+		}
+		if strings.Contains(msg, "\n") {
+			t.Errorf("%s: error is not one line: %q", fixture, msg)
+		}
+	}
+}
+
+// TestReportMissingFileNamesFile covers the open-error path.
+func TestReportMissingFileNamesFile(t *testing.T) {
+	err := report(filepath.Join("testdata", "no-such-manifest.json"), io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "no-such-manifest.json") {
+		t.Errorf("missing-file error should name the file, got %v", err)
+	}
+}
+
+// TestReportRoundTrip exercises the happy path end to end: write a real
+// manifest, re-render it, and compare with the direct run.
+func TestReportRoundTrip(t *testing.T) {
+	var direct bytes.Buffer
+	if err := harness.Run("table3", harness.Options{Scale: 0.1, Out: &direct}); err != nil {
+		t.Fatal(err)
+	}
+	man := telemetry.NewManifest(0.1)
+	if err := harness.Run("table3", harness.Options{Scale: 0.1, Out: io.Discard, Manifest: man}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := man.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var rendered bytes.Buffer
+	if err := report(path, &rendered); err != nil {
+		t.Fatal(err)
+	}
+	if rendered.String() != direct.String() {
+		t.Errorf("report output differs from direct run:\n%q\nvs\n%q", rendered.String(), direct.String())
+	}
+}

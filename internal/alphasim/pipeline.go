@@ -170,6 +170,17 @@ func (s Stats) IMissPer100() float64 {
 	return 100 * float64(s.IMisses1) / float64(s.Instructions)
 }
 
+// MissObserver receives cache-miss notifications from the pipeline, carrying
+// the event that issued the access so the miss can be attributed back to the
+// interpreter routine and virtual command that caused it (the profiling
+// layer's join).  Level 1 is an L1 miss that hit L2; level 2 also missed L2.
+// Calls arrive synchronously inside Emit, while the issuing probe's
+// attribution state is still current for the event.
+type MissObserver interface {
+	IMiss(e trace.Event, level int)
+	DMiss(e trace.Event, level int)
+}
+
 // Pipeline simulates the configured machine over an event stream.  It
 // implements trace.Sink.
 type Pipeline struct {
@@ -185,7 +196,13 @@ type Pipeline struct {
 	prevKind trace.Kind
 	prevHit  bool // previous load hit L1
 	pending  uint64
+
+	missObs MissObserver
 }
+
+// SetMissObserver registers o to receive cache-miss notifications; nil
+// disables them (the default).
+func (p *Pipeline) SetMissObserver(o MissObserver) { p.missObs = o }
 
 // New builds a pipeline for cfg.
 func New(cfg Config) *Pipeline {
@@ -233,9 +250,14 @@ func (p *Pipeline) Emit(e trace.Event) {
 	if !p.icache.Access(e.PC) {
 		st.IMisses1++
 		p.stall(CauseIMiss, p.cfg.L1Miss)
+		level := 1
 		if !p.l2.Access(e.PC) {
 			st.IMisses2++
 			p.stall(CauseIMiss, p.cfg.L2Miss)
+			level = 2
+		}
+		if p.missObs != nil {
+			p.missObs.IMiss(e, level)
 		}
 	}
 
@@ -266,9 +288,14 @@ func (p *Pipeline) Emit(e trace.Event) {
 		if !hit {
 			st.DMisses1++
 			p.stall(CauseDMiss, p.cfg.L1Miss)
+			level := 1
 			if !p.l2.Access(e.Addr) {
 				st.DMisses2++
 				p.stall(CauseDMiss, p.cfg.L2Miss)
+				level = 2
+			}
+			if p.missObs != nil {
+				p.missObs.DMiss(e, level)
 			}
 		}
 	case trace.Branch:

@@ -22,6 +22,22 @@ const (
 	numPhases = int(PhaseStartup) + 1
 )
 
+// NumPhases counts the phases; Phase values are 0..NumPhases-1.
+const NumPhases = numPhases
+
+// phaseNames match the atom.Stats JSON tags (fetch_decode, execute,
+// startup) so profile, manifest, and text output share one vocabulary.
+var phaseNames = [numPhases]string{"fetch_decode", "execute", "startup"}
+
+// String returns the phase name used by the manifest schema and the
+// profiling layer.
+func (ph Phase) String() string {
+	if int(ph) < numPhases {
+		return phaseNames[ph]
+	}
+	return "invalid"
+}
+
 // OpID names a virtual command, interned on a Probe.
 type OpID int
 
@@ -49,6 +65,12 @@ type Probe struct {
 	ops      []opStat
 	opNames  map[string]OpID
 	commands uint64
+
+	// attrVersion increments whenever the attribution state a sink could
+	// observe (frame stack, current routine, open command, phase) changes.
+	// Profiling sinks use it to re-resolve their sample stack only on
+	// transitions instead of on every event.
+	attrVersion uint64
 
 	regions     []regionStat
 	regionNames map[string]RegionID
@@ -124,17 +146,22 @@ func (p *Probe) BeginCommand(op OpID) {
 	p.ops[op].count++
 	p.commands++
 	p.phase = PhaseFetchDecode
+	p.attrVersion++
 }
 
 // BeginExecute switches attribution of the open command to its execute
 // phase.
-func (p *Probe) BeginExecute() { p.phase = PhaseExecute }
+func (p *Probe) BeginExecute() {
+	p.phase = PhaseExecute
+	p.attrVersion++
+}
 
 // EndCommand closes the open command; instructions between commands belong
 // to fetch/decode (the dispatch loop).
 func (p *Probe) EndCommand() {
 	p.curOp = -1
 	p.phase = PhaseFetchDecode
+	p.attrVersion++
 }
 
 // SetStartup switches the probe in or out of the startup (precompilation)
@@ -145,6 +172,7 @@ func (p *Probe) SetStartup(on bool) {
 	} else {
 		p.phase = PhaseFetchDecode
 	}
+	p.attrVersion++
 }
 
 // Commands returns the number of virtual commands begun so far.
@@ -152,6 +180,42 @@ func (p *Probe) Commands() uint64 { return p.commands }
 
 // Total returns the number of native instructions emitted so far.
 func (p *Probe) Total() uint64 { return p.total }
+
+// --- attribution state (for profiling sinks) --------------------------------
+
+// AttrVersion returns a counter that increments whenever the probe's
+// attribution state (call stack, current routine, open command, phase)
+// changes.  A sink observing the event stream may cache the resolved stack
+// and re-resolve only when the version moves.
+func (p *Probe) AttrVersion() uint64 { return p.attrVersion }
+
+// CallStack appends the probe's current native call stack to buf —
+// outermost caller first, ending at the routine currently executing — and
+// returns the extended slice.  Routines entered via Exec without a Call
+// appear as the leaf.
+func (p *Probe) CallStack(buf []*Routine) []*Routine {
+	for _, f := range p.frames {
+		if f.r != nil {
+			buf = append(buf, f.r)
+		}
+	}
+	if p.cur != nil {
+		buf = append(buf, p.cur)
+	}
+	return buf
+}
+
+// CurrentPhase returns the phase instructions are being attributed to.
+func (p *Probe) CurrentPhase() Phase { return p.phase }
+
+// CurrentOp returns the name of the open virtual command, or "" and false
+// between commands (the dispatch loop and startup).
+func (p *Probe) CurrentOp() (string, bool) {
+	if p.curOp < 0 {
+		return "", false
+	}
+	return p.ops[p.curOp].name, true
+}
 
 // --- region accounting ------------------------------------------------------
 
@@ -226,7 +290,7 @@ func (p *Probe) Exec(r *Routine, n int) {
 	if n <= 0 {
 		return
 	}
-	p.cur = r
+	p.setCur(r)
 	p.account(uint64(n))
 	for i := 0; i < n; i++ {
 		pc := r.pc()
@@ -278,9 +342,18 @@ func (p *Probe) Exec(r *Routine, n int) {
 	}
 }
 
+// setCur switches the executing routine, bumping the attribution version
+// when it actually changes.
+func (p *Probe) setCur(r *Routine) {
+	if p.cur != r {
+		p.cur = r
+		p.attrVersion++
+	}
+}
+
 // ExecMul reports n long-latency (multiply/divide) instructions in r.
 func (p *Probe) ExecMul(r *Routine, n int) {
-	p.cur = r
+	p.setCur(r)
 	p.account(uint64(n))
 	for i := 0; i < n; i++ {
 		pc := r.pc()
@@ -341,6 +414,7 @@ func (p *Probe) Call(r *Routine) {
 	p.emit(trace.Event{PC: retpc, Addr: r.Base, Kind: trace.Jump, Flags: trace.FlagCall})
 	p.frames = append(p.frames, frame{r: p.cur, cursor: cursorOf(p.cur)})
 	p.cur = r
+	p.attrVersion++
 	r.cursor = 0
 	// Frame setup: push return address and a saved register.
 	p.sp -= 16
@@ -368,6 +442,7 @@ func (p *Probe) Ret() {
 	p.account(1)
 	p.emit(trace.Event{PC: pc, Addr: ret, Kind: trace.Return})
 	p.cur = f.r
+	p.attrVersion++
 }
 
 func cursorOf(r *Routine) int {

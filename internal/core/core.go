@@ -19,6 +19,7 @@ import (
 	"interplab/internal/alphasim"
 	"interplab/internal/atom"
 	"interplab/internal/gfx"
+	"interplab/internal/profile"
 	"interplab/internal/telemetry"
 	"interplab/internal/trace"
 	"interplab/internal/vfs"
@@ -97,6 +98,11 @@ type Result struct {
 	// Samples holds the telemetry observer's periodic snapshots when the
 	// run was measured with WithTelemetry; nil otherwise.
 	Samples []telemetry.Sample
+
+	// Profile holds the attribution profile when the run was measured with
+	// WithProfiling; nil otherwise.  For pipeline runs it includes
+	// cache-miss attribution.
+	Profile *profile.Profile
 }
 
 // Commands returns the virtual-command count.  For compiled C the paper
@@ -134,6 +140,7 @@ type measureConfig struct {
 	tracer      *telemetry.Tracer
 	reg         *telemetry.Registry
 	sampleEvery uint64
+	profiling   bool
 }
 
 // MeasureOption configures optional telemetry on Measure* calls.
@@ -159,6 +166,16 @@ func WithSampleInterval(n uint64) MeasureOption {
 	return func(c *measureConfig) { c.sampleEvery = n }
 }
 
+// WithProfiling attaches an attribution-profile collector to the run: the
+// native-instruction stream is folded into call-stack samples keyed by
+// interpreter routine, virtual opcode, and phase, returned as
+// Result.Profile.  On pipeline runs the collector also receives cache-miss
+// notifications, so misses are attributed to the routine/opcode that
+// issued them.
+func WithProfiling() MeasureOption {
+	return func(c *measureConfig) { c.profiling = true }
+}
+
 // run executes p against a fresh environment with the given sink.
 func run(p Program, sink trace.Sink, opts ...MeasureOption) (Result, error) {
 	var mc measureConfig
@@ -167,15 +184,39 @@ func run(p Program, sink trace.Sink, opts ...MeasureOption) (Result, error) {
 	}
 	res := Result{Program: p}
 	var counter trace.Counter
-	var fan trace.Sink = &counter
+	var col *profile.Collector
+	if mc.profiling {
+		col = profile.NewCollector()
+		// The collector must see each event before any simulating sink so
+		// its cached attribution node is current when the pipeline reports
+		// that event's cache misses back to it.
+		if mo, ok := sink.(interface {
+			SetMissObserver(alphasim.MissObserver)
+		}); ok {
+			mo.SetMissObserver(col)
+		}
+	}
+	fan := make(trace.Multi, 0, 3)
+	fan = append(fan, &counter)
+	if col != nil {
+		fan = append(fan, col)
+	}
 	if sink != nil {
-		fan = trace.Multi{&counter, sink}
+		fan = append(fan, sink)
 	}
 	// With telemetry enabled the stream is observed on its way to the
-	// counting/simulation sinks; disabled, Wrap returns fan unchanged.
-	observed := telemetry.Wrap(fan, mc.reg, mc.sampleEvery)
+	// counting/simulation sinks; disabled, Wrap returns the fan unchanged.
+	var observed trace.Sink
+	if len(fan) == 1 {
+		observed = telemetry.Wrap(&counter, mc.reg, mc.sampleEvery)
+	} else {
+		observed = telemetry.Wrap(fan, mc.reg, mc.sampleEvery)
+	}
 	img := atom.NewImage()
 	probe := atom.NewProbe(img, observed)
+	if col != nil {
+		col.Bind(probe)
+	}
 	osys := vfs.New()
 	// Compiled-C runs emit their own synthetic kernel path (mipsi.Native);
 	// instrumenting the vfs as well would double-charge system time.
@@ -201,6 +242,9 @@ func run(p Program, sink trace.Sink, opts ...MeasureOption) (Result, error) {
 	if obs, ok := observed.(*telemetry.Observer); ok {
 		obs.Flush()
 		res.Samples = obs.Samples()
+	}
+	if col != nil {
+		res.Profile = col.Profile(p.ID())
 	}
 	collect.End()
 	mc.reg.Counter("core.measures").Inc()

@@ -16,6 +16,7 @@ import (
 	"interplab/internal/alphasim"
 	"interplab/internal/atom"
 	"interplab/internal/core"
+	"interplab/internal/profile"
 	"interplab/internal/telemetry"
 	"interplab/internal/workloads"
 )
@@ -38,6 +39,12 @@ type Options struct {
 	// Manifest, when non-nil, captures each experiment's rendered text and
 	// structured measurements for the machine-readable run record.
 	Manifest *telemetry.Manifest
+
+	// Profile, when non-nil, collects a per-program attribution profile
+	// for every measurement (routine/opcode/phase stacks, plus cache-miss
+	// attribution on pipeline runs).  With a Manifest as well, each
+	// experiment records its profiles as manifest artifacts.
+	Profile *profile.Set
 
 	// rec is the manifest entry of the experiment currently dispatched by
 	// Run; the measure helpers record into it.
@@ -127,14 +134,22 @@ func dispatch(id string, opt Options) error {
 
 // measureOpts threads the harness's telemetry into core measurements.
 func (o Options) measureOpts() []core.MeasureOption {
-	return []core.MeasureOption{core.WithTracer(o.Tracer), core.WithTelemetry(o.Telemetry)}
+	opts := []core.MeasureOption{core.WithTracer(o.Tracer), core.WithTelemetry(o.Telemetry)}
+	if o.Profile != nil {
+		opts = append(opts, core.WithProfiling())
+	}
+	return opts
 }
 
 // record adds one structured measurement to the current experiment's
 // manifest entry (no-op without a manifest).
 func (o Options) record(kind string, res core.Result, start time.Time, sweep *alphasim.ICacheSweep) {
+	o.Profile.Add(res.Profile)
 	if o.rec == nil {
 		return
+	}
+	if res.Profile != nil {
+		o.rec.AddProfile(profileArtifact(res.Profile))
 	}
 	stats := res.Stats
 	mm := telemetry.Measurement{
@@ -152,6 +167,30 @@ func (o Options) record(kind string, res core.Result, start time.Time, sweep *al
 		mm.Sweep = sweep.Points()
 	}
 	o.rec.Add(mm)
+}
+
+// profileArtifact summarizes one program's profile for the run manifest:
+// totals, the fetch/decode-vs-execute split, and the folded-stack text.
+func profileArtifact(p *profile.Profile) telemetry.ProfileArtifact {
+	pa := telemetry.ProfileArtifact{
+		Program:      p.Program,
+		Samples:      len(p.Samples),
+		Instructions: p.Total(profile.SampleInstructions),
+		PhaseTotals:  make(map[string]int64, atom.NumPhases),
+	}
+	for _, vt := range profile.SampleTypes {
+		pa.SampleTypes = append(pa.SampleTypes, vt.Type)
+	}
+	for ph := atom.Phase(0); int(ph) < atom.NumPhases; ph++ {
+		if v := p.FrameTotal(profile.PhaseFrame(ph), profile.SampleInstructions); v != 0 {
+			pa.PhaseTotals[ph.String()] = v
+		}
+	}
+	var folded strings.Builder
+	if err := p.WriteFolded(&folded, profile.SampleInstructions); err == nil {
+		pa.Folded = folded.String()
+	}
+	return pa
 }
 
 // measure is core.Measure with the harness's spans, metrics and manifest.

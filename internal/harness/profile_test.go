@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"io"
+	"testing"
+
+	"interplab/internal/profile"
+	"interplab/internal/telemetry"
+)
+
+// TestProfileOptionRecordsArtifacts pins the Options.Profile wiring: every
+// measurement of a profiled experiment yields a per-program profile in the
+// set and a matching artifact in the run manifest, and the artifact's
+// totals are internally consistent.
+func TestProfileOptionRecordsArtifacts(t *testing.T) {
+	set := profile.NewSet()
+	man := telemetry.NewManifest(0.1)
+	if err := Run("table1", Options{Scale: 0.1, Out: io.Discard, Profile: set, Manifest: man}); err != nil {
+		t.Fatal(err)
+	}
+	profs := set.Profiles()
+	if len(profs) == 0 {
+		t.Fatal("no profiles collected")
+	}
+	for _, p := range profs {
+		if p.Total(profile.SampleInstructions) == 0 {
+			t.Errorf("%s: empty profile", p.Program)
+		}
+	}
+	if len(man.Runs) != 1 {
+		t.Fatalf("got %d manifest runs", len(man.Runs))
+	}
+	rec := man.Runs[0]
+	if len(rec.Profiles) == 0 {
+		t.Fatal("manifest has no profile artifacts")
+	}
+	if len(rec.Profiles) != len(rec.Measurements) {
+		t.Errorf("artifacts (%d) != measurements (%d)", len(rec.Profiles), len(rec.Measurements))
+	}
+	for i, pa := range rec.Profiles {
+		mm := rec.Measurements[i]
+		if pa.Program != mm.Program {
+			t.Errorf("artifact %d is %s, measurement is %s", i, pa.Program, mm.Program)
+		}
+		if pa.Instructions != int64(mm.Events) {
+			t.Errorf("%s: artifact instructions %d != measured events %d", pa.Program, pa.Instructions, mm.Events)
+		}
+		var phaseSum int64
+		for _, v := range pa.PhaseTotals {
+			phaseSum += v
+		}
+		if phaseSum != pa.Instructions {
+			t.Errorf("%s: phase totals sum to %d, want %d", pa.Program, phaseSum, pa.Instructions)
+		}
+		if pa.Folded == "" {
+			t.Errorf("%s: artifact has no folded stacks", pa.Program)
+		}
+		if pa.Samples == 0 {
+			t.Errorf("%s: artifact reports zero samples", pa.Program)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package profile
+
+import (
+	"sort"
+
+	"interplab/internal/atom"
+	"interplab/internal/trace"
+)
+
+// Frame-name vocabulary.  Op frames are "op:" + the interned virtual-command
+// name; phase frames are "phase:" + atom.Phase.String(); FrameDispatch roots
+// instructions issued between commands (the dispatch loop) and FrameStartup
+// roots one-time precompilation.
+const (
+	FrameDispatch = "dispatch"
+	FrameStartup  = "startup"
+	OpPrefix      = "op:"
+	PhasePrefix   = "phase:"
+)
+
+// PhaseFrame returns the stack frame name for a phase.
+func PhaseFrame(ph atom.Phase) string { return PhasePrefix + ph.String() }
+
+// node is one vertex of the collector's stack trie; its values are the
+// *self* counts of the exact stack it terminates.
+type node struct {
+	frame    string
+	parent   *node
+	children map[string]*node
+	values   [NumSampleTypes]int64
+}
+
+func (n *node) child(frame string) *node {
+	c, ok := n.children[frame]
+	if !ok {
+		c = &node{frame: frame, parent: n}
+		if n.children == nil {
+			n.children = make(map[string]*node)
+		}
+		n.children[frame] = c
+	}
+	return c
+}
+
+// Collector folds a native-instruction stream into attribution samples.  It
+// implements trace.Sink (put it on the probe's fan-out *before* any
+// simulating sink) and alphasim.MissObserver (register it on the pipeline
+// to join cache misses back to the issuing routine and opcode).
+//
+// Per-event cost is one version check plus a handful of increments; the
+// stack is re-resolved only when the probe reports an attribution change
+// (command begin/end, phase switch, call/return, routine switch).
+type Collector struct {
+	probe *atom.Probe
+	root  node
+
+	lastVersion uint64
+	lastNode    *node
+	stackBuf    []*atom.Routine
+	addrs       map[string]uint64
+}
+
+// NewCollector returns a collector; Bind attaches it to the probe whose
+// stream it will observe.
+func NewCollector() *Collector {
+	return &Collector{addrs: make(map[string]uint64)}
+}
+
+// Bind attaches the probe whose attribution state keys the samples.  Must
+// be called before the first event arrives.
+func (c *Collector) Bind(p *atom.Probe) {
+	c.probe = p
+	c.lastNode = nil
+}
+
+// resolve walks the trie to the node for the probe's current attribution
+// state.
+func (c *Collector) resolve() *node {
+	n := &c.root
+	if op, ok := c.probe.CurrentOp(); ok {
+		n = n.child(OpPrefix + op)
+	} else if c.probe.CurrentPhase() == atom.PhaseStartup {
+		n = n.child(FrameStartup)
+	} else {
+		n = n.child(FrameDispatch)
+	}
+	n = n.child(PhaseFrame(c.probe.CurrentPhase()))
+	c.stackBuf = c.probe.CallStack(c.stackBuf[:0])
+	for _, r := range c.stackBuf {
+		n = n.child(r.Name)
+		if _, ok := c.addrs[r.Name]; !ok {
+			c.addrs[r.Name] = uint64(r.Base)
+		}
+	}
+	return n
+}
+
+// cur returns the sample node for the probe's current state, re-resolving
+// only when the probe's attribution version moved.
+func (c *Collector) cur() *node {
+	if c.probe == nil {
+		return &c.root
+	}
+	if v := c.probe.AttrVersion(); c.lastNode == nil || v != c.lastVersion {
+		c.lastVersion = v
+		c.lastNode = c.resolve()
+	}
+	return c.lastNode
+}
+
+// Emit attributes one native instruction.
+func (c *Collector) Emit(e trace.Event) {
+	n := c.cur()
+	n.values[SampleInstructions]++
+	switch e.Kind {
+	case trace.Load:
+		n.values[SampleLoads]++
+	case trace.Store:
+		n.values[SampleStores]++
+	case trace.Branch:
+		n.values[SampleBranches]++
+	}
+}
+
+// IMiss attributes one instruction-cache miss (alphasim.MissObserver).  The
+// pipeline calls it synchronously while processing the event the collector
+// just attributed, so the cached node is the right account.
+func (c *Collector) IMiss(e trace.Event, level int) {
+	c.cur().values[SampleIMiss]++
+}
+
+// DMiss attributes one data-cache miss (alphasim.MissObserver).
+func (c *Collector) DMiss(e trace.Event, level int) {
+	c.cur().values[SampleDMiss]++
+}
+
+// Profile snapshots the collected samples into a finished profile labeled
+// with the program id.  The collector can keep accumulating afterwards.
+func (c *Collector) Profile(program string) *Profile {
+	p := &Profile{Program: program, addrs: make(map[string]uint64, len(c.addrs))}
+	for f, a := range c.addrs {
+		p.addrs[f] = a
+	}
+	var stack []string
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.frame != "" {
+			stack = append(stack, n.frame)
+		}
+		var zero [NumSampleTypes]int64
+		if n.values != zero && len(stack) > 0 {
+			p.Samples = append(p.Samples, Sample{
+				Stack:  append([]string(nil), stack...),
+				Values: n.values,
+			})
+		}
+		keys := make([]string, 0, len(n.children))
+		for k := range n.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			walk(n.children[k])
+		}
+		if n.frame != "" {
+			stack = stack[:len(stack)-1]
+		}
+	}
+	walk(&c.root)
+	sortSamples(p.Samples)
+	return p
+}

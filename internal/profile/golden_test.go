@@ -1,0 +1,49 @@
+package profile_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"interplab/internal/harness"
+	"interplab/internal/profile"
+)
+
+// foldedForRun executes one experiment with profiling and returns the
+// merged folded-stack bytes.
+func foldedForRun(t *testing.T, id string, scale float64) []byte {
+	t.Helper()
+	set := profile.NewSet()
+	if err := harness.Run(id, harness.Options{Scale: scale, Out: io.Discard, Profile: set}); err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	var buf bytes.Buffer
+	if err := set.Merged().WriteFolded(&buf, profile.SampleInstructions); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatalf("%s: empty folded profile", id)
+	}
+	return buf.Bytes()
+}
+
+// TestFoldedOutputIsDeterministic is the profile-determinism golden test
+// (the suite-level sibling of workloads' determinism tests): the same
+// experiment at the same scale must produce byte-identical folded-stack
+// output, so profiles can be diffed across commits like any other golden
+// artifact.
+func TestFoldedOutputIsDeterministic(t *testing.T) {
+	const id, scale = "table2", 0.05
+	a := foldedForRun(t, id, scale)
+	b := foldedForRun(t, id, scale)
+	if !bytes.Equal(a, b) {
+		t.Errorf("folded output differs between identical runs of %s (len %d vs %d)", id, len(a), len(b))
+	}
+	// And the deliverable itself: one profiled run of the shared suite
+	// yields per-routine stacks for every interpreter.
+	for _, sys := range []string{"MIPSI/", "Java/", "Perl/", "Tcl/"} {
+		if !bytes.Contains(a, []byte(sys)) {
+			t.Errorf("folded output has no %s stacks", sys)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package profile
+
+import (
+	"compress/gzip"
+	"io"
+)
+
+// This file hand-rolls the pprof profile.proto encoding — the laboratory
+// stays zero-dependency, and the subset of protobuf pprof needs (varints,
+// length-delimited messages, packed repeated scalars) is small.  Field
+// numbers follow github.com/google/pprof/proto/profile.proto.
+
+// protoBuf is a minimal protobuf wire-format writer.
+type protoBuf struct{ b []byte }
+
+func (p *protoBuf) uvarint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// tag writes a field key: (field number << 3) | wire type.
+func (p *protoBuf) tag(field, wire int) { p.uvarint(uint64(field)<<3 | uint64(wire)) }
+
+// varintField writes a varint-typed field (int64/uint64/bool).
+func (p *protoBuf) varintField(field int, v uint64) {
+	if v == 0 {
+		return // proto3 default, omitted
+	}
+	p.tag(field, 0)
+	p.uvarint(v)
+}
+
+// bytesField writes a length-delimited field.
+func (p *protoBuf) bytesField(field int, data []byte) {
+	p.tag(field, 2)
+	p.uvarint(uint64(len(data)))
+	p.b = append(p.b, data...)
+}
+
+func (p *protoBuf) stringField(field int, s string) {
+	p.tag(field, 2)
+	p.uvarint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}
+
+// packedField writes a repeated scalar field in packed encoding.
+func (p *protoBuf) packedField(field int, vals []uint64) {
+	if len(vals) == 0 {
+		return
+	}
+	var inner protoBuf
+	for _, v := range vals {
+		inner.uvarint(v)
+	}
+	p.bytesField(field, inner.b)
+}
+
+// stringTable interns strings for the pprof string_table; index 0 is
+// required to be "".
+type stringTable struct {
+	idx  map[string]int64
+	list []string
+}
+
+func newStringTable() *stringTable {
+	return &stringTable{idx: map[string]int64{"": 0}, list: []string{""}}
+}
+
+func (t *stringTable) id(s string) int64 {
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	i := int64(len(t.list))
+	t.idx[s] = i
+	t.list = append(t.list, s)
+	return i
+}
+
+// WritePprof serializes the profile as a gzip-compressed pprof protobuf,
+// the format `go tool pprof` reads.  Each distinct frame becomes a
+// Function/Location pair (routine frames carry their synthetic code
+// address); sample location lists are leaf-first per the format.  Output is
+// deterministic.
+func (p *Profile) WritePprof(w io.Writer) error {
+	strs := newStringTable()
+	var out protoBuf
+
+	// sample_type (field 1), in Sample* index order.
+	for _, vt := range SampleTypes {
+		var m protoBuf
+		m.varintField(1, uint64(strs.id(vt.Type)))
+		m.varintField(2, uint64(strs.id(vt.Unit)))
+		out.bytesField(1, m.b)
+	}
+
+	// Locations: one per unique frame, ids assigned in first-encounter
+	// order over the (already sorted) samples.
+	locID := make(map[string]uint64)
+	var locOrder []string
+	for i := range p.Samples {
+		for _, f := range p.Samples[i].Stack {
+			if _, ok := locID[f]; !ok {
+				locID[f] = uint64(len(locOrder) + 1)
+				locOrder = append(locOrder, f)
+			}
+		}
+	}
+
+	// sample (field 2): location ids leaf-first, then the packed values.
+	for i := range p.Samples {
+		s := &p.Samples[i]
+		var m protoBuf
+		ids := make([]uint64, len(s.Stack))
+		for k, f := range s.Stack {
+			ids[len(s.Stack)-1-k] = locID[f]
+		}
+		m.packedField(1, ids)
+		vals := make([]uint64, NumSampleTypes)
+		for vi, v := range s.Values {
+			vals[vi] = uint64(v)
+		}
+		m.packedField(2, vals)
+		out.bytesField(2, m.b)
+	}
+
+	// mapping (field 3): one synthetic text segment covering the lab's
+	// address space, so tools that group by mapping have a home for every
+	// location.
+	{
+		var m protoBuf
+		m.varintField(1, 1)                               // id
+		m.varintField(2, 0x0040_0000)                     // memory_start (atom.CodeBase)
+		m.varintField(3, 0x8000_0000)                     // memory_limit
+		m.varintField(5, uint64(strs.id(p.mappingName()))) // filename
+		m.varintField(7, 1)                               // has_functions
+		out.bytesField(3, m.b)
+	}
+
+	// location (field 4) and function (field 5), one pair per frame.
+	for k, f := range locOrder {
+		id := uint64(k + 1)
+		var line protoBuf
+		line.varintField(1, id) // function_id (same numbering)
+		var loc protoBuf
+		loc.varintField(1, id)
+		loc.varintField(2, 1) // mapping_id
+		if addr, ok := p.addrs[f]; ok {
+			loc.varintField(3, addr)
+		}
+		loc.bytesField(4, line.b)
+		out.bytesField(4, loc.b)
+
+		var fn protoBuf
+		fn.varintField(1, id)
+		fn.varintField(2, uint64(strs.id(f))) // name
+		fn.varintField(3, uint64(strs.id(f))) // system_name
+		fn.varintField(4, uint64(strs.id(p.mappingName())))
+		out.bytesField(5, fn.b)
+	}
+
+	// default_sample_type (field 14) before the string table is emitted so
+	// the name is interned; field order in the wire format is free.
+	defType := uint64(strs.id(SampleTypes[SampleInstructions].Type))
+
+	// period_type (field 11) + period (field 12): one sample per unit.
+	{
+		var m protoBuf
+		m.varintField(1, int64Bits(strs.id(SampleTypes[SampleInstructions].Type)))
+		m.varintField(2, int64Bits(strs.id("count")))
+		out.bytesField(11, m.b)
+		out.varintField(12, 1)
+	}
+	out.varintField(14, defType)
+
+	// string_table (field 6), after every id() call.
+	for _, s := range strs.list {
+		out.stringField(6, s)
+	}
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(out.b); err != nil {
+		gz.Close()
+		return err
+	}
+	return gz.Close()
+}
+
+// mappingName labels the synthetic mapping/filename for this profile.
+func (p *Profile) mappingName() string { return "interp-lab://" + p.Program }
+
+func int64Bits(v int64) uint64 { return uint64(v) }

@@ -1,0 +1,266 @@
+package profile
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// ParsedProfile is the decoded view of a pprof file — just enough structure
+// to validate a round trip: sample types by name, and every sample's frame
+// stack (root-first, mirroring Profile.Samples) with its values.
+type ParsedProfile struct {
+	SampleTypes []ValueType
+	Samples     []Sample
+	// DefaultSampleType is the name pprof selects by default.
+	DefaultSampleType string
+}
+
+// ParsePprof gunzips and decodes a pprof protobuf produced by WritePprof
+// (or any conforming writer using the same subset).  It understands both
+// packed and unpacked repeated scalars.
+func ParsePprof(r io.Reader) (*ParsedProfile, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("profile: pprof is not gzip: %w", err)
+	}
+	raw, err := io.ReadAll(gz)
+	if err != nil {
+		return nil, fmt.Errorf("profile: gunzip pprof: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return nil, err
+	}
+
+	var (
+		strTab   []string
+		types    [][2]uint64 // (type idx, unit idx)
+		samples  []struct{ locs, vals []uint64 }
+		locFn    = map[uint64]uint64{} // location id -> function id
+		fnName   = map[uint64]uint64{} // function id -> name string idx
+		defType  uint64
+		haveDef  bool
+	)
+
+	err = walkFields(raw, func(field int, wire int, varint uint64, body []byte) error {
+		switch field {
+		case 1: // sample_type
+			vt, err := parsePair(body, 1, 2)
+			if err != nil {
+				return err
+			}
+			types = append(types, vt)
+		case 2: // sample
+			var s struct{ locs, vals []uint64 }
+			err := walkFields(body, func(f, w int, v uint64, b []byte) error {
+				switch f {
+				case 1:
+					s.locs = appendScalars(s.locs, w, v, b)
+				case 2:
+					s.vals = appendScalars(s.vals, w, v, b)
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			samples = append(samples, s)
+		case 4: // location
+			var id, fn uint64
+			err := walkFields(body, func(f, w int, v uint64, b []byte) error {
+				switch f {
+				case 1:
+					id = v
+				case 4: // line
+					return walkFields(b, func(lf, lw int, lv uint64, lb []byte) error {
+						if lf == 1 {
+							fn = lv
+						}
+						return nil
+					})
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			locFn[id] = fn
+		case 5: // function
+			var id, name uint64
+			err := walkFields(body, func(f, w int, v uint64, b []byte) error {
+				switch f {
+				case 1:
+					id = v
+				case 2:
+					name = v
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			fnName[id] = name
+		case 6: // string_table
+			strTab = append(strTab, string(body))
+		case 14:
+			defType, haveDef = varint, true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	str := func(i uint64) (string, error) {
+		if i >= uint64(len(strTab)) {
+			return "", fmt.Errorf("profile: string index %d out of range (table has %d)", i, len(strTab))
+		}
+		return strTab[i], nil
+	}
+	if len(strTab) == 0 || strTab[0] != "" {
+		return nil, fmt.Errorf("profile: pprof string_table[0] must be empty")
+	}
+
+	out := &ParsedProfile{}
+	for _, t := range types {
+		ty, err := str(t[0])
+		if err != nil {
+			return nil, err
+		}
+		un, err := str(t[1])
+		if err != nil {
+			return nil, err
+		}
+		out.SampleTypes = append(out.SampleTypes, ValueType{Type: ty, Unit: un})
+	}
+	if haveDef {
+		name, err := str(defType)
+		if err != nil {
+			return nil, err
+		}
+		out.DefaultSampleType = name
+	}
+	for _, s := range samples {
+		if len(s.vals) != len(types) {
+			return nil, fmt.Errorf("profile: sample has %d values for %d sample types", len(s.vals), len(types))
+		}
+		smp := Sample{Stack: make([]string, len(s.locs))}
+		for k, loc := range s.locs {
+			fn, ok := locFn[loc]
+			if !ok {
+				return nil, fmt.Errorf("profile: sample references unknown location %d", loc)
+			}
+			name, err := str(fnName[fn])
+			if err != nil {
+				return nil, err
+			}
+			// Locations are leaf-first; Stack is root-first.
+			smp.Stack[len(s.locs)-1-k] = name
+		}
+		for vi, v := range s.vals {
+			if vi < NumSampleTypes {
+				smp.Values[vi] = int64(v)
+			}
+		}
+		out.Samples = append(out.Samples, smp)
+	}
+	return out, nil
+}
+
+// walkFields iterates a protobuf message's fields.  For varint fields the
+// value is passed; for length-delimited fields the body.
+func walkFields(b []byte, visit func(field, wire int, varint uint64, body []byte) error) error {
+	for len(b) > 0 {
+		key, n := uvarint(b)
+		if n <= 0 {
+			return fmt.Errorf("profile: bad field key")
+		}
+		b = b[n:]
+		field, wire := int(key>>3), int(key&7)
+		switch wire {
+		case 0:
+			v, n := uvarint(b)
+			if n <= 0 {
+				return fmt.Errorf("profile: bad varint in field %d", field)
+			}
+			b = b[n:]
+			if err := visit(field, wire, v, nil); err != nil {
+				return err
+			}
+		case 2:
+			l, n := uvarint(b)
+			if n <= 0 || uint64(len(b)-n) < l {
+				return fmt.Errorf("profile: truncated length-delimited field %d", field)
+			}
+			body := b[n : n+int(l)]
+			b = b[n+int(l):]
+			if err := visit(field, wire, 0, body); err != nil {
+				return err
+			}
+		case 1: // 64-bit
+			if len(b) < 8 {
+				return fmt.Errorf("profile: truncated fixed64 field %d", field)
+			}
+			b = b[8:]
+		case 5: // 32-bit
+			if len(b) < 4 {
+				return fmt.Errorf("profile: truncated fixed32 field %d", field)
+			}
+			b = b[4:]
+		default:
+			return fmt.Errorf("profile: unsupported wire type %d (field %d)", wire, field)
+		}
+	}
+	return nil
+}
+
+// appendScalars collects a repeated scalar field delivered either unpacked
+// (wire 0, one varint) or packed (wire 2, a run of varints).
+func appendScalars(dst []uint64, wire int, v uint64, body []byte) []uint64 {
+	if wire == 0 {
+		return append(dst, v)
+	}
+	for len(body) > 0 {
+		x, n := uvarint(body)
+		if n <= 0 {
+			break
+		}
+		dst = append(dst, x)
+		body = body[n:]
+	}
+	return dst
+}
+
+// parsePair decodes a two-varint-field message (ValueType).
+func parsePair(b []byte, f1, f2 int) ([2]uint64, error) {
+	var out [2]uint64
+	err := walkFields(b, func(f, w int, v uint64, body []byte) error {
+		switch f {
+		case f1:
+			out[0] = v
+		case f2:
+			out[1] = v
+		}
+		return nil
+	})
+	return out, err
+}
+
+// uvarint decodes one varint, returning the value and bytes consumed
+// (0 on truncation).
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	var shift uint
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, i + 1
+		}
+		shift += 7
+		if shift >= 64 {
+			return 0, 0
+		}
+	}
+	return 0, 0
+}

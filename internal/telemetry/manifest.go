@@ -39,10 +39,34 @@ type RunConfig struct {
 // RunEntry is one experiment's record: the exact text a direct run would
 // have printed, plus the structured per-program measurements behind it.
 type RunEntry struct {
-	ID           string        `json:"id"`
-	Text         string        `json:"text"`
-	DurationUS   float64       `json:"duration_us,omitempty"`
-	Measurements []Measurement `json:"measurements,omitempty"`
+	ID           string            `json:"id"`
+	Text         string            `json:"text"`
+	DurationUS   float64           `json:"duration_us,omitempty"`
+	Measurements []Measurement     `json:"measurements,omitempty"`
+	Profiles     []ProfileArtifact `json:"profiles,omitempty"`
+}
+
+// ProfileArtifact is one program's attribution profile as recorded in the
+// manifest (schema v1 additive field): summary totals plus the full
+// folded-stack text, so flamegraphs can be rebuilt from the manifest alone.
+// The harness fills it from internal/profile; telemetry stays independent
+// of that package.
+type ProfileArtifact struct {
+	Program      string           `json:"program"`
+	SampleTypes  []string         `json:"sample_types"`
+	Samples      int              `json:"samples"`
+	Instructions int64            `json:"instructions"`
+	PhaseTotals  map[string]int64 `json:"phase_totals,omitempty"` // by atom.Phase name
+	Folded       string           `json:"folded,omitempty"`       // instruction-count folded stacks
+}
+
+// AddProfile appends one profile artifact to the entry.  A nil entry
+// no-ops, mirroring Add.
+func (r *RunEntry) AddProfile(pa ProfileArtifact) {
+	if r == nil {
+		return
+	}
+	r.Profiles = append(r.Profiles, pa)
 }
 
 // Measurement is the structured result of measuring one program: the
