@@ -3,10 +3,13 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"interplab/internal/core"
+	"interplab/internal/harness"
 	"interplab/internal/telemetry"
 	"interplab/internal/workloads"
 )
@@ -31,6 +34,15 @@ type benchReport struct {
 	Profiling          benchResult `json:"profiling_on"`
 	OverheadPct        float64     `json:"overhead_pct"`
 	ProfileOverheadPct float64     `json:"profile_overhead_pct"`
+
+	// Scheduler arm: the same harness experiment measured serially and on
+	// the parallel scheduler — the output is byte-identical, so this is
+	// pure wall-time.
+	SchedExperiment string      `json:"sched_experiment"`
+	Parallelism     int         `json:"parallelism"`
+	SchedSerial     benchResult `json:"sched_serial"`
+	SchedParallel   benchResult `json:"sched_parallel"`
+	SchedSpeedupX   float64     `json:"sched_speedup_x"`
 }
 
 // cmdBenchTelemetry wall-times a small harness measurement with telemetry
@@ -63,6 +75,20 @@ func cmdBenchTelemetry(out string, scale float64) {
 		rep.OverheadPct = 100 * (off.EventsPerSec - on.EventsPerSec) / off.EventsPerSec
 		rep.ProfileOverheadPct = 100 * (off.EventsPerSec - prof.EventsPerSec) / off.EventsPerSec
 	}
+
+	rep.SchedExperiment = "table1"
+	// At least two workers, so the parallel arm always measures the
+	// concurrent scheduler path (on a single-CPU host the honest result is
+	// ~1.0x; with more cores the speedup shows up here).
+	rep.Parallelism = runtime.GOMAXPROCS(0)
+	if rep.Parallelism < 2 {
+		rep.Parallelism = 2
+	}
+	rep.SchedSerial = schedArm(runs, rep.SchedExperiment, scale, 1)
+	rep.SchedParallel = schedArm(runs, rep.SchedExperiment, scale, rep.Parallelism)
+	if rep.SchedParallel.BestSeconds > 0 {
+		rep.SchedSpeedupX = rep.SchedSerial.BestSeconds / rep.SchedParallel.BestSeconds
+	}
 	f, err := os.Create(out)
 	if err != nil {
 		fatalf("%v", err)
@@ -78,6 +104,35 @@ func cmdBenchTelemetry(out string, scale float64) {
 	}
 	fmt.Printf("telemetry off: %.0f events/s, on: %.0f events/s (overhead %.2f%%), profiling: %.0f events/s (overhead %.2f%%) -> %s\n",
 		off.EventsPerSec, on.EventsPerSec, rep.OverheadPct, prof.EventsPerSec, rep.ProfileOverheadPct, out)
+	fmt.Printf("scheduler %s: serial %.2fs, parallel(%d) %.2fs (%.2fx)\n",
+		rep.SchedExperiment, rep.SchedSerial.BestSeconds, rep.Parallelism,
+		rep.SchedParallel.BestSeconds, rep.SchedSpeedupX)
+}
+
+// schedArm measures best-of-n wall time for one harness experiment at the
+// given parallelism.  Events is the total native-instruction stream length
+// across the experiment's measurements, taken from the run's registry.
+func schedArm(n int, id string, scale float64, parallelism int) benchResult {
+	var best time.Duration
+	var events uint64
+	for i := 0; i < n; i++ {
+		reg := telemetry.NewRegistry()
+		opt := harness.Options{Scale: scale, Out: io.Discard, Parallelism: parallelism, Telemetry: reg}
+		start := time.Now()
+		if err := harness.Run(id, opt); err != nil {
+			fatalf("bench %s: %v", id, err)
+		}
+		el := time.Since(start)
+		events = reg.Counter("core.events").Value()
+		if best == 0 || el < best {
+			best = el
+		}
+	}
+	r := benchResult{Events: events, BestSeconds: best.Seconds()}
+	if best > 0 {
+		r.EventsPerSec = float64(events) / best.Seconds()
+	}
+	return r
 }
 
 // benchArm measures best-of-n wall time for one measurement configuration.

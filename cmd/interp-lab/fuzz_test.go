@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"interplab/internal/harness"
+	"interplab/internal/telemetry"
+)
+
+// FuzzReadManifest drives the manifest reader and renderer with arbitrary
+// bytes: the `interp-lab report` path must reject malformed input with an
+// error — truncated JSON, wrong schema, hostile field values — and never
+// panic while re-rendering whatever it accepted.
+func FuzzReadManifest(f *testing.F) {
+	// Seeds: the malformed fixtures the unit tests pin, plus a real
+	// manifest captured from a run so mutations explore the accept path.
+	for _, fixture := range []string{"truncated.json", "not-manifest.json"} {
+		b, err := os.ReadFile(filepath.Join("testdata", fixture))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	man := telemetry.NewManifest(0.1)
+	if err := harness.Run("table3", harness.Options{Scale: 0.1, Out: io.Discard, Manifest: man}); err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := man.Write(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"schema":"interp-lab/run","version":999}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		man, err := telemetry.ReadManifest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if man == nil {
+			t.Fatal("nil manifest with nil error")
+		}
+		if err := man.RenderText(io.Discard); err != nil {
+			t.Fatalf("accepted manifest failed to render: %v", err)
+		}
+	})
+}

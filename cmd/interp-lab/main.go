@@ -4,14 +4,16 @@
 //
 // Usage:
 //
-//	interp-lab [-scale f] [-json manifest.json] [-trace trace.json] experiment...
+//	interp-lab [-scale f] [-parallel n] [-json manifest.json] [-trace trace.json] experiment...
 //	interp-lab profile [-scale f] [-pprof file] [-folded file] [-top n] [-value type] [-json file] experiment
 //	interp-lab list
 //	interp-lab report manifest.json
 //	interp-lab bench-telemetry [file]
 //
 // Experiments: table1 table2 table3 fig1 fig2 fig3 fig4 memmodel ablation,
-// or "all".  -json writes a versioned machine-readable run manifest that
+// or "all".  -parallel fans each experiment's measurements out over n
+// workers (default GOMAXPROCS; output is byte-identical to -parallel 1).
+// -json writes a versioned machine-readable run manifest that
 // `interp-lab report` re-renders to the exact text of a direct run; -trace
 // writes a Chrome trace-event file of the run's span hierarchy for
 // chrome://tracing or Perfetto.  The profile subcommand attaches the
@@ -25,13 +27,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"interplab/internal/harness"
 	"interplab/internal/telemetry"
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: interp-lab [-scale f] [-json file] [-trace file] experiment...
+	fmt.Fprintf(os.Stderr, `usage: interp-lab [-scale f] [-parallel n] [-json file] [-trace file] experiment...
        interp-lab profile [-scale f] [-pprof file] [-folded file] [-top n] [-value type] [-json file] experiment
        interp-lab list
        interp-lab report manifest.json
@@ -43,6 +46,7 @@ experiments: %v, all
 
 func main() {
 	scale := flag.Float64("scale", 1, "workload size multiplier (> 0)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "measurement workers per experiment (1 = serial; output is identical)")
 	jsonOut := flag.String("json", "", "write a machine-readable run manifest to `file`")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event file to `file`")
 	flag.Usage = usage
@@ -84,7 +88,10 @@ func main() {
 	if *scale <= 0 {
 		fatalf("-scale must be > 0 (got %g)", *scale)
 	}
-	cmdRun(args, *scale, *jsonOut, *traceOut)
+	if *parallel < 1 {
+		fatalf("-parallel must be >= 1 (got %d)", *parallel)
+	}
+	cmdRun(args, *scale, *parallel, *jsonOut, *traceOut)
 }
 
 func fatalf(format string, args ...any) {
@@ -94,16 +101,17 @@ func fatalf(format string, args ...any) {
 
 // cmdRun executes the named experiments, optionally recording a run
 // manifest (-json) and a span trace (-trace).
-func cmdRun(ids []string, scale float64, jsonOut, traceOut string) {
+func cmdRun(ids []string, scale float64, parallel int, jsonOut, traceOut string) {
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = harness.Experiments
 	}
-	opt := harness.Options{Scale: scale, Out: os.Stdout}
+	opt := harness.Options{Scale: scale, Out: os.Stdout, Parallelism: parallel}
 	var reg *telemetry.Registry
 	var man *telemetry.Manifest
 	if jsonOut != "" {
 		reg = telemetry.NewRegistry()
 		man = telemetry.NewManifest(scale)
+		man.Config.Parallelism = parallel
 		opt.Telemetry = reg
 		opt.Manifest = man
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"interplab/internal/harness"
 	"interplab/internal/profile"
@@ -18,13 +19,14 @@ import (
 func cmdProfile(args []string, defaultScale float64) {
 	fs := flag.NewFlagSet("profile", flag.ExitOnError)
 	scale := fs.Float64("scale", defaultScale, "workload size multiplier (> 0)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "measurement workers (1 = serial; output is identical)")
 	pprofOut := fs.String("pprof", "", "write a merged gzip'd pprof protobuf to `file` (go tool pprof)")
 	foldedOut := fs.String("folded", "", "write merged folded stacks to `file` (flamegraph input)")
 	topN := fs.Int("top", 10, "rows per flat/cum table (0 = all)")
 	value := fs.String("value", "instructions", "sample type for tables and -folded (instructions, loads, stores, branches, imiss, dmiss)")
 	jsonOut := fs.String("json", "", "write a run manifest with profile artifacts to `file`")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: interp-lab profile [-scale f] [-pprof file] [-folded file] [-top n] [-value type] [-json file] experiment\n")
+		fmt.Fprintf(os.Stderr, "usage: interp-lab profile [-scale f] [-parallel n] [-pprof file] [-folded file] [-top n] [-value type] [-json file] experiment\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -36,13 +38,16 @@ func cmdProfile(args []string, defaultScale float64) {
 	if *scale <= 0 {
 		fatalf("-scale must be > 0 (got %g)", *scale)
 	}
+	if *parallel < 1 {
+		fatalf("-parallel must be >= 1 (got %d)", *parallel)
+	}
 	vi, ok := profile.SampleTypeIndex(*value)
 	if !ok {
 		fatalf("unknown sample type %q", *value)
 	}
 
 	set := profile.NewSet()
-	opt := harness.Options{Scale: *scale, Out: io.Discard, Profile: set}
+	opt := harness.Options{Scale: *scale, Out: io.Discard, Profile: set, Parallelism: *parallel}
 	var man *telemetry.Manifest
 	if *jsonOut != "" {
 		man = telemetry.NewManifest(*scale)

@@ -141,6 +141,7 @@ type measureConfig struct {
 	reg         *telemetry.Registry
 	sampleEvery uint64
 	profiling   bool
+	lane        int
 }
 
 // MeasureOption configures optional telemetry on Measure* calls.
@@ -164,6 +165,14 @@ func WithTelemetry(reg *telemetry.Registry) MeasureOption {
 // (default 65536).  Only meaningful together with WithTelemetry.
 func WithSampleInterval(n uint64) MeasureOption {
 	return func(c *measureConfig) { c.sampleEvery = n }
+}
+
+// WithTraceLane attributes the run's spans to the given trace lane
+// (Chrome trace tid).  The harness's parallel scheduler gives each worker
+// its own lane so concurrent runs render side by side; 0 (the default)
+// means the main lane.
+func WithTraceLane(lane int) MeasureOption {
+	return func(c *measureConfig) { c.lane = lane }
 }
 
 // WithProfiling attaches an attribution-profile collector to the run: the
@@ -224,14 +233,14 @@ func run(p Program, sink trace.Sink, opts ...MeasureOption) (Result, error) {
 		osys.Instrument(img, probe)
 	}
 	ctx := &Ctx{Image: img, Probe: probe, Sink: observed, OS: osys}
-	span := mc.tracer.Start("workload "+p.ID(), "program", p.ID())
+	span := mc.tracer.StartOn(mc.lane, "workload "+p.ID(), "program", p.ID())
 	err := p.Run(ctx)
 	span.End()
 	if err != nil {
 		mc.reg.Counter("core.errors").Inc()
 		return res, fmt.Errorf("%s: %w", p.ID(), err)
 	}
-	collect := mc.tracer.Start("collect " + p.ID())
+	collect := mc.tracer.StartOn(mc.lane, "collect "+p.ID())
 	res.Stats = probe.Stats()
 	res.Counter = counter
 	res.SizeBytes = ctx.size

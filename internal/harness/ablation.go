@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"io"
 
 	"interplab/internal/alphasim"
 	"interplab/internal/core"
@@ -23,36 +24,39 @@ import (
 //     the §5 software optimizations, implemented as knobs.
 //  4. Dispatch (fetch/decode) share per interpreter — the bound on what
 //     those optimizations can ever save.
+//
+// All four sections' measurements are enumerated into one batch, so a
+// parallel run overlaps them freely; rendering happens afterwards in
+// section order.
 func Ablation(opt Options) error {
-	w := opt.out()
 	scale := opt.scale()
+	b := opt.newBatch()
 
-	fmt.Fprintf(w, "Ablation 1: iTLB size (Tcl/Tk tkdiff through the pipeline)\n")
+	// Section 1: iTLB size sweep on Tcl/Tk tkdiff.
 	var tkdiff core.Program
 	for _, p := range workloads.TclSuite(scale) {
 		if p.Name == "tkdiff" {
 			tkdiff = p
 		}
 	}
-	for _, entries := range []int{8, 32} {
+	itlbSizes := []int{8, 32}
+	itlbJobs := make([]*job, len(itlbSizes))
+	for i, entries := range itlbSizes {
 		cfg := alphasim.DefaultConfig()
 		cfg.ITLBEntries = entries
-		res, err := opt.measurePipeline(tkdiff, cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "  iTLB %2d entries: itlb stalls %.2f%% of issue slots, CPI %.2f\n",
-			entries, 100*res.Pipe.StallFrac(alphasim.CauseITLB, 2), res.Pipe.CPI())
+		itlbJobs[i] = b.measurePipeline(tkdiff, cfg)
 	}
 
-	fmt.Fprintf(w, "\nAblation 2: MIPSI simulated page tables vs flat memory (des)\n")
+	// Section 2: MIPSI page tables vs flat memory.
 	blocks := int(150 * scale)
 	if blocks < 8 {
 		blocks = 8
 	}
-	for _, flat := range []bool{false, true} {
+	flatModes := []bool{false, true}
+	flatJobs := make([]*job, len(flatModes))
+	for i, flat := range flatModes {
 		flat := flat
-		p := core.Program{
+		flatJobs[i] = b.measure(core.Program{
 			System: core.SysMIPSI, Name: "des",
 			Run: func(ctx *core.Ctx) error {
 				prog, err := minicc.CompileMIPS("des", minicc.WithStdlib(desSourceForAblation(blocks)))
@@ -66,11 +70,39 @@ func Ablation(opt Options) error {
 				ip.FlatMemory = flat
 				return ip.Run(0)
 			},
-		}
-		res, err := opt.measure(p)
-		if err != nil {
-			return err
-		}
+		})
+	}
+
+	// Section 3: dispatch implementations (§5).
+	da := enqueueDispatchAblation(b, blocks, scale)
+
+	// Section 4: fetch/decode share per interpreter.
+	fdProgs := []core.Program{
+		workloads.DESMIPSI(blocks),
+		workloads.DESJava(int(260 * scale)),
+		workloads.DESPerl(int(18 * scale)),
+		workloads.DESTcl(int(6 * scale)),
+	}
+	fdJobs := make([]*job, len(fdProgs))
+	for i, p := range fdProgs {
+		fdJobs[i] = b.measure(p)
+	}
+
+	if err := b.run(); err != nil {
+		return err
+	}
+
+	w := opt.out()
+	fmt.Fprintf(w, "Ablation 1: iTLB size (Tcl/Tk tkdiff through the pipeline)\n")
+	for i, entries := range itlbSizes {
+		res := itlbJobs[i].res
+		fmt.Fprintf(w, "  iTLB %2d entries: itlb stalls %.2f%% of issue slots, CPI %.2f\n",
+			entries, 100*res.Pipe.StallFrac(alphasim.CauseITLB, 2), res.Pipe.CPI())
+	}
+
+	fmt.Fprintf(w, "\nAblation 2: MIPSI simulated page tables vs flat memory (des)\n")
+	for i, flat := range flatModes {
+		res := flatJobs[i].res
 		fd, ex := res.PerCommand()
 		mm, _ := res.Stats.Region("memmodel")
 		label := "page tables"
@@ -83,21 +115,11 @@ func Ablation(opt Options) error {
 	}
 
 	fmt.Fprintf(w, "\nAblation 3: dispatch implementation (§5: threaded code, bytecode caching)\n")
-	if err := dispatchAblation(opt, blocks, scale); err != nil {
-		return err
-	}
+	da.render(w)
 
 	fmt.Fprintf(w, "\nAblation 4: fetch/decode share (the dispatch-optimization bound, §5)\n")
-	for _, p := range []core.Program{
-		workloads.DESMIPSI(blocks),
-		workloads.DESJava(int(260 * scale)),
-		workloads.DESPerl(int(18 * scale)),
-		workloads.DESTcl(int(6 * scale)),
-	} {
-		res, err := opt.measure(p)
-		if err != nil {
-			return err
-		}
+	for i := range fdProgs {
+		res := fdJobs[i].res
 		fdShare := float64(res.Stats.FetchDecode) / float64(res.NativeInstructions())
 		fmt.Fprintf(w, "  %-10s fetch/decode is %4.1f%% of native instructions\n",
 			res.Program.System, 100*fdShare)
@@ -111,15 +133,20 @@ func desSourceForAblation(blocks int) string {
 	return workloads.DESMiniCSource(blocks)
 }
 
-// dispatchAblation measures the §5 software optimizations as implemented
-// knobs: threaded dispatch for the low-level VMs, and parse caching (the
-// Tcl 8 direction) for Tcl.
-func dispatchAblation(opt Options, blocks int, scale float64) error {
-	w := opt.out()
+// dispatchAblationJobs holds Section 3's enqueued measurements: the §5
+// software optimizations as implemented knobs — threaded dispatch for the
+// low-level VMs, and parse caching (the Tcl 8 direction) for Tcl.
+type dispatchAblationJobs struct {
+	mipsi, java, tcl [2]*job // index 0 = baseline, 1 = optimized
+}
+
+// enqueueDispatchAblation adds Section 3's six measurements to the batch.
+func enqueueDispatchAblation(b *batch, blocks int, scale float64) *dispatchAblationJobs {
+	da := &dispatchAblationJobs{}
 	// MIPSI: switch vs. threaded dispatch.
-	for _, threaded := range []bool{false, true} {
+	for i, threaded := range []bool{false, true} {
 		threaded := threaded
-		p := core.Program{
+		da.mipsi[i] = b.measure(core.Program{
 			System: core.SysMIPSI, Name: "des",
 			Run: func(ctx *core.Ctx) error {
 				prog, err := minicc.CompileMIPS("des", minicc.WithStdlib(desSourceForAblation(blocks)))
@@ -133,18 +160,7 @@ func dispatchAblation(opt Options, blocks int, scale float64) error {
 				ip.Threaded = threaded
 				return ip.Run(0)
 			},
-		}
-		res, err := opt.measure(p)
-		if err != nil {
-			return err
-		}
-		fd, _ := res.PerCommand()
-		label := "switch  "
-		if threaded {
-			label = "threaded"
-		}
-		fmt.Fprintf(w, "  MIPSI %s dispatch: fd/cmd %5.1f, total %s native instr\n",
-			label, fd, fmtK(res.NativeInstructions()))
+		})
 	}
 
 	// Java: switch vs. threaded dispatch.
@@ -152,9 +168,9 @@ func dispatchAblation(opt Options, blocks int, scale float64) error {
 	if jblocks < 16 {
 		jblocks = 16
 	}
-	for _, threaded := range []bool{false, true} {
+	for i, threaded := range []bool{false, true} {
 		threaded := threaded
-		p := core.Program{
+		da.java[i] = b.measure(core.Program{
 			System: core.SysJava, Name: "des",
 			Run: func(ctx *core.Ctx) error {
 				mod, err := minicc.CompileJVM("des", minicc.WithStdlibJVM(desSourceForAblation(jblocks)))
@@ -172,11 +188,43 @@ func dispatchAblation(opt Options, blocks int, scale float64) error {
 				_, err = vm.Run("main", 0)
 				return err
 			},
+		})
+	}
+
+	// Tcl: direct string interpretation vs. cached parse (Tcl 8 model).
+	tblocks := int(6 * scale)
+	if tblocks < 2 {
+		tblocks = 2
+	}
+	for i, cached := range []bool{false, true} {
+		cached := cached
+		da.tcl[i] = b.measure(core.Program{
+			System: core.SysTcl, Name: "des",
+			Run: func(ctx *core.Ctx) error {
+				i := tcl.New(ctx.OS, ctx.Image, ctx.Probe)
+				i.CachedParse = cached
+				_, err := i.Eval(workloads.DESTclSource(tblocks))
+				return err
+			},
+		})
+	}
+	return da
+}
+
+// render prints Section 3 from the collected results.
+func (da *dispatchAblationJobs) render(w io.Writer) {
+	for i, threaded := range []bool{false, true} {
+		res := da.mipsi[i].res
+		fd, _ := res.PerCommand()
+		label := "switch  "
+		if threaded {
+			label = "threaded"
 		}
-		res, err := opt.measure(p)
-		if err != nil {
-			return err
-		}
+		fmt.Fprintf(w, "  MIPSI %s dispatch: fd/cmd %5.1f, total %s native instr\n",
+			label, fd, fmtK(res.NativeInstructions()))
+	}
+	for i, threaded := range []bool{false, true} {
+		res := da.java[i].res
 		fd, _ := res.PerCommand()
 		label := "switch  "
 		if threaded {
@@ -185,27 +233,8 @@ func dispatchAblation(opt Options, blocks int, scale float64) error {
 		fmt.Fprintf(w, "  Java  %s dispatch: fd/cmd %5.1f, total %s native instr\n",
 			label, fd, fmtK(res.NativeInstructions()))
 	}
-
-	// Tcl: direct string interpretation vs. cached parse (Tcl 8 model).
-	tblocks := int(6 * scale)
-	if tblocks < 2 {
-		tblocks = 2
-	}
-	for _, cached := range []bool{false, true} {
-		cached := cached
-		p := core.Program{
-			System: core.SysTcl, Name: "des",
-			Run: func(ctx *core.Ctx) error {
-				i := tcl.New(ctx.OS, ctx.Image, ctx.Probe)
-				i.CachedParse = cached
-				_, err := i.Eval(workloads.DESTclSource(tblocks))
-				return err
-			},
-		}
-		res, err := opt.measure(p)
-		if err != nil {
-			return err
-		}
+	for i, cached := range []bool{false, true} {
+		res := da.tcl[i].res
 		fd, _ := res.PerCommand()
 		label := "re-parse"
 		if cached {
@@ -214,5 +243,4 @@ func dispatchAblation(opt Options, blocks int, scale float64) error {
 		fmt.Fprintf(w, "  Tcl   %s bodies:   fd/cmd %5.0f, total %s native instr\n",
 			label, fd, fmtK(res.NativeInstructions()))
 	}
-	return nil
 }

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"interplab/internal/profile"
+	"interplab/internal/telemetry"
+)
+
+// detScale is the workload scale of the determinism golden test.  The
+// race-detector build (race_scale_test.go) shrinks it: the instrumented
+// runs are an order of magnitude slower and would blow the package's test
+// timeout, and the byte-identity property does not depend on scale.
+var detScale = 0.1
+
+// detRun executes one experiment with a manifest and profile set attached
+// and returns everything the parallel scheduler promises to keep
+// byte-identical: the rendered text, the manifest run entries (wall times
+// zeroed — they vary even between two serial runs), and the merged folded
+// profile.
+func detRun(t *testing.T, id string, parallelism int) (text string, runs []byte, folded string) {
+	t.Helper()
+	var buf bytes.Buffer
+	man := telemetry.NewManifest(detScale)
+	set := profile.NewSet()
+	opt := Options{Scale: detScale, Out: &buf, Parallelism: parallelism, Manifest: man, Profile: set}
+	if err := Run(id, opt); err != nil {
+		t.Fatalf("%s (parallelism %d): %v", id, parallelism, err)
+	}
+	for _, r := range man.Runs {
+		r.DurationUS = 0
+		for i := range r.Measurements {
+			r.Measurements[i].DurationUS = 0
+		}
+	}
+	rb, err := json.Marshal(man.Runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fb bytes.Buffer
+	if err := set.Merged().WriteFolded(&fb, profile.SampleInstructions); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), rb, fb.String()
+}
+
+// TestParallelOutputIsByteIdentical is the scheduler's acceptance test:
+// for every experiment, a run on 8 workers must produce byte-identical
+// rendered text, manifest entries, and folded profiles to a serial run.
+// Ordered collection in the batch makes this hold by construction; this
+// test pins it against regressions (including any nondeterminism in the
+// measured systems themselves, which would show up here first).
+func TestParallelOutputIsByteIdentical(t *testing.T) {
+	for _, id := range Experiments {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			sText, sRuns, sFolded := detRun(t, id, 1)
+			pText, pRuns, pFolded := detRun(t, id, 8)
+			if sText != pText {
+				t.Errorf("rendered text differs between serial and parallel:\n--- serial ---\n%s\n--- parallel ---\n%s", sText, pText)
+			}
+			if !bytes.Equal(sRuns, pRuns) {
+				t.Errorf("manifest entries differ between serial and parallel:\n--- serial ---\n%s\n--- parallel ---\n%s", sRuns, pRuns)
+			}
+			if sFolded != pFolded {
+				t.Errorf("folded profiles differ between serial and parallel:\n--- serial ---\n%s\n--- parallel ---\n%s", sFolded, pFolded)
+			}
+		})
+	}
+}

@@ -2,6 +2,12 @@
 // regenerates one table or figure from the measured systems and renders it
 // as text.  EXPERIMENTS.md records a captured run against the paper's
 // numbers.
+//
+// Measurements within an experiment are mutually independent, so each
+// experiment enumerates its jobs into a batch (sched.go) that fans them out
+// over Options.Parallelism workers and collects results in submission
+// order — rendered text, manifests and profiles are byte-identical to a
+// serial run.
 package harness
 
 import (
@@ -9,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -29,6 +36,12 @@ type Options struct {
 	// Out receives the rendered table/figure.  nil means os.Stdout, so
 	// library callers can leave it unset without nil-dereferencing.
 	Out io.Writer
+
+	// Parallelism is the number of measurement jobs run concurrently.
+	// 0 (or negative) means GOMAXPROCS; 1 forces the serial path.  The
+	// rendered output is byte-identical either way — only wall time and
+	// the span layout in Chrome traces differ.
+	Parallelism int
 
 	// Telemetry, when non-nil, receives run metrics (counters, histograms)
 	// and enables the sampling observer on every measured stream.
@@ -66,19 +79,37 @@ func (o Options) out() io.Writer {
 	return o.Out
 }
 
-// Experiments lists the runnable experiment ids.
+// parallelism returns the effective measurement worker count.
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Experiments lists the runnable experiment ids, in presentation order.
 var Experiments = []string{
 	"table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "memmodel", "ablation",
 }
 
+// experimentFns dispatches experiment ids; Known and Run share it, so an
+// id is runnable exactly when it is known.
+var experimentFns = map[string]func(Options) error{
+	"table1":   Table1,
+	"table2":   Table2,
+	"table3":   Table3,
+	"fig1":     Fig1,
+	"fig2":     Fig2,
+	"fig3":     Fig3,
+	"fig4":     Fig4,
+	"memmodel": MemModel,
+	"ablation": Ablation,
+}
+
 // Known reports whether id names an experiment.
 func Known(id string) bool {
-	for _, e := range Experiments {
-		if e == id {
-			return true
-		}
-	}
-	return false
+	_, ok := experimentFns[id]
+	return ok
 }
 
 // Run dispatches an experiment by id.
@@ -86,7 +117,8 @@ func Run(id string, opt Options) error {
 	if opt.Scale < 0 {
 		return fmt.Errorf("harness: scale must be positive (got %g)", opt.Scale)
 	}
-	if !Known(id) {
+	fn, ok := experimentFns[id]
+	if !ok {
 		return fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(Experiments, ", "))
 	}
 	span := opt.Tracer.Start("experiment "+id, "id", id, "scale", opt.scale())
@@ -98,38 +130,20 @@ func Run(id string, opt Options) error {
 		buf = &bytes.Buffer{}
 		opt.Out = io.MultiWriter(opt.out(), buf)
 	}
-	err := dispatch(id, opt)
-	if opt.rec != nil && err == nil {
-		opt.rec.Text = buf.String()
+	err := fn(opt)
+	if opt.rec != nil {
+		// DurationUS is recorded even for failed runs, so they are
+		// visible in the manifest; Text only reflects a complete run.
 		opt.rec.DurationUS = float64(time.Since(start)) / float64(time.Microsecond)
+		if err == nil {
+			opt.rec.Text = buf.String()
+		} else {
+			opt.rec.Error = err.Error()
+		}
 	}
 	opt.Telemetry.Counter("harness.experiments").Inc()
 	opt.Telemetry.Histogram("harness.experiment_us").Observe(uint64(time.Since(start) / time.Microsecond))
 	return err
-}
-
-func dispatch(id string, opt Options) error {
-	switch id {
-	case "table1":
-		return Table1(opt)
-	case "table2":
-		return Table2(opt)
-	case "table3":
-		return Table3(opt)
-	case "fig1":
-		return Fig1(opt)
-	case "fig2":
-		return Fig2(opt)
-	case "fig3":
-		return Fig3(opt)
-	case "fig4":
-		return Fig4(opt)
-	case "memmodel":
-		return MemModel(opt)
-	case "ablation":
-		return Ablation(opt)
-	}
-	return fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(Experiments, ", "))
 }
 
 // measureOpts threads the harness's telemetry into core measurements.
@@ -142,8 +156,10 @@ func (o Options) measureOpts() []core.MeasureOption {
 }
 
 // record adds one structured measurement to the current experiment's
-// manifest entry (no-op without a manifest).
-func (o Options) record(kind string, res core.Result, start time.Time, sweep *alphasim.ICacheSweep) {
+// manifest entry and profile set.  The batch calls it at collect time, in
+// submission order, so records are deterministic regardless of
+// parallelism.
+func (o Options) record(kind string, res core.Result, dur time.Duration, sweep *alphasim.ICacheSweep) {
 	o.Profile.Add(res.Profile)
 	if o.rec == nil {
 		return
@@ -159,7 +175,7 @@ func (o Options) record(kind string, res core.Result, start time.Time, sweep *al
 		SizeBytes:  res.SizeBytes,
 		Events:     res.Counter.Total,
 		Kind:       kind,
-		DurationUS: float64(time.Since(start)) / float64(time.Microsecond),
+		DurationUS: float64(dur) / float64(time.Microsecond),
 		Stats:      &stats,
 		Pipe:       res.Pipe,
 	}
@@ -193,45 +209,6 @@ func profileArtifact(p *profile.Profile) telemetry.ProfileArtifact {
 	return pa
 }
 
-// measure is core.Measure with the harness's spans, metrics and manifest.
-func (o Options) measure(p core.Program) (core.Result, error) {
-	span := o.Tracer.Start("measure "+p.ID(), "program", p.ID())
-	defer span.End()
-	start := time.Now()
-	res, err := core.Measure(p, o.measureOpts()...)
-	if err != nil {
-		return res, err
-	}
-	o.record("measure", res, start, nil)
-	return res, nil
-}
-
-// measurePipeline is core.MeasureWithPipeline with spans/metrics/manifest.
-func (o Options) measurePipeline(p core.Program, cfg alphasim.Config) (core.Result, error) {
-	span := o.Tracer.Start("measure "+p.ID(), "program", p.ID(), "sink", "pipeline")
-	defer span.End()
-	start := time.Now()
-	res, err := core.MeasureWithPipeline(p, cfg, o.measureOpts()...)
-	if err != nil {
-		return res, err
-	}
-	o.record("pipeline", res, start, nil)
-	return res, nil
-}
-
-// measureSweep is core.MeasureWithSweep with spans/metrics/manifest.
-func (o Options) measureSweep(p core.Program, sweep *alphasim.ICacheSweep) (core.Result, error) {
-	span := o.Tracer.Start("measure "+p.ID(), "program", p.ID(), "sink", "icache-sweep")
-	defer span.End()
-	start := time.Now()
-	res, err := core.MeasureWithSweep(p, sweep, o.measureOpts()...)
-	if err != nil {
-		return res, err
-	}
-	o.record("sweep", res, start, sweep)
-	return res, nil
-}
-
 // systems is the presentation order.
 var systems = []core.System{core.SysMIPSI, core.SysJava, core.SysPerl, core.SysTcl}
 
@@ -239,22 +216,31 @@ var systems = []core.System{core.SysMIPSI, core.SysJava, core.SysPerl, core.SysT
 // ratios of simulated machine cycles against the compiled-C run of the
 // same operation count.
 func Table1(opt Options) error {
+	micros := workloads.Micros(opt.scale())
+	type t1row struct {
+		base *job
+		sys  []*job
+	}
+	b := opt.newBatch()
+	rows := make([]t1row, 0, len(micros))
+	for _, m := range micros {
+		r := t1row{base: b.measurePipeline(m.Progs[core.SysC], alphasim.DefaultConfig())}
+		for _, sys := range systems {
+			r.sys = append(r.sys, b.measurePipeline(m.Progs[sys], alphasim.DefaultConfig()))
+		}
+		rows = append(rows, r)
+	}
+	if err := b.run(); err != nil {
+		return err
+	}
 	w := opt.out()
 	fmt.Fprintf(w, "Table 1: microbenchmark slowdowns relative to C (simulated cycles)\n\n")
 	fmt.Fprintf(w, "%-14s %-50s %9s %9s %9s %9s\n", "Benchmark", "Description", "MIPSI", "Java", "Perl", "Tcl")
-	for _, m := range workloads.Micros(opt.scale()) {
-		base, err := opt.measurePipeline(m.Progs[core.SysC], alphasim.DefaultConfig())
-		if err != nil {
-			return err
-		}
-		cCycles := float64(base.Pipe.Cycles)
+	for i, m := range micros {
+		cCycles := float64(rows[i].base.res.Pipe.Cycles)
 		fmt.Fprintf(w, "%-14s %-50s", m.Name, m.Desc)
-		for _, sys := range systems {
-			res, err := opt.measurePipeline(m.Progs[sys], alphasim.DefaultConfig())
-			if err != nil {
-				return err
-			}
-			slow := float64(res.Pipe.Cycles) / cCycles
+		for _, j := range rows[i].sys {
+			slow := float64(j.res.Pipe.Cycles) / cCycles
 			fmt.Fprintf(w, " %9s", fmtSlowdown(slow))
 		}
 		fmt.Fprintln(w)
@@ -276,15 +262,20 @@ func fmtSlowdown(s float64) string {
 // Table2 regenerates the baseline performance table: commands, native
 // instructions, fetch/decode and execute averages, and simulated cycles.
 func Table2(opt Options) error {
+	b := opt.newBatch()
+	var jobs []*job
+	for _, p := range table2Order(opt.scale()) {
+		jobs = append(jobs, b.measurePipeline(p, alphasim.DefaultConfig()))
+	}
+	if err := b.run(); err != nil {
+		return err
+	}
 	w := opt.out()
 	fmt.Fprintf(w, "Table 2: baseline interpreter performance\n\n")
 	fmt.Fprintf(w, "%-6s %-10s %8s %10s %14s %10s %8s %8s %12s\n",
 		"Lang", "Benchmark", "Size(KB)", "VCmds(K)", "NativeI(K)", "(startup)", "FD/cmd", "Ex/cmd", "Cycles(K)")
-	for _, p := range table2Order(opt.scale()) {
-		res, err := opt.measurePipeline(p, alphasim.DefaultConfig())
-		if err != nil {
-			return err
-		}
+	for _, j := range jobs {
+		res := j.res
 		fd, ex := res.PerCommand()
 		startup := ""
 		if res.StartupInstructions() > 0 && res.Program.System == core.SysPerl {
@@ -356,21 +347,37 @@ func Table3(opt Options) error {
 	return nil
 }
 
+// interpretedSuite returns the Table 2 suite minus the compiled-C rows —
+// the programs Fig1, Fig2 and MemModel iterate.
+func interpretedSuite(scale float64) []core.Program {
+	var out []core.Program
+	for _, p := range workloads.Suite(scale) {
+		if p.System == core.SysC {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
 // Fig1 regenerates the cumulative execute-instruction distributions: the
 // share of execute instructions covered by the top-x virtual commands.
 func Fig1(opt Options) error {
+	progs := interpretedSuite(opt.scale())
+	b := opt.newBatch()
+	jobs := make([]*job, len(progs))
+	for i, p := range progs {
+		jobs[i] = b.measure(p)
+	}
+	if err := b.run(); err != nil {
+		return err
+	}
 	w := opt.out()
 	fmt.Fprintf(w, "Figure 1: cumulative native instruction count distributions\n")
 	fmt.Fprintf(w, "(execute instructions covered by the top-x virtual commands)\n\n")
 	fmt.Fprintf(w, "%-18s %6s %6s %6s %6s %6s\n", "Benchmark", "top1", "top2", "top3", "top5", "top10")
-	for _, p := range workloads.Suite(opt.scale()) {
-		if p.System == core.SysC {
-			continue
-		}
-		res, err := opt.measure(p)
-		if err != nil {
-			return err
-		}
+	for i, p := range progs {
+		res := jobs[i].res
 		ops := res.Stats.Ops
 		sort.Slice(ops, func(a, b int) bool { return ops[a].Execute > ops[b].Execute })
 		var cum [5]float64
@@ -408,16 +415,19 @@ func max(a, b float64) float64 {
 // top virtual commands with their share of commands and of execute
 // instructions.
 func Fig2(opt Options) error {
+	progs := interpretedSuite(opt.scale())
+	b := opt.newBatch()
+	jobs := make([]*job, len(progs))
+	for i, p := range progs {
+		jobs[i] = b.measure(p)
+	}
+	if err := b.run(); err != nil {
+		return err
+	}
 	w := opt.out()
 	fmt.Fprintf(w, "Figure 2: virtual command and execute-instruction distributions\n\n")
-	for _, p := range workloads.Suite(opt.scale()) {
-		if p.System == core.SysC {
-			continue
-		}
-		res, err := opt.measure(p)
-		if err != nil {
-			return err
-		}
+	for i, p := range progs {
+		res := jobs[i].res
 		fmt.Fprintf(w, "%s:\n", p.ID())
 		ops := res.Stats.Ops
 		if p.System == core.SysJava {
@@ -448,17 +458,20 @@ func bar(pct float64) string {
 
 // MemModel regenerates the §3.3 memory-model measurements.
 func MemModel(opt Options) error {
+	progs := interpretedSuite(opt.scale())
+	b := opt.newBatch()
+	jobs := make([]*job, len(progs))
+	for i, p := range progs {
+		jobs[i] = b.measure(p)
+	}
+	if err := b.run(); err != nil {
+		return err
+	}
 	w := opt.out()
 	fmt.Fprintf(w, "Section 3.3: memory model costs\n\n")
 	fmt.Fprintf(w, "%-18s %-12s %10s %12s %8s\n", "Benchmark", "Region", "Accesses", "Instr/access", "%total")
-	for _, p := range workloads.Suite(opt.scale()) {
-		if p.System == core.SysC {
-			continue
-		}
-		res, err := opt.measure(p)
-		if err != nil {
-			return err
-		}
+	for i, p := range progs {
+		res := jobs[i].res
 		total := float64(res.NativeInstructions())
 		for _, region := range res.Stats.Regions {
 			if region.Accesses == 0 {
@@ -478,25 +491,26 @@ func MemModel(opt Options) error {
 // Fig3 regenerates the issue-slot stall distributions for the interpreted
 // suite and the native baselines.
 func Fig3(opt Options) error {
+	progs := append(workloads.NativeSuite(opt.scale()), workloads.Suite(opt.scale())...)
+	b := opt.newBatch()
+	jobs := make([]*job, len(progs))
+	for i, p := range progs {
+		jobs[i] = b.measurePipeline(p, alphasim.DefaultConfig())
+	}
+	if err := b.run(); err != nil {
+		return err
+	}
 	w := opt.out()
 	fmt.Fprintf(w, "Figure 3: overall execution behavior (%% of issue slots)\n\n")
 	fmt.Fprintf(w, "%-18s %5s %6s %6s %6s %6s %6s %6s %6s %6s\n",
 		"Benchmark", "busy", "other", "shint", "load", "mispr", "dtlb", "itlb", "dmiss", "imiss")
-	progs := append(workloads.NativeSuite(opt.scale()), workloads.Suite(opt.scale())...)
-	for _, p := range progs {
-		if err := fig3Row(opt, p); err != nil {
-			return err
-		}
+	for i, p := range progs {
+		fig3Row(w, p, jobs[i].res)
 	}
 	return nil
 }
 
-func fig3Row(opt Options, p core.Program) error {
-	w := opt.out()
-	res, err := opt.measurePipeline(p, alphasim.DefaultConfig())
-	if err != nil {
-		return err
-	}
+func fig3Row(w io.Writer, p core.Program, res core.Result) {
 	st := res.Pipe
 	width := 2
 	fmt.Fprintf(w, "%-18s %4.0f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%%\n",
@@ -510,21 +524,13 @@ func fig3Row(opt Options, p core.Program) error {
 		100*st.StallFrac(alphasim.CauseITLB, width),
 		100*st.StallFrac(alphasim.CauseDMiss, width),
 		100*st.StallFrac(alphasim.CauseIMiss, width))
-	return nil
 }
 
 // Fig4 regenerates the instruction-cache sweeps: miss rate per 100
 // instructions across sizes and associativities for the Java, Perl and
 // Tcl suites (plus MIPSI des for contrast).
 func Fig4(opt Options) error {
-	w := opt.out()
-	fmt.Fprintf(w, "Figure 4: instruction cache behavior (misses per 100 instructions)\n\n")
-	fmt.Fprintf(w, "%-18s", "Benchmark")
-	sweepCfg := alphasim.DefaultICacheSweep()
-	for _, pt := range sweepCfg.Points() {
-		fmt.Fprintf(w, " %9s", pt.Label())
-	}
-	fmt.Fprintln(w)
+	var progs []core.Program
 	for _, p := range workloads.Suite(opt.scale()) {
 		switch p.System {
 		case core.SysC:
@@ -534,12 +540,28 @@ func Fig4(opt Options) error {
 				continue
 			}
 		}
-		sweep := alphasim.DefaultICacheSweep()
-		if _, err := opt.measureSweep(p, sweep); err != nil {
-			return err
-		}
+		progs = append(progs, p)
+	}
+	b := opt.newBatch()
+	sweeps := make([]*alphasim.ICacheSweep, len(progs))
+	for i, p := range progs {
+		// Each job gets a private sweep; jobs run concurrently.
+		sweeps[i] = alphasim.DefaultICacheSweep()
+		b.measureSweep(p, sweeps[i])
+	}
+	if err := b.run(); err != nil {
+		return err
+	}
+	w := opt.out()
+	fmt.Fprintf(w, "Figure 4: instruction cache behavior (misses per 100 instructions)\n\n")
+	fmt.Fprintf(w, "%-18s", "Benchmark")
+	for _, pt := range alphasim.DefaultICacheSweep().Points() {
+		fmt.Fprintf(w, " %9s", pt.Label())
+	}
+	fmt.Fprintln(w)
+	for i, p := range progs {
 		fmt.Fprintf(w, "%-18s", p.ID())
-		for _, pt := range sweep.Points() {
+		for _, pt := range sweeps[i].Points() {
 			fmt.Fprintf(w, " %9.2f", pt.MissPer100())
 		}
 		fmt.Fprintln(w)

@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"interplab/internal/alphasim"
+	"interplab/internal/core"
+)
+
+// This file is the parallel measurement scheduler.  The experiments'
+// measurements are mutually independent — every core.Measure* call runs
+// against a fresh image/probe/OS — so each experiment enumerates its jobs
+// (program × config) into a batch, the batch fans them out over
+// Options.Parallelism workers, and results are collected in submission
+// order.  Because rendering and manifest/profile recording happen only at
+// collect time, in submission order, the rendered tables, manifest
+// entries, and merged profiles are byte-identical to a serial run; the
+// only observable differences are wall time and the lanes concurrent
+// spans land on in the Chrome trace.
+//
+// On failure the first error in submission order is returned and nothing
+// after it is recorded, matching the serial path's stop-at-first-error
+// semantics (workers stop claiming jobs once any job has failed, so later
+// jobs may simply never run).
+
+// job is one enqueued measurement: what to measure, and — after the batch
+// ran — its result.
+type job struct {
+	kind  string // "measure", "pipeline", "sweep"
+	prog  core.Program
+	cfg   alphasim.Config       // pipeline jobs
+	sweep *alphasim.ICacheSweep // sweep jobs
+
+	res core.Result
+	err error
+	dur time.Duration
+	ran bool
+}
+
+// batch accumulates an experiment's measurement jobs and runs them.
+type batch struct {
+	opt  Options
+	jobs []*job
+}
+
+// newBatch starts an empty batch carrying the experiment's options.
+func (o Options) newBatch() *batch { return &batch{opt: o} }
+
+// measure enqueues a software-metrics measurement of p.
+func (b *batch) measure(p core.Program) *job {
+	j := &job{kind: "measure", prog: p}
+	b.jobs = append(b.jobs, j)
+	return j
+}
+
+// measurePipeline enqueues a measurement of p through the simulated
+// processor.
+func (b *batch) measurePipeline(p core.Program, cfg alphasim.Config) *job {
+	j := &job{kind: "pipeline", prog: p, cfg: cfg}
+	b.jobs = append(b.jobs, j)
+	return j
+}
+
+// measureSweep enqueues a measurement of p through the instruction-cache
+// sweep.  The sweep must be private to this job: workers run concurrently.
+func (b *batch) measureSweep(p core.Program, sweep *alphasim.ICacheSweep) *job {
+	j := &job{kind: "sweep", prog: p, sweep: sweep}
+	b.jobs = append(b.jobs, j)
+	return j
+}
+
+// run executes every enqueued job on the configured number of workers,
+// then records results into the manifest and profile set in submission
+// order.  It returns the first (submission-order) error, recording only
+// the measurements before it.
+func (b *batch) run() error {
+	workers := b.opt.parallelism()
+	if workers > len(b.jobs) {
+		workers = len(b.jobs)
+	}
+	if workers <= 1 {
+		// Serial path: execute in submission order on the main trace
+		// lane, exactly the pre-scheduler behavior.
+		for _, j := range b.jobs {
+			b.exec(j, 0)
+			if j.err != nil {
+				break
+			}
+		}
+	} else {
+		// Jobs are claimed in submission order via an atomic cursor; once
+		// any job fails, workers stop claiming.  Every job with a smaller
+		// index than a claimed one has itself been claimed, so after
+		// wg.Wait the prefix up to the first error is fully measured.
+		var (
+			cursor atomic.Int64
+			failed atomic.Bool
+			wg     sync.WaitGroup
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			// Lane 1 is the experiment's main line; workers get 2..n+1.
+			go func(lane int) {
+				defer wg.Done()
+				for !failed.Load() {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(b.jobs) {
+						return
+					}
+					b.exec(b.jobs[i], lane)
+					if b.jobs[i].err != nil {
+						failed.Store(true)
+						return
+					}
+				}
+			}(w + 2)
+		}
+		wg.Wait()
+	}
+	for _, j := range b.jobs {
+		if j.err != nil {
+			return j.err
+		}
+		if !j.ran {
+			// Only reachable when a later-indexed job failed; stop
+			// recording where the serial path would have stopped.
+			continue
+		}
+		b.opt.record(j.kind, j.res, j.dur, j.sweep)
+	}
+	return nil
+}
+
+// exec performs one job on the given trace lane (0 = main lane).
+func (b *batch) exec(j *job, lane int) {
+	o := b.opt
+	args := []any{"program", j.prog.ID()}
+	switch j.kind {
+	case "pipeline":
+		args = append(args, "sink", "pipeline")
+	case "sweep":
+		args = append(args, "sink", "icache-sweep")
+	}
+	span := o.Tracer.StartOn(lane, "measure "+j.prog.ID(), args...)
+	defer span.End()
+	opts := o.measureOpts()
+	if lane > 0 {
+		opts = append(opts, core.WithTraceLane(lane))
+	}
+	start := time.Now()
+	switch j.kind {
+	case "measure":
+		j.res, j.err = core.Measure(j.prog, opts...)
+	case "pipeline":
+		j.res, j.err = core.MeasureWithPipeline(j.prog, j.cfg, opts...)
+	case "sweep":
+		j.res, j.err = core.MeasureWithSweep(j.prog, j.sweep, opts...)
+	}
+	j.dur = time.Since(start)
+	j.ran = true
+}

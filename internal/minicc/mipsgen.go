@@ -42,7 +42,11 @@ type mipsGen struct {
 	unit    *Unit
 	buf     strings.Builder
 	strings map[string]string // literal -> label
-	nlabel  int
+	// strOrder keeps literals in first-use order: the string pool must lay
+	// out identically on every compile or guest data addresses (and with
+	// them the emitted event stream) would vary run to run.
+	strOrder []string
+	nlabel   int
 	fn      *FuncDecl
 	epi     string
 	brks    []string
@@ -67,6 +71,7 @@ func (g *mipsGen) strLabel(s []byte) string {
 	}
 	l := g.newLabel("str")
 	g.strings[key] = l
+	g.strOrder = append(g.strOrder, key)
 	return l
 }
 
@@ -138,9 +143,9 @@ func (g *mipsGen) run() error {
 		}
 		g.emit(".align 2")
 	}
-	// String pool.
-	for key, label := range g.strings {
-		g.label(label)
+	// String pool, in first-use order.
+	for _, key := range g.strOrder {
+		g.label(g.strings[key])
 		fmt.Fprintf(&g.buf, "\t.asciiz %s\n", quoteAsm([]byte(key)))
 	}
 	return nil

@@ -1,0 +1,74 @@
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"testing"
+)
+
+// fuzzSeedProfile builds a small but representative profile whose WritePprof
+// bytes seed the corpus: multi-frame stacks, several value dimensions, and
+// routine addresses, so mutations start from a structurally valid file.
+func fuzzSeedProfile() *Profile {
+	p := &Profile{
+		Program: "Tcl/des",
+		Samples: []Sample{
+			{Stack: []string{"op:set", "phase:execute", "Tcl_SetVar"}, Values: [NumSampleTypes]int64{100, 20, 5, 10, 1, 2}},
+			{Stack: []string{"dispatch", "phase:fetch_decode", "Tcl_Eval"}, Values: [NumSampleTypes]int64{400, 40, 8, 60, 3, 4}},
+			{Stack: []string{"startup"}, Values: [NumSampleTypes]int64{7, 0, 0, 0, 0, 0}},
+		},
+		addrs: map[string]uint64{"Tcl_SetVar": 0x401000, "Tcl_Eval": 0x402000},
+	}
+	sortSamples(p.Samples)
+	return p
+}
+
+// FuzzPprofParse throws arbitrary bytes at the pprof reader: any input —
+// truncated gzip, corrupt protobuf framing, hostile varints, giant length
+// prefixes — must come back as an error or a parsed profile, never a panic
+// or an out-of-range slice access.
+func FuzzPprofParse(f *testing.F) {
+	var valid bytes.Buffer
+	if err := fuzzSeedProfile().WritePprof(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	// Truncated at an arbitrary interior point: gzip stream cut mid-member.
+	f.Add(valid.Bytes()[:valid.Len()/2])
+	// Valid gzip wrapping garbage protobuf bytes.
+	var junk bytes.Buffer
+	zw := gzip.NewWriter(&junk)
+	zw.Write([]byte{0xff, 0xff, 0xff, 0xff, 0x01, 0x02, 0x7f, 0x80, 0x80, 0x80})
+	zw.Close()
+	f.Add(junk.Bytes())
+	// Not gzip at all.
+	f.Add([]byte("not a pprof file"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParsePprof(bytes.NewReader(data))
+		if err == nil && p == nil {
+			t.Fatal("nil profile with nil error")
+		}
+	})
+}
+
+// TestPprofRoundTripThroughParser anchors the fuzz seed: the writer's own
+// output must parse back with the same sample types and stacks.
+func TestPprofRoundTripThroughParser(t *testing.T) {
+	want := fuzzSeedProfile()
+	var buf bytes.Buffer
+	if err := want.WritePprof(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParsePprof(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.SampleTypes) != NumSampleTypes {
+		t.Fatalf("got %d sample types, want %d", len(got.SampleTypes), NumSampleTypes)
+	}
+	if len(got.Samples) != len(want.Samples) {
+		t.Fatalf("got %d samples, want %d", len(got.Samples), len(want.Samples))
+	}
+}

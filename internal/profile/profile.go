@@ -25,6 +25,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Sample value indices.  Every sample carries all NumSampleTypes values;
@@ -296,8 +297,11 @@ func pct(v, total int64) float64 {
 }
 
 // Set accumulates the per-program profiles of a harness run.  A nil Set is
-// a valid no-op receiver, so recording code need not branch.
+// a valid no-op receiver, so recording code need not branch.  Adds from
+// concurrent measurement workers are safe; the harness's ordered collect
+// still adds in submission order, so the merge stays deterministic.
 type Set struct {
+	mu    sync.Mutex
 	m     map[string]*Profile
 	order []string
 }
@@ -312,6 +316,8 @@ func (s *Set) Add(p *Profile) {
 	if s == nil || p == nil {
 		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	have, ok := s.m[p.Program]
 	if !ok {
 		s.m[p.Program] = p
@@ -326,6 +332,8 @@ func (s *Set) Profiles() []*Profile {
 	if s == nil {
 		return nil
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]*Profile, 0, len(s.order))
 	for _, id := range s.order {
 		out = append(out, s.m[id])
@@ -341,6 +349,8 @@ func (s *Set) Merged() *Profile {
 	if s == nil {
 		return out
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	ids := append([]string(nil), s.order...)
 	sort.Strings(ids)
 	for _, id := range ids {

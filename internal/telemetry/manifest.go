@@ -34,13 +34,20 @@ type Manifest struct {
 type RunConfig struct {
 	Scale       float64  `json:"scale"`
 	Experiments []string `json:"experiments"`
+	// Parallelism is the measurement worker count the run was scheduled
+	// with (schema v1 additive field; 0 in records that predate it).
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // RunEntry is one experiment's record: the exact text a direct run would
 // have printed, plus the structured per-program measurements behind it.
 type RunEntry struct {
-	ID           string            `json:"id"`
-	Text         string            `json:"text"`
+	ID   string `json:"id"`
+	Text string `json:"text"`
+	// Error holds the failure message when the experiment errored; Text
+	// stays empty then, but DurationUS is still recorded so failed runs
+	// are visible in the manifest (schema v1 additive field).
+	Error        string            `json:"error,omitempty"`
 	DurationUS   float64           `json:"duration_us,omitempty"`
 	Measurements []Measurement     `json:"measurements,omitempty"`
 	Profiles     []ProfileArtifact `json:"profiles,omitempty"`

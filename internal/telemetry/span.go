@@ -25,9 +25,10 @@ type TraceEvent struct {
 
 // Tracer records spans of the experiment pipeline.  A nil *Tracer is the
 // disabled state: Start returns a nil *Span and everything no-ops.  The
-// tracer is safe for concurrent Start/End, though the lab's pipeline is
-// sequential; all spans land on one pid/tid so nesting renders as a flame
-// graph.
+// tracer is safe for concurrent Start/End.  Spans started with Start land
+// on lane (Chrome tid) 1 and render as one flame graph; the parallel
+// measurement scheduler uses StartOn to give each worker its own lane, so
+// concurrent measurements render side by side instead of overlapping.
 type Tracer struct {
 	mu     sync.Mutex
 	events []TraceEvent
@@ -47,17 +48,29 @@ type Span struct {
 	tracer *Tracer
 	name   string
 	cat    string
+	tid    int
 	begin  time.Time
 	args   map[string]any
 }
 
-// Start opens a span.  Args are alternating key, value pairs attached to
-// the trace event ("program", "Tcl/des").  Returns nil when t is nil.
+// Start opens a span on lane 1, the main line.  Args are alternating key,
+// value pairs attached to the trace event ("program", "Tcl/des").  Returns
+// nil when t is nil.
 func (t *Tracer) Start(name string, args ...any) *Span {
+	return t.StartOn(1, name, args...)
+}
+
+// StartOn opens a span on the given lane (Chrome trace tid, >= 1).
+// Concurrent workers pass distinct lanes so their spans render as parallel
+// tracks in chrome://tracing / Perfetto.
+func (t *Tracer) StartOn(lane int, name string, args ...any) *Span {
 	if t == nil {
 		return nil
 	}
-	s := &Span{tracer: t, name: name, begin: t.now()}
+	if lane < 1 {
+		lane = 1
+	}
+	s := &Span{tracer: t, name: name, tid: lane, begin: t.now()}
 	if len(args) >= 2 {
 		s.args = make(map[string]any, len(args)/2)
 		for i := 0; i+1 < len(args); i += 2 {
@@ -93,7 +106,7 @@ func (s *Span) End() {
 		Ts:   float64(s.begin.Sub(t.epoch)) / float64(time.Microsecond),
 		Dur:  float64(end.Sub(s.begin)) / float64(time.Microsecond),
 		Pid:  1,
-		Tid:  1,
+		Tid:  s.tid,
 		Args: s.args,
 	})
 	t.mu.Unlock()

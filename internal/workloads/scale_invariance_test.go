@@ -1,0 +1,73 @@
+package workloads
+
+import (
+	"testing"
+
+	"interplab/internal/core"
+)
+
+// TestEventRatiosScaleInvariant is a differential check on the four
+// interpreters: the per-native-instruction event mix (loads, stores,
+// conditional branches per emitted instruction) is a property of the
+// interpreter's implementation, not of the workload size, so doubling the
+// des workload must leave the ratios essentially unchanged.  A drift here
+// means some fixed-cost path (startup, compilation) is leaking into the
+// steady-state mix, or an interpreter's cost model has become
+// size-dependent — either would silently skew every table in the study.
+func TestEventRatiosScaleInvariant(t *testing.T) {
+	interps := []struct {
+		name string
+		mk   func(blocks int) core.Program
+	}{
+		{"MIPSI", DESMIPSI},
+		{"Java", DESJava},
+		{"Perl", DESPerl},
+		{"Tcl", DESTcl},
+	}
+	type mix struct{ loads, stores, branches float64 }
+	ratios := func(t *testing.T, p core.Program) mix {
+		t.Helper()
+		res, err := core.Measure(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.ID(), err)
+		}
+		tot := float64(res.Counter.Total)
+		if tot == 0 {
+			t.Fatalf("%s: empty event stream", p.ID())
+		}
+		return mix{
+			loads:    float64(res.Counter.Loads()) / tot,
+			stores:   float64(res.Counter.Stores()) / tot,
+			branches: float64(res.Counter.Branches()) / tot,
+		}
+	}
+	// Startup work (binary load, bytecode compile, script parse) is a fixed
+	// cost, so its share shrinks as the workload grows; 12% relative slack
+	// absorbs that while still catching a genuinely size-dependent mix
+	// (empirically the drift between these sizes stays under 8%).
+	const tolerance = 0.12
+	check := func(t *testing.T, what string, a, b float64) {
+		t.Helper()
+		if a <= 0 || b <= 0 {
+			t.Fatalf("%s ratio not positive: %g vs %g", what, a, b)
+		}
+		hi := a
+		if b > hi {
+			hi = b
+		}
+		if diff := a - b; diff < -tolerance*hi || diff > tolerance*hi {
+			t.Errorf("%s per instruction drifts with scale: %.5f vs %.5f", what, a, b)
+		}
+	}
+	for _, in := range interps {
+		in := in
+		t.Run(in.name, func(t *testing.T) {
+			t.Parallel()
+			small := ratios(t, in.mk(4))
+			large := ratios(t, in.mk(8))
+			check(t, "loads", small.loads, large.loads)
+			check(t, "stores", small.stores, large.stores)
+			check(t, "branches", small.branches, large.branches)
+		})
+	}
+}
