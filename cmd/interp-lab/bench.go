@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 
 	"interplab/internal/core"
 	"interplab/internal/harness"
+	"interplab/internal/rescache"
 	"interplab/internal/telemetry"
 	"interplab/internal/workloads"
 )
@@ -43,11 +45,23 @@ type benchReport struct {
 	SchedSerial     benchResult `json:"sched_serial"`
 	SchedParallel   benchResult `json:"sched_parallel"`
 	SchedSpeedupX   float64     `json:"sched_speedup_x"`
+
+	// Measurement-cache arm: all nine experiments, first against an empty
+	// cache (cold: every job measured and stored), then again (warm: every
+	// job restored from disk).  The rendered text is verified byte-identical
+	// between the arms; warm Events is 0 because no native-instruction
+	// stream is replayed on a hit.
+	CacheExperiments int         `json:"cache_experiments"`
+	CacheCold        benchResult `json:"cache_cold"`
+	CacheWarm        benchResult `json:"cache_warm"`
+	CacheSpeedupX    float64     `json:"cache_speedup_x"`
 }
 
 // cmdBenchTelemetry wall-times a small harness measurement with telemetry
-// disabled and enabled and writes the throughput comparison to out.
-func cmdBenchTelemetry(out string, scale float64) {
+// disabled and enabled and writes the throughput comparison to out.  With
+// -cache dir the measurement-cache arm runs there (the dir is cleared to
+// guarantee a cold start); otherwise it uses a throwaway temp dir.
+func cmdBenchTelemetry(out string, scale float64, cacheDir string) {
 	if scale <= 0 {
 		fatalf("-scale must be > 0 (got %g)", scale)
 	}
@@ -89,6 +103,12 @@ func cmdBenchTelemetry(out string, scale float64) {
 	if rep.SchedParallel.BestSeconds > 0 {
 		rep.SchedSpeedupX = rep.SchedSerial.BestSeconds / rep.SchedParallel.BestSeconds
 	}
+
+	rep.CacheExperiments = len(harness.Experiments)
+	rep.CacheCold, rep.CacheWarm = cacheArms(scale, cacheDir)
+	if rep.CacheWarm.BestSeconds > 0 {
+		rep.CacheSpeedupX = rep.CacheCold.BestSeconds / rep.CacheWarm.BestSeconds
+	}
 	f, err := os.Create(out)
 	if err != nil {
 		fatalf("%v", err)
@@ -107,6 +127,67 @@ func cmdBenchTelemetry(out string, scale float64) {
 	fmt.Printf("scheduler %s: serial %.2fs, parallel(%d) %.2fs (%.2fx)\n",
 		rep.SchedExperiment, rep.SchedSerial.BestSeconds, rep.Parallelism,
 		rep.SchedParallel.BestSeconds, rep.SchedSpeedupX)
+	fmt.Printf("cache (%d experiments): cold %.2fs, warm %.2fs (%.1fx)\n",
+		rep.CacheExperiments, rep.CacheCold.BestSeconds, rep.CacheWarm.BestSeconds, rep.CacheSpeedupX)
+}
+
+// cacheArms times a cold run of every experiment against an empty
+// measurement cache, then a warm run against the entries the cold run
+// stored.  Warm is best-of-2: the second warm run confirms hits stay hits.
+// The two arms' rendered text is compared byte for byte — a mismatch means
+// the cache broke determinism, which is fatal here exactly as it would be
+// in the determinism golden test.
+func cacheArms(scale float64, dir string) (cold, warm benchResult) {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "interp-lab-bench-cache-")
+		if err != nil {
+			fatalf("bench cache: %v", err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	cache, err := rescache.Open(dir, false)
+	if err != nil {
+		fatalf("bench cache: %v", err)
+	}
+	// A restored CI cache or prior bench run must not warm the cold arm.
+	if err := cache.Clear(); err != nil {
+		fatalf("bench cache: %v", err)
+	}
+	coldText, coldRes := cacheRun(cache, scale)
+	warmText, warmRes := cacheRun(cache, scale)
+	warmText2, warmRes2 := cacheRun(cache, scale)
+	if warmRes2.BestSeconds < warmRes.BestSeconds {
+		warmRes = warmRes2
+	}
+	if warmText != coldText || warmText2 != coldText {
+		fatalf("bench cache: warm output differs from cold output (cache broke determinism)")
+	}
+	return coldRes, warmRes
+}
+
+// cacheRun renders every experiment once through the given cache and
+// returns the text plus wall time.  Events counts the native instructions
+// actually measured: a fully warm run reports 0.
+func cacheRun(cache *rescache.Cache, scale float64) (string, benchResult) {
+	var buf bytes.Buffer
+	reg := telemetry.NewRegistry()
+	opt := harness.Options{Scale: scale, Out: &buf, Cache: cache, Telemetry: reg}
+	start := time.Now()
+	for k, id := range harness.Experiments {
+		if k > 0 {
+			buf.WriteByte('\n')
+		}
+		if err := harness.Run(id, opt); err != nil {
+			fatalf("bench cache %s: %v", id, err)
+		}
+	}
+	el := time.Since(start)
+	r := benchResult{Events: reg.Counter("core.events").Value(), BestSeconds: el.Seconds()}
+	if el > 0 {
+		r.EventsPerSec = float64(r.Events) / el.Seconds()
+	}
+	return buf.String(), r
 }
 
 // schedArm measures best-of-n wall time for one harness experiment at the

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	interp-lab [-scale f] [-parallel n] [-json manifest.json] [-trace trace.json] experiment...
+//	interp-lab [-scale f] [-parallel n] [-cache dir] [-json manifest.json] [-trace trace.json] experiment...
 //	interp-lab profile [-scale f] [-pprof file] [-folded file] [-top n] [-value type] [-json file] experiment
+//	interp-lab cache [-dir d] [-max-age dur] stats|gc|clear|fingerprint
 //	interp-lab list
 //	interp-lab report manifest.json
 //	interp-lab bench-telemetry [file]
@@ -13,13 +14,16 @@
 // Experiments: table1 table2 table3 fig1 fig2 fig3 fig4 memmodel ablation,
 // or "all".  -parallel fans each experiment's measurements out over n
 // workers (default GOMAXPROCS; output is byte-identical to -parallel 1).
-// -json writes a versioned machine-readable run manifest that
-// `interp-lab report` re-renders to the exact text of a direct run; -trace
-// writes a Chrome trace-event file of the run's span hierarchy for
-// chrome://tracing or Perfetto.  The profile subcommand attaches the
-// attribution profiler and exports per-routine/per-opcode profiles as
-// pprof (go tool pprof) and folded stacks (flamegraphs); see
-// docs/OBSERVABILITY.md.
+// -cache memoizes every measurement in a content-addressed on-disk cache:
+// a re-run of unchanged experiments on the same build restores results
+// instead of re-measuring, with byte-identical output (-cache-readonly
+// consults without writing; see docs/CACHING.md).  -json writes a
+// versioned machine-readable run manifest that `interp-lab report`
+// re-renders to the exact text of a direct run; -trace writes a Chrome
+// trace-event file of the run's span hierarchy for chrome://tracing or
+// Perfetto.  The profile subcommand attaches the attribution profiler and
+// exports per-routine/per-opcode profiles as pprof (go tool pprof) and
+// folded stacks (flamegraphs); see docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -30,12 +34,14 @@ import (
 	"runtime"
 
 	"interplab/internal/harness"
+	"interplab/internal/rescache"
 	"interplab/internal/telemetry"
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: interp-lab [-scale f] [-parallel n] [-json file] [-trace file] experiment...
+	fmt.Fprintf(os.Stderr, `usage: interp-lab [-scale f] [-parallel n] [-cache dir [-cache-readonly]] [-json file] [-trace file] experiment...
        interp-lab profile [-scale f] [-pprof file] [-folded file] [-top n] [-value type] [-json file] experiment
+       interp-lab cache [-dir d] [-max-age dur] stats|gc|clear|fingerprint
        interp-lab list
        interp-lab report manifest.json
        interp-lab bench-telemetry [file]
@@ -49,6 +55,8 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "measurement workers per experiment (1 = serial; output is identical)")
 	jsonOut := flag.String("json", "", "write a machine-readable run manifest to `file`")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event file to `file`")
+	cacheDir := flag.String("cache", "", "memoize measurements in the cache at `dir` (see docs/CACHING.md)")
+	cacheRO := flag.Bool("cache-readonly", false, "with -cache: consult the cache without writing new entries")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -75,23 +83,37 @@ func main() {
 		}
 		return
 	case "profile":
-		cmdProfile(args[1:], *scale)
+		cmdProfile(args[1:], *scale, *cacheDir, *cacheRO)
+		return
+	case "cache":
+		cmdCache(args[1:])
 		return
 	case "bench-telemetry":
 		out := "BENCH_telemetry.json"
 		if len(args) > 1 {
 			out = args[1]
 		}
-		cmdBenchTelemetry(out, *scale)
+		cmdBenchTelemetry(out, *scale, *cacheDir)
 		return
 	}
 	if *scale <= 0 {
-		fatalf("-scale must be > 0 (got %g)", *scale)
+		usageFatalf("-scale must be > 0 (got %g)", *scale)
 	}
-	if *parallel < 1 {
-		fatalf("-parallel must be >= 1 (got %d)", *parallel)
+	if err := validateParallel(*parallel); err != nil {
+		usageFatalf("%v", err)
 	}
-	cmdRun(args, *scale, *parallel, *jsonOut, *traceOut)
+	cmdRun(args, *scale, *parallel, *jsonOut, *traceOut, openCacheFlags(*cacheDir, *cacheRO))
+}
+
+// validateParallel rejects worker counts the scheduler cannot honor.  Both
+// zero and negative values are errors at the CLI (the library treats 0 as
+// "use GOMAXPROCS", but a user typing -parallel 0 or -parallel -4 almost
+// certainly made a mistake).
+func validateParallel(n int) error {
+	if n < 1 {
+		return fmt.Errorf("-parallel must be >= 1 (got %d)", n)
+	}
+	return nil
 }
 
 func fatalf(format string, args ...any) {
@@ -99,13 +121,38 @@ func fatalf(format string, args ...any) {
 	os.Exit(1)
 }
 
+// usageFatalf reports a bad invocation: the error, then the usage block,
+// exiting 2 as flag-parse errors do.
+func usageFatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "interp-lab: "+format+"\n\n", args...)
+	usage()
+	os.Exit(2)
+}
+
+// openCacheFlags resolves the -cache/-cache-readonly pair into an open
+// cache, or nil when -cache was not given.
+func openCacheFlags(dir string, readonly bool) *rescache.Cache {
+	if dir == "" {
+		if readonly {
+			usageFatalf("-cache-readonly requires -cache dir")
+		}
+		return nil
+	}
+	c, err := rescache.Open(dir, readonly)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return c
+}
+
 // cmdRun executes the named experiments, optionally recording a run
-// manifest (-json) and a span trace (-trace).
-func cmdRun(ids []string, scale float64, parallel int, jsonOut, traceOut string) {
+// manifest (-json), a span trace (-trace), and memoizing measurements
+// (-cache).
+func cmdRun(ids []string, scale float64, parallel int, jsonOut, traceOut string, cache *rescache.Cache) {
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = harness.Experiments
 	}
-	opt := harness.Options{Scale: scale, Out: os.Stdout, Parallelism: parallel}
+	opt := harness.Options{Scale: scale, Out: os.Stdout, Parallelism: parallel, Cache: cache}
 	var reg *telemetry.Registry
 	var man *telemetry.Manifest
 	if jsonOut != "" {
@@ -128,11 +175,30 @@ func cmdRun(ids []string, scale float64, parallel int, jsonOut, traceOut string)
 		}
 	}
 	if man != nil {
+		man.Config.Cache = cacheInfo(cache)
 		man.AttachMetrics(reg)
 		writeFileVia(jsonOut, man.Write)
 	}
 	if opt.Tracer != nil {
 		writeFileVia(traceOut, opt.Tracer.WriteJSON)
+	}
+}
+
+// cacheInfo summarizes an attached cache for the manifest's config.cache
+// field; nil cache, nil summary.
+func cacheInfo(cache *rescache.Cache) *telemetry.CacheInfo {
+	if cache == nil {
+		return nil
+	}
+	hits, misses, puts, corrupt := cache.Counts()
+	return &telemetry.CacheInfo{
+		Dir:         cache.Dir(),
+		ReadOnly:    cache.ReadOnly(),
+		Fingerprint: rescache.Fingerprint(),
+		Hits:        hits,
+		Misses:      misses,
+		Puts:        puts,
+		Corrupt:     corrupt,
 	}
 }
 

@@ -9,8 +9,54 @@ import (
 	"testing"
 
 	"interplab/internal/harness"
+	"interplab/internal/rescache"
 	"interplab/internal/telemetry"
 )
+
+// TestValidateParallel pins the CLI contract for -parallel: any value
+// below 1 — including zero, which the library would treat as GOMAXPROCS —
+// is a usage error naming the offending value.
+func TestValidateParallel(t *testing.T) {
+	for _, n := range []int{-4, -1, 0} {
+		err := validateParallel(n)
+		if err == nil {
+			t.Errorf("validateParallel(%d) = nil, want error", n)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-parallel") {
+			t.Errorf("validateParallel(%d) error should mention the flag: %q", n, err)
+		}
+	}
+	for _, n := range []int{1, 2, 64} {
+		if err := validateParallel(n); err != nil {
+			t.Errorf("validateParallel(%d) = %v, want nil", n, err)
+		}
+	}
+}
+
+// TestCacheInfoSummarizesCounts covers the manifest config.cache summary:
+// nil cache yields no summary; an attached cache reports its directory,
+// mode, fingerprint and counters.
+func TestCacheInfoSummarizesCounts(t *testing.T) {
+	if cacheInfo(nil) != nil {
+		t.Error("cacheInfo(nil) should be nil")
+	}
+	dir := t.TempDir()
+	c, err := rescache.Open(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := cacheInfo(c)
+	if info == nil {
+		t.Fatal("cacheInfo returned nil for an open cache")
+	}
+	if info.Dir != dir || !info.ReadOnly {
+		t.Errorf("info = %+v, want dir %s readonly", info, dir)
+	}
+	if info.Fingerprint != rescache.Fingerprint() {
+		t.Errorf("fingerprint = %q, want %q", info.Fingerprint, rescache.Fingerprint())
+	}
+}
 
 // TestReportMalformedManifest pins the error contract: a truncated or
 // non-manifest file must fail with a single-line error naming the file,

@@ -16,7 +16,7 @@ import (
 // exports the result: per-program flat/cum tables and Table-2-style phase
 // splits on stdout, and optionally a merged pprof protobuf (-pprof), merged
 // folded stacks (-folded), and a manifest with profile artifacts (-json).
-func cmdProfile(args []string, defaultScale float64) {
+func cmdProfile(args []string, defaultScale float64, defaultCache string, defaultCacheRO bool) {
 	fs := flag.NewFlagSet("profile", flag.ExitOnError)
 	scale := fs.Float64("scale", defaultScale, "workload size multiplier (> 0)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "measurement workers (1 = serial; output is identical)")
@@ -25,8 +25,10 @@ func cmdProfile(args []string, defaultScale float64) {
 	topN := fs.Int("top", 10, "rows per flat/cum table (0 = all)")
 	value := fs.String("value", "instructions", "sample type for tables and -folded (instructions, loads, stores, branches, imiss, dmiss)")
 	jsonOut := fs.String("json", "", "write a run manifest with profile artifacts to `file`")
+	cacheDir := fs.String("cache", defaultCache, "memoize profiled measurements in the cache at `dir`")
+	cacheRO := fs.Bool("cache-readonly", defaultCacheRO, "with -cache: consult the cache without writing new entries")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: interp-lab profile [-scale f] [-parallel n] [-pprof file] [-folded file] [-top n] [-value type] [-json file] experiment\n")
+		fmt.Fprintf(os.Stderr, "usage: interp-lab profile [-scale f] [-parallel n] [-cache dir [-cache-readonly]] [-pprof file] [-folded file] [-top n] [-value type] [-json file] experiment\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -36,10 +38,10 @@ func cmdProfile(args []string, defaultScale float64) {
 		os.Exit(2)
 	}
 	if *scale <= 0 {
-		fatalf("-scale must be > 0 (got %g)", *scale)
+		usageFatalf("-scale must be > 0 (got %g)", *scale)
 	}
-	if *parallel < 1 {
-		fatalf("-parallel must be >= 1 (got %d)", *parallel)
+	if err := validateParallel(*parallel); err != nil {
+		usageFatalf("%v", err)
 	}
 	vi, ok := profile.SampleTypeIndex(*value)
 	if !ok {
@@ -47,7 +49,8 @@ func cmdProfile(args []string, defaultScale float64) {
 	}
 
 	set := profile.NewSet()
-	opt := harness.Options{Scale: *scale, Out: io.Discard, Profile: set, Parallelism: *parallel}
+	cache := openCacheFlags(*cacheDir, *cacheRO)
+	opt := harness.Options{Scale: *scale, Out: io.Discard, Profile: set, Parallelism: *parallel, Cache: cache}
 	var man *telemetry.Manifest
 	if *jsonOut != "" {
 		man = telemetry.NewManifest(*scale)
@@ -84,6 +87,7 @@ func cmdProfile(args []string, defaultScale float64) {
 		fmt.Fprintf(os.Stderr, "folded stacks -> %s\n", *foldedOut)
 	}
 	if man != nil {
+		man.Config.Cache = cacheInfo(cache)
 		writeFileVia(*jsonOut, man.Write)
 	}
 }

@@ -2,6 +2,7 @@ package alphasim
 
 import (
 	"fmt"
+	"strings"
 
 	"interplab/internal/trace"
 )
@@ -31,14 +32,15 @@ func (pt SweepPoint) Label() string { return fmt.Sprintf("%dKB/%dway", pt.SizeKB
 // over a single event stream, so Figure 4 needs only one pass per workload.
 // It implements trace.Sink.
 type ICacheSweep struct {
-	points []SweepPoint
-	caches []*Cache
+	points   []SweepPoint
+	caches   []*Cache
+	lineSize int
 }
 
 // NewICacheSweep builds a sweep over the cross product of sizes (in KB) and
 // associativities, with the given line size in bytes.
 func NewICacheSweep(sizesKB, assocs []int, lineSize int) *ICacheSweep {
-	s := &ICacheSweep{}
+	s := &ICacheSweep{lineSize: lineSize}
 	for _, kb := range sizesKB {
 		for _, a := range assocs {
 			s.points = append(s.points, SweepPoint{SizeKB: kb, Assoc: a})
@@ -71,6 +73,39 @@ func (s *ICacheSweep) Emit(e trace.Event) {
 
 // Points returns the accumulated sweep results.
 func (s *ICacheSweep) Points() []SweepPoint { return s.points }
+
+// Geometry returns a canonical description of the sweep's configuration
+// grid — "8KB/1way,8KB/2way,...@32B" — independent of any accumulated
+// counts.  The measurement cache uses it as the sweep part of its key: two
+// sweeps with equal geometry over the same program accumulate identical
+// points.
+func (s *ICacheSweep) Geometry() string {
+	var b strings.Builder
+	for i, pt := range s.points {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pt.Label())
+	}
+	fmt.Fprintf(&b, "@%dB", s.lineSize)
+	return b.String()
+}
+
+// RestorePoints overwrites the sweep's accumulated counts with pts, e.g.
+// from a cached measurement.  It reports whether pts matches the sweep's
+// geometry point for point; on a mismatch the sweep is left untouched.
+func (s *ICacheSweep) RestorePoints(pts []SweepPoint) bool {
+	if len(pts) != len(s.points) {
+		return false
+	}
+	for i, pt := range pts {
+		if pt.SizeKB != s.points[i].SizeKB || pt.Assoc != s.points[i].Assoc {
+			return false
+		}
+	}
+	copy(s.points, pts)
+	return true
+}
 
 // Point returns the result for one geometry.
 func (s *ICacheSweep) Point(sizeKB, assoc int) (SweepPoint, bool) {

@@ -20,6 +20,7 @@ import (
 	"interplab/internal/atom"
 	"interplab/internal/gfx"
 	"interplab/internal/profile"
+	"interplab/internal/rescache"
 	"interplab/internal/telemetry"
 	"interplab/internal/trace"
 	"interplab/internal/vfs"
@@ -66,6 +67,15 @@ type Program struct {
 	Name   string
 	Desc   string
 	Run    func(ctx *Ctx) error
+
+	// Variant distinguishes programs that share an ID but run the
+	// interpreter with different knobs (the ablation's flat-memory,
+	// threaded-dispatch, and cached-parse arms all measure "MIPSI/des"-
+	// style identities).  It does not appear in rendered output, but it is
+	// part of the measurement-cache key: two same-ID programs whose
+	// behavior differs MUST carry different variants, or the cache would
+	// hand one the other's result.
+	Variant string
 }
 
 // ID returns "system/name".
@@ -103,6 +113,12 @@ type Result struct {
 	// WithProfiling; nil otherwise.  For pipeline runs it includes
 	// cache-miss attribution.
 	Profile *profile.Profile
+
+	// FromCache reports that the result was restored from the measurement
+	// cache (WithCache) instead of executing the workload.  Restored
+	// results are byte-for-byte interchangeable with fresh ones except for
+	// Samples, which only a live stream produces.
+	FromCache bool
 }
 
 // Commands returns the virtual-command count.  For compiled C the paper
@@ -142,6 +158,18 @@ type measureConfig struct {
 	sampleEvery uint64
 	profiling   bool
 	lane        int
+
+	cache      *rescache.Cache
+	cacheScope rescache.Scope
+}
+
+// newMeasureConfig applies the options.
+func newMeasureConfig(opts []MeasureOption) measureConfig {
+	var mc measureConfig
+	for _, o := range opts {
+		o(&mc)
+	}
+	return mc
 }
 
 // MeasureOption configures optional telemetry on Measure* calls.
@@ -175,6 +203,17 @@ func WithTraceLane(lane int) MeasureOption {
 	return func(c *measureConfig) { c.lane = lane }
 }
 
+// WithCache consults (and fills) the measurement cache c before executing:
+// when an entry exists for the exact measurement — same lab build, same
+// scope (experiment, scale), same program, kind, processor configuration,
+// sweep geometry, and profiling mode — the Result is restored from disk
+// without running the workload, and Result.FromCache is set.  On a miss the
+// measurement runs normally and its result is stored (unless the cache is
+// readonly).  A nil cache is allowed and disables caching.
+func WithCache(c *rescache.Cache, scope rescache.Scope) MeasureOption {
+	return func(mc *measureConfig) { mc.cache = c; mc.cacheScope = scope }
+}
+
 // WithProfiling attaches an attribution-profile collector to the run: the
 // native-instruction stream is folded into call-stack samples keyed by
 // interpreter routine, virtual opcode, and phase, returned as
@@ -185,12 +224,78 @@ func WithProfiling() MeasureOption {
 	return func(c *measureConfig) { c.profiling = true }
 }
 
-// run executes p against a fresh environment with the given sink.
-func run(p Program, sink trace.Sink, opts ...MeasureOption) (Result, error) {
-	var mc measureConfig
-	for _, o := range opts {
-		o(&mc)
+// cacheKey builds the content address for one measurement of p under the
+// current cache scope.
+func (mc *measureConfig) cacheKey(p Program, kind, config, sweep string) rescache.Key {
+	return rescache.Key{
+		Schema:      rescache.SchemaVersion,
+		Fingerprint: rescache.Fingerprint(),
+		Experiment:  mc.cacheScope.Experiment,
+		Scale:       mc.cacheScope.Scale,
+		Kind:        kind,
+		Program:     p.ID(),
+		Variant:     p.Variant,
+		Config:      config,
+		Sweep:       sweep,
+		Profiling:   mc.profiling,
 	}
+}
+
+// lookup consults the cache for key and, on a hit that valid accepts,
+// restores the Result.  Hits and misses are counted in the run's telemetry
+// registry so manifests expose the cache's effectiveness.
+func (mc *measureConfig) lookup(p Program, key rescache.Key, valid func(*rescache.Entry) bool) (Result, bool) {
+	if mc.cache == nil {
+		return Result{}, false
+	}
+	e, ok := mc.cache.Get(key)
+	if ok && valid != nil && !valid(e) {
+		ok = false
+	}
+	if !ok {
+		mc.reg.Counter("core.cache_misses").Inc()
+		return Result{}, false
+	}
+	mc.reg.Counter("core.cache_hits").Inc()
+	span := mc.tracer.StartOn(mc.lane, "cached "+p.ID(), "program", p.ID())
+	span.End()
+	return Result{
+		Program:       p,
+		Stats:         e.Stats,
+		Counter:       e.Counter,
+		SizeBytes:     e.SizeBytes,
+		Pipe:          e.Pipe,
+		FrameChecksum: e.FrameChecksum,
+		Stdout:        e.Stdout,
+		Profile:       e.Profile,
+		FromCache:     true,
+	}, true
+}
+
+// store writes a fresh measurement into the cache.  A failed write is
+// counted but never fails the measurement: the result in hand is good, the
+// cache just stays cold for this key.
+func (mc *measureConfig) store(key rescache.Key, res Result, sweepPts []alphasim.SweepPoint) {
+	if mc.cache == nil {
+		return
+	}
+	e := &rescache.Entry{
+		SizeBytes:     res.SizeBytes,
+		Stdout:        res.Stdout,
+		FrameChecksum: res.FrameChecksum,
+		Counter:       res.Counter,
+		Stats:         res.Stats,
+		Pipe:          res.Pipe,
+		Sweep:         sweepPts,
+		Profile:       res.Profile,
+	}
+	if err := mc.cache.Put(key, e); err != nil {
+		mc.reg.Counter("core.cache_put_errors").Inc()
+	}
+}
+
+// run executes p against a fresh environment with the given sink.
+func run(p Program, sink trace.Sink, mc measureConfig) (Result, error) {
 	res := Result{Program: p}
 	var counter trace.Counter
 	var col *profile.Collector
@@ -264,23 +369,52 @@ func run(p Program, sink trace.Sink, opts ...MeasureOption) (Result, error) {
 }
 
 // Measure runs p and collects the software metrics only.
-func Measure(p Program, opts ...MeasureOption) (Result, error) { return run(p, nil, opts...) }
+func Measure(p Program, opts ...MeasureOption) (Result, error) {
+	mc := newMeasureConfig(opts)
+	key := mc.cacheKey(p, "measure", "", "")
+	if res, ok := mc.lookup(p, key, nil); ok {
+		return res, nil
+	}
+	res, err := run(p, nil, mc)
+	if err == nil {
+		mc.store(key, res, nil)
+	}
+	return res, err
+}
 
 // MeasureWithPipeline runs p with the trace streaming through a simulated
 // processor.
 func MeasureWithPipeline(p Program, cfg alphasim.Config, opts ...MeasureOption) (Result, error) {
+	mc := newMeasureConfig(opts)
+	key := mc.cacheKey(p, "pipeline", rescache.ConfigKey(cfg), "")
+	if res, ok := mc.lookup(p, key, func(e *rescache.Entry) bool { return e.Pipe != nil }); ok {
+		return res, nil
+	}
 	pipe := alphasim.New(cfg)
-	res, err := run(p, pipe, opts...)
+	res, err := run(p, pipe, mc)
 	if err != nil {
 		return res, err
 	}
 	st := pipe.Stats()
 	res.Pipe = &st
+	mc.store(key, res, nil)
 	return res, nil
 }
 
 // MeasureWithSweep runs p once while probing every geometry of the
-// instruction-cache sweep (Figure 4).
+// instruction-cache sweep (Figure 4).  On a cache hit the sweep's points
+// are restored from the entry, so callers reading sweep.Points() see the
+// same counts a live run would have accumulated.
 func MeasureWithSweep(p Program, sweep *alphasim.ICacheSweep, opts ...MeasureOption) (Result, error) {
-	return run(p, sweep, opts...)
+	mc := newMeasureConfig(opts)
+	key := mc.cacheKey(p, "sweep", "", sweep.Geometry())
+	restore := func(e *rescache.Entry) bool { return sweep.RestorePoints(e.Sweep) }
+	if res, ok := mc.lookup(p, key, restore); ok {
+		return res, nil
+	}
+	res, err := run(p, sweep, mc)
+	if err == nil {
+		mc.store(key, res, sweep.Points())
+	}
+	return res, err
 }

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"interplab/internal/alphasim"
 	"interplab/internal/atom"
+	"interplab/internal/rescache"
 	"interplab/internal/telemetry"
 )
 
@@ -157,6 +159,138 @@ func TestDisplayChecksumCaptured(t *testing.T) {
 }
 
 var _ = atom.CodeBase
+
+// openTestCache returns a writable cache in a per-test temp dir.
+func openTestCache(t *testing.T) (*rescache.Cache, rescache.Scope) {
+	t.Helper()
+	c, err := rescache.Open(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, rescache.Scope{Experiment: "core-test", Scale: 1}
+}
+
+// requireCacheFidelity compares a restored result against the fresh one it
+// was cached from: everything a renderer reads must survive the round trip.
+func requireCacheFidelity(t *testing.T, fresh, warm Result) {
+	t.Helper()
+	if fresh.FromCache {
+		t.Error("first measurement claims FromCache")
+	}
+	if !warm.FromCache {
+		t.Fatal("second measurement did not hit the cache")
+	}
+	if !reflect.DeepEqual(warm.Stats, fresh.Stats) {
+		t.Errorf("stats differ: %+v != %+v", warm.Stats, fresh.Stats)
+	}
+	if warm.Counter != fresh.Counter {
+		t.Errorf("counter differs: %+v != %+v", warm.Counter, fresh.Counter)
+	}
+	if warm.SizeBytes != fresh.SizeBytes || warm.FrameChecksum != fresh.FrameChecksum || warm.Stdout != fresh.Stdout {
+		t.Errorf("size/checksum/stdout differ: %d/%d/%q != %d/%d/%q",
+			warm.SizeBytes, warm.FrameChecksum, warm.Stdout,
+			fresh.SizeBytes, fresh.FrameChecksum, fresh.Stdout)
+	}
+}
+
+// TestMeasureCacheRoundTrip pins that a plain measurement restored from
+// the cache is indistinguishable from the fresh run that populated it.
+func TestMeasureCacheRoundTrip(t *testing.T) {
+	cache, scope := openTestCache(t)
+	p := toyProgram(SysPerl)
+	fresh, err := Measure(p, WithCache(cache, scope))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Measure(p, WithCache(cache, scope))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireCacheFidelity(t, fresh, warm)
+	hits, misses, puts, _ := cache.Counts()
+	if hits != 1 || misses != 1 || puts != 1 {
+		t.Errorf("counts = %d hits, %d misses, %d puts; want 1/1/1", hits, misses, puts)
+	}
+}
+
+// TestMeasureCachePipelineAndSweep pins fidelity for the two richer
+// measurement kinds: pipeline stats and sweep points must be restored, and
+// a pipeline entry must not satisfy a plain-measure or sweep lookup.
+func TestMeasureCachePipelineAndSweep(t *testing.T) {
+	cache, scope := openTestCache(t)
+	p := toyProgram(SysTcl)
+	cfg := alphasim.DefaultConfig()
+	fresh, err := MeasureWithPipeline(p, cfg, WithCache(cache, scope))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := MeasureWithPipeline(p, cfg, WithCache(cache, scope))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireCacheFidelity(t, fresh, warm)
+	if warm.Pipe == nil || *warm.Pipe != *fresh.Pipe {
+		t.Errorf("pipeline stats not restored: %+v != %+v", warm.Pipe, fresh.Pipe)
+	}
+
+	// A different kind of the same program must miss, not reuse the entry.
+	plain, err := Measure(p, WithCache(cache, scope))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.FromCache {
+		t.Error("plain measure hit a pipeline entry")
+	}
+
+	coldSweep := alphasim.DefaultICacheSweep()
+	if _, err := MeasureWithSweep(p, coldSweep, WithCache(cache, scope)); err != nil {
+		t.Fatal(err)
+	}
+	warmSweep := alphasim.DefaultICacheSweep()
+	res, err := MeasureWithSweep(p, warmSweep, WithCache(cache, scope))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FromCache {
+		t.Fatal("sweep re-measurement did not hit the cache")
+	}
+	if !reflect.DeepEqual(warmSweep.Points(), coldSweep.Points()) {
+		t.Errorf("sweep points not restored:\n%+v\nvs\n%+v", warmSweep.Points(), coldSweep.Points())
+	}
+}
+
+// TestMeasureCacheProfileRestored pins that a profiled measurement's
+// attribution profile survives the cache round trip (the folded output is
+// what the determinism golden test compares byte-for-byte).
+func TestMeasureCacheProfileRestored(t *testing.T) {
+	cache, scope := openTestCache(t)
+	p := toyProgram(SysJava)
+	fresh, err := Measure(p, WithCache(cache, scope), WithProfiling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Measure(p, WithCache(cache, scope), WithProfiling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireCacheFidelity(t, fresh, warm)
+	if warm.Profile == nil {
+		t.Fatal("profile not restored")
+	}
+	if !reflect.DeepEqual(warm.Profile.Samples, fresh.Profile.Samples) {
+		t.Errorf("profile samples differ after restore")
+	}
+
+	// An unprofiled lookup of the same program must not see the profiled
+	// entry (and vice versa): Profiling is part of the key.
+	plain, err := Measure(p, WithCache(cache, scope))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.FromCache {
+		t.Error("unprofiled measure hit a profiled entry")
+	}
+}
 
 // TestMeasureTelemetryFidelity pins that instrumenting a run with
 // telemetry does not perturb the measurement: stats, counters and pipeline

@@ -58,6 +58,7 @@ func Ablation(opt Options) error {
 		flat := flat
 		flatJobs[i] = b.measure(core.Program{
 			System: core.SysMIPSI, Name: "des",
+			Variant: map[bool]string{false: "page-tables", true: "flat-memory"}[flat],
 			Run: func(ctx *core.Ctx) error {
 				prog, err := minicc.CompileMIPS("des", minicc.WithStdlib(desSourceForAblation(blocks)))
 				if err != nil {
@@ -148,6 +149,7 @@ func enqueueDispatchAblation(b *batch, blocks int, scale float64) *dispatchAblat
 		threaded := threaded
 		da.mipsi[i] = b.measure(core.Program{
 			System: core.SysMIPSI, Name: "des",
+			Variant: map[bool]string{false: "switch-dispatch", true: "threaded-dispatch"}[threaded],
 			Run: func(ctx *core.Ctx) error {
 				prog, err := minicc.CompileMIPS("des", minicc.WithStdlib(desSourceForAblation(blocks)))
 				if err != nil {
@@ -172,6 +174,7 @@ func enqueueDispatchAblation(b *batch, blocks int, scale float64) *dispatchAblat
 		threaded := threaded
 		da.java[i] = b.measure(core.Program{
 			System: core.SysJava, Name: "des",
+			Variant: map[bool]string{false: "switch-dispatch", true: "threaded-dispatch"}[threaded],
 			Run: func(ctx *core.Ctx) error {
 				mod, err := minicc.CompileJVM("des", minicc.WithStdlibJVM(desSourceForAblation(jblocks)))
 				if err != nil {
@@ -200,6 +203,7 @@ func enqueueDispatchAblation(b *batch, blocks int, scale float64) *dispatchAblat
 		cached := cached
 		da.tcl[i] = b.measure(core.Program{
 			System: core.SysTcl, Name: "des",
+			Variant: map[bool]string{false: "re-parse", true: "cached-parse"}[cached],
 			Run: func(ctx *core.Ctx) error {
 				i := tcl.New(ctx.OS, ctx.Image, ctx.Probe)
 				i.CachedParse = cached

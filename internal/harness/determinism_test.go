@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"interplab/internal/profile"
+	"interplab/internal/rescache"
 	"interplab/internal/telemetry"
 )
 
@@ -16,16 +17,17 @@ import (
 var detScale = 0.1
 
 // detRun executes one experiment with a manifest and profile set attached
-// and returns everything the parallel scheduler promises to keep
-// byte-identical: the rendered text, the manifest run entries (wall times
-// zeroed — they vary even between two serial runs), and the merged folded
-// profile.
-func detRun(t *testing.T, id string, parallelism int) (text string, runs []byte, folded string) {
+// and returns everything the parallel scheduler and the measurement cache
+// promise to keep byte-identical: the rendered text, the manifest run
+// entries (wall times zeroed — they vary even between two serial runs —
+// and cache_hit zeroed, the one field that legitimately flips between a
+// cold and a warm run), and the merged folded profile.
+func detRun(t *testing.T, id string, parallelism int, cache *rescache.Cache) (text string, runs []byte, folded string, measured int) {
 	t.Helper()
 	var buf bytes.Buffer
 	man := telemetry.NewManifest(detScale)
 	set := profile.NewSet()
-	opt := Options{Scale: detScale, Out: &buf, Parallelism: parallelism, Manifest: man, Profile: set}
+	opt := Options{Scale: detScale, Out: &buf, Parallelism: parallelism, Manifest: man, Profile: set, Cache: cache}
 	if err := Run(id, opt); err != nil {
 		t.Fatalf("%s (parallelism %d): %v", id, parallelism, err)
 	}
@@ -33,7 +35,9 @@ func detRun(t *testing.T, id string, parallelism int) (text string, runs []byte,
 		r.DurationUS = 0
 		for i := range r.Measurements {
 			r.Measurements[i].DurationUS = 0
+			r.Measurements[i].CacheHit = false
 		}
+		measured += len(r.Measurements)
 	}
 	rb, err := json.Marshal(man.Runs)
 	if err != nil {
@@ -43,7 +47,7 @@ func detRun(t *testing.T, id string, parallelism int) (text string, runs []byte,
 	if err := set.Merged().WriteFolded(&fb, profile.SampleInstructions); err != nil {
 		t.Fatal(err)
 	}
-	return buf.String(), rb, fb.String()
+	return buf.String(), rb, fb.String(), measured
 }
 
 // TestParallelOutputIsByteIdentical is the scheduler's acceptance test:
@@ -57,8 +61,8 @@ func TestParallelOutputIsByteIdentical(t *testing.T) {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()
-			sText, sRuns, sFolded := detRun(t, id, 1)
-			pText, pRuns, pFolded := detRun(t, id, 8)
+			sText, sRuns, sFolded, _ := detRun(t, id, 1, nil)
+			pText, pRuns, pFolded, _ := detRun(t, id, 8, nil)
 			if sText != pText {
 				t.Errorf("rendered text differs between serial and parallel:\n--- serial ---\n%s\n--- parallel ---\n%s", sText, pText)
 			}
@@ -69,5 +73,70 @@ func TestParallelOutputIsByteIdentical(t *testing.T) {
 				t.Errorf("folded profiles differ between serial and parallel:\n--- serial ---\n%s\n--- parallel ---\n%s", sFolded, pFolded)
 			}
 		})
+	}
+}
+
+// TestWarmCacheOutputIsByteIdentical is the measurement cache's acceptance
+// test: for every experiment, a cold run through an empty cache and a warm
+// run (all results restored from disk) must both produce byte-identical
+// rendered text, manifest entries, and folded profiles to an uncached run.
+// The uncached baseline matters: a key collision inside one experiment
+// (two same-ID program variants sharing an entry) corrupts cold and warm
+// runs identically, so only the comparison against ground truth exposes
+// it — exactly the bug the Program.Variant key field guards against.
+func TestWarmCacheOutputIsByteIdentical(t *testing.T) {
+	for _, id := range Experiments {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			cache, err := rescache.Open(t.TempDir(), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bText, bRuns, bFolded, measured := detRun(t, id, 1, nil)
+			cText, cRuns, cFolded, _ := detRun(t, id, 1, cache)
+			wText, wRuns, wFolded, _ := detRun(t, id, 1, cache)
+			hits, misses, puts, _ := cache.Counts()
+			// Config-only experiments (table3) measure nothing, so the
+			// cache legitimately stays idle; every measuring experiment
+			// must store each cold result and restore each warm one.
+			if measured > 0 && (hits == 0 || puts == 0) {
+				t.Fatalf("cache never engaged: hits=%d misses=%d puts=%d", hits, misses, puts)
+			}
+			if misses != puts {
+				t.Errorf("warm run missed: %d misses for %d cold puts", misses, puts)
+			}
+			for _, cmp := range []struct {
+				arm          string
+				text, folded string
+				runs         []byte
+			}{
+				{"cold", cText, cFolded, cRuns},
+				{"warm", wText, wFolded, wRuns},
+			} {
+				if cmp.text != bText {
+					t.Errorf("rendered text differs between uncached and %s:\n--- uncached ---\n%s\n--- %s ---\n%s", cmp.arm, bText, cmp.arm, cmp.text)
+				}
+				if !bytes.Equal(cmp.runs, bRuns) {
+					t.Errorf("manifest entries differ between uncached and %s:\n--- uncached ---\n%s\n--- %s ---\n%s", cmp.arm, bRuns, cmp.arm, cmp.runs)
+				}
+				if cmp.folded != bFolded {
+					t.Errorf("folded profiles differ between uncached and %s:\n--- uncached ---\n%s\n--- %s ---\n%s", cmp.arm, bFolded, cmp.arm, cmp.folded)
+				}
+			}
+		})
+	}
+}
+
+// TestNegativeParallelismRejected pins the Options contract: 0 means
+// GOMAXPROCS, but a negative worker count is a caller bug and must be
+// rejected up front, not silently coerced.
+func TestNegativeParallelismRejected(t *testing.T) {
+	err := Run("table3", Options{Scale: 0.1, Out: &bytes.Buffer{}, Parallelism: -4})
+	if err == nil {
+		t.Fatal("Parallelism -4 must be rejected")
+	}
+	if got := err.Error(); !bytes.Contains([]byte(got), []byte("-4")) {
+		t.Errorf("error should name the bad value: %q", got)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"interplab/internal/atom"
 	"interplab/internal/core"
 	"interplab/internal/profile"
+	"interplab/internal/rescache"
 	"interplab/internal/telemetry"
 	"interplab/internal/workloads"
 )
@@ -38,9 +39,9 @@ type Options struct {
 	Out io.Writer
 
 	// Parallelism is the number of measurement jobs run concurrently.
-	// 0 (or negative) means GOMAXPROCS; 1 forces the serial path.  The
-	// rendered output is byte-identical either way — only wall time and
-	// the span layout in Chrome traces differ.
+	// 0 means GOMAXPROCS; 1 forces the serial path; negative values are
+	// rejected by Run.  The rendered output is byte-identical either way —
+	// only wall time and the span layout in Chrome traces differ.
 	Parallelism int
 
 	// Telemetry, when non-nil, receives run metrics (counters, histograms)
@@ -59,9 +60,20 @@ type Options struct {
 	// experiment records its profiles as manifest artifacts.
 	Profile *profile.Set
 
+	// Cache, when non-nil, memoizes every measurement on disk: jobs whose
+	// key (experiment, scale, program, kind, machine config, profiling
+	// mode, lab build fingerprint) matches a stored entry are restored
+	// instead of executed, and fresh measurements are stored for the next
+	// run.  Rendered output is byte-identical either way; manifests mark
+	// restored measurements with cache_hit.
+	Cache *rescache.Cache
+
 	// rec is the manifest entry of the experiment currently dispatched by
 	// Run; the measure helpers record into it.
 	rec *telemetry.RunEntry
+	// experiment is the id Run is currently dispatching; it scopes cache
+	// keys.
+	experiment string
 }
 
 func (o Options) scale() float64 {
@@ -117,10 +129,14 @@ func Run(id string, opt Options) error {
 	if opt.Scale < 0 {
 		return fmt.Errorf("harness: scale must be positive (got %g)", opt.Scale)
 	}
+	if opt.Parallelism < 0 {
+		return fmt.Errorf("harness: parallelism must be >= 1 (got %d; 0 means GOMAXPROCS)", opt.Parallelism)
+	}
 	fn, ok := experimentFns[id]
 	if !ok {
 		return fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(Experiments, ", "))
 	}
+	opt.experiment = id
 	span := opt.Tracer.Start("experiment "+id, "id", id, "scale", opt.scale())
 	defer span.End()
 	start := time.Now()
@@ -146,11 +162,15 @@ func Run(id string, opt Options) error {
 	return err
 }
 
-// measureOpts threads the harness's telemetry into core measurements.
+// measureOpts threads the harness's telemetry and measurement cache into
+// core measurements.
 func (o Options) measureOpts() []core.MeasureOption {
 	opts := []core.MeasureOption{core.WithTracer(o.Tracer), core.WithTelemetry(o.Telemetry)}
 	if o.Profile != nil {
 		opts = append(opts, core.WithProfiling())
+	}
+	if o.Cache != nil {
+		opts = append(opts, core.WithCache(o.Cache, rescache.Scope{Experiment: o.experiment, Scale: o.scale()}))
 	}
 	return opts
 }
@@ -176,6 +196,7 @@ func (o Options) record(kind string, res core.Result, dur time.Duration, sweep *
 		Events:     res.Counter.Total,
 		Kind:       kind,
 		DurationUS: float64(dur) / float64(time.Microsecond),
+		CacheHit:   res.FromCache,
 		Stats:      &stats,
 		Pipe:       res.Pipe,
 	}

@@ -47,10 +47,10 @@ type mipsGen struct {
 	// them the emitted event stream) would vary run to run.
 	strOrder []string
 	nlabel   int
-	fn      *FuncDecl
-	epi     string
-	brks    []string
-	conts   []string
+	fn       *FuncDecl
+	epi      string
+	brks     []string
+	conts    []string
 }
 
 func (g *mipsGen) emit(format string, args ...any) {

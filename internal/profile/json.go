@@ -1,0 +1,50 @@
+package profile
+
+import "encoding/json"
+
+// profileJSON is the serialized form of a Profile.  The unexported addrs
+// map (routine frame → synthetic code address) must survive a round trip,
+// or pprof exports rebuilt from a deserialized profile would lose their
+// location addresses; samples are stored in the deterministic stack-sorted
+// order writers rely on.
+type profileJSON struct {
+	Program string            `json:"program"`
+	Samples []sampleJSON      `json:"samples"`
+	Addrs   map[string]uint64 `json:"addrs,omitempty"`
+}
+
+type sampleJSON struct {
+	Stack  []string              `json:"stack"`
+	Values [NumSampleTypes]int64 `json:"values"`
+}
+
+// MarshalJSON serializes the profile, including the frame address table.
+func (p *Profile) MarshalJSON() ([]byte, error) {
+	pj := profileJSON{Program: p.Program, Addrs: p.addrs}
+	pj.Samples = make([]sampleJSON, len(p.Samples))
+	for i, s := range p.Samples {
+		pj.Samples[i] = sampleJSON{Stack: s.Stack, Values: s.Values}
+	}
+	return json.Marshal(pj)
+}
+
+// UnmarshalJSON restores a profile serialized by MarshalJSON.  Samples are
+// re-sorted into the canonical stack order, so a profile assembled from a
+// hand-edited document still renders deterministically.
+func (p *Profile) UnmarshalJSON(data []byte) error {
+	var pj profileJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return err
+	}
+	p.Program = pj.Program
+	p.addrs = pj.Addrs
+	if p.addrs == nil {
+		p.addrs = make(map[string]uint64)
+	}
+	p.Samples = make([]Sample, len(pj.Samples))
+	for i, s := range pj.Samples {
+		p.Samples[i] = Sample{Stack: s.Stack, Values: s.Values}
+	}
+	sortSamples(p.Samples)
+	return nil
+}

@@ -131,11 +131,11 @@ func (p *Profile) WritePprof(w io.Writer) error {
 	// location.
 	{
 		var m protoBuf
-		m.varintField(1, 1)                               // id
-		m.varintField(2, 0x0040_0000)                     // memory_start (atom.CodeBase)
-		m.varintField(3, 0x8000_0000)                     // memory_limit
+		m.varintField(1, 1)                                // id
+		m.varintField(2, 0x0040_0000)                      // memory_start (atom.CodeBase)
+		m.varintField(3, 0x8000_0000)                      // memory_limit
 		m.varintField(5, uint64(strs.id(p.mappingName()))) // filename
-		m.varintField(7, 1)                               // has_functions
+		m.varintField(7, 1)                                // has_functions
 		out.bytesField(3, m.b)
 	}
 

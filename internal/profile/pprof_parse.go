@@ -33,13 +33,13 @@ func ParsePprof(r io.Reader) (*ParsedProfile, error) {
 	}
 
 	var (
-		strTab   []string
-		types    [][2]uint64 // (type idx, unit idx)
-		samples  []struct{ locs, vals []uint64 }
-		locFn    = map[uint64]uint64{} // location id -> function id
-		fnName   = map[uint64]uint64{} // function id -> name string idx
-		defType  uint64
-		haveDef  bool
+		strTab  []string
+		types   [][2]uint64 // (type idx, unit idx)
+		samples []struct{ locs, vals []uint64 }
+		locFn   = map[uint64]uint64{} // location id -> function id
+		fnName  = map[uint64]uint64{} // function id -> name string idx
+		defType uint64
+		haveDef bool
 	)
 
 	err = walkFields(raw, func(field int, wire int, varint uint64, body []byte) error {

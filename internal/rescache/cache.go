@@ -1,0 +1,269 @@
+package rescache
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Cache is an on-disk measurement cache.  Entries live under
+// dir/<hh>/<hash>.json.gz, where hash is the key's content address and hh
+// its leading byte, keeping directories small.  All methods are safe for
+// concurrent use: writes go through a temp file plus atomic rename, and a
+// reader that races a writer sees either the old complete entry or the new
+// one, never a torn file (a torn or foreign file reads as a miss).
+//
+// A nil *Cache is a valid no-op receiver — Get always misses, Put does
+// nothing — so call sites need not branch on whether caching is enabled.
+type Cache struct {
+	dir      string
+	readonly bool
+
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	puts    atomic.Uint64
+	corrupt atomic.Uint64
+}
+
+// Open creates (if needed) and returns the cache rooted at dir.  With
+// readonly set, Put and GC become no-ops: CI jobs can share a cache
+// directory without extending it.
+func Open(dir string, readonly bool) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("rescache: empty cache directory")
+	}
+	if !readonly {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("rescache: %w", err)
+		}
+	}
+	return &Cache{dir: dir, readonly: readonly}, nil
+}
+
+// Dir returns the cache's root directory ("" for a nil cache).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// ReadOnly reports whether the cache rejects writes.
+func (c *Cache) ReadOnly() bool { return c != nil && c.readonly }
+
+// path returns the entry file for a key hash.
+func (c *Cache) path(hash string) string {
+	return filepath.Join(c.dir, hash[:2], hash+".json.gz")
+}
+
+// Get returns the entry stored under k, or (nil, false) on a miss.  Any
+// unreadable, truncated, corrupt, or key-mismatched file is a miss: the
+// caller re-measures, and a following Put repairs the entry.
+func (c *Cache) Get(k Key) (*Entry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	e, ok := c.read(c.path(k.Hash()))
+	if !ok || e.Key != k {
+		if ok {
+			// A decodable entry under this hash with a different key is a
+			// hash collision or a tampered file; treat as corrupt.
+			c.corrupt.Add(1)
+		}
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return e, true
+}
+
+// read decodes one entry file; any failure reads as (nil, false).
+func (c *Cache) read(path string) (*Entry, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		c.corrupt.Add(1)
+		return nil, false
+	}
+	defer zr.Close()
+	var e Entry
+	if err := json.NewDecoder(zr).Decode(&e); err != nil {
+		c.corrupt.Add(1)
+		return nil, false
+	}
+	return &e, true
+}
+
+// Put stores e under k.  On a readonly (or nil) cache it is a no-op.  The
+// write is atomic: a temp file in the entry's directory renamed over the
+// final path, so concurrent readers and crashed writers never expose a
+// partial entry.
+func (c *Cache) Put(k Key, e *Entry) error {
+	if c == nil || c.readonly {
+		return nil
+	}
+	e.Key = k
+	hash := k.Hash()
+	final := c.path(hash)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return fmt.Errorf("rescache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(final), hash+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("rescache: %w", err)
+	}
+	zw := gzip.NewWriter(tmp)
+	enc := json.NewEncoder(zw)
+	if err := enc.Encode(e); err == nil {
+		err = zw.Close()
+		if cerr := tmp.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(tmp.Name(), final)
+		}
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("rescache: write entry: %w", err)
+	}
+	c.puts.Add(1)
+	return nil
+}
+
+// Counts reports the cache's session counters: hits and misses observed by
+// Get, entries written by Put, and files that failed to decode.
+func (c *Cache) Counts() (hits, misses, puts, corrupt uint64) {
+	if c == nil {
+		return 0, 0, 0, 0
+	}
+	return c.hits.Load(), c.misses.Load(), c.puts.Load(), c.corrupt.Load()
+}
+
+// EntryInfo describes one on-disk entry for Stats.
+type EntryInfo struct {
+	Key     Key
+	Bytes   int64
+	ModTime time.Time
+	Corrupt bool
+	Path    string
+}
+
+// Stats is a scan of the cache directory.
+type Stats struct {
+	Dir           string
+	Entries       int
+	Bytes         int64
+	Corrupt       int
+	ByFingerprint map[string]int
+	ByExperiment  map[string]int
+}
+
+// Scan walks the cache directory and summarizes its contents.  Corrupt
+// files are counted but otherwise ignored, matching Get's behavior.
+func (c *Cache) Scan() (Stats, error) {
+	st := Stats{Dir: c.Dir(), ByFingerprint: map[string]int{}, ByExperiment: map[string]int{}}
+	if c == nil {
+		return st, nil
+	}
+	err := c.walk(func(info EntryInfo) error {
+		if info.Corrupt {
+			st.Corrupt++
+			return nil
+		}
+		st.Entries++
+		st.Bytes += info.Bytes
+		st.ByFingerprint[info.Key.Fingerprint]++
+		st.ByExperiment[info.Key.Experiment]++
+		return nil
+	})
+	return st, err
+}
+
+// walk visits every entry file under the cache root.
+func (c *Cache) walk(visit func(EntryInfo) error) error {
+	return filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil // empty/unborn cache
+			}
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".json.gz") {
+			return nil
+		}
+		fi, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		info := EntryInfo{Bytes: fi.Size(), ModTime: fi.ModTime(), Path: path}
+		if e, ok := c.read(path); ok {
+			info.Key = e.Key
+		} else {
+			info.Corrupt = true
+		}
+		return visit(info)
+	})
+}
+
+// GC removes entries that can never hit again: any entry whose fingerprint
+// differs from keep (pass Fingerprint() for the running build), any entry
+// older than maxAge (0 disables the age check), and every corrupt file.
+// It returns the number of files removed and the bytes freed.
+func (c *Cache) GC(keep string, maxAge time.Duration) (removed int, freed int64, err error) {
+	if c == nil || c.readonly {
+		return 0, 0, nil
+	}
+	now := time.Now()
+	err = c.walk(func(info EntryInfo) error {
+		stale := info.Corrupt || info.Key.Fingerprint != keep
+		if maxAge > 0 && now.Sub(info.ModTime) > maxAge {
+			stale = true
+		}
+		if !stale {
+			return nil
+		}
+		if rmErr := os.Remove(info.Path); rmErr != nil {
+			return rmErr
+		}
+		removed++
+		freed += info.Bytes
+		return nil
+	})
+	return removed, freed, err
+}
+
+// Clear removes every entry, leaving an empty cache directory.
+func (c *Cache) Clear() error {
+	if c == nil {
+		return nil
+	}
+	if c.readonly {
+		return fmt.Errorf("rescache: clear on a readonly cache")
+	}
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, d := range entries {
+		if err := os.RemoveAll(filepath.Join(c.dir, d.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}

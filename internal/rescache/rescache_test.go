@@ -1,0 +1,258 @@
+package rescache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"interplab/internal/alphasim"
+	"interplab/internal/atom"
+	"interplab/internal/trace"
+)
+
+func testKey() Key {
+	return Key{
+		Schema:      SchemaVersion,
+		Fingerprint: "lab-0123456789abcdef",
+		Experiment:  "table1",
+		Scale:       1,
+		Kind:        "pipeline",
+		Program:     "MIPSI/des",
+		Config:      ConfigKey(alphasim.DefaultConfig()),
+		Sweep:       "",
+		Profiling:   false,
+	}
+}
+
+func testEntry() *Entry {
+	return &Entry{
+		SizeBytes:     1234,
+		Stdout:        "hello\n",
+		FrameChecksum: 0xdeadbeef,
+		Counter:       trace.Counter{Total: 42, TakenBr: 7},
+		Stats: atom.Stats{
+			Commands: 10, Instructions: 42, FetchDecode: 20, Execute: 22,
+			Ops:     []atom.OpStats{{Name: "add", Count: 5, FetchDecode: 10, Execute: 11}},
+			Regions: []atom.RegionStats{{Name: "memmodel", Instructions: 8, Accesses: 2}},
+		},
+		Pipe:  &alphasim.Stats{Instructions: 42, Cycles: 64},
+		Sweep: []alphasim.SweepPoint{{SizeKB: 8, Assoc: 1, Instructions: 42, Misses: 3}},
+	}
+}
+
+// TestKeyHashStable pins the property the whole cache rests on: equal keys
+// hash equally, and any single-field change produces a different hash.
+func TestKeyHashStable(t *testing.T) {
+	base := testKey()
+	if base.Hash() != testKey().Hash() {
+		t.Fatal("identical keys produced different hashes")
+	}
+	mutations := map[string]func(*Key){
+		"Schema":      func(k *Key) { k.Schema++ },
+		"Fingerprint": func(k *Key) { k.Fingerprint = "lab-ffffffffffffffff" },
+		"Experiment":  func(k *Key) { k.Experiment = "fig4" },
+		"Scale":       func(k *Key) { k.Scale = 0.5 },
+		"Kind":        func(k *Key) { k.Kind = "sweep" },
+		"Program":     func(k *Key) { k.Program = "Tcl/des" },
+		"Variant":     func(k *Key) { k.Variant = "threaded-dispatch" },
+		"Config":      func(k *Key) { k.Config = "{}" },
+		"Sweep":       func(k *Key) { k.Sweep = "i8k1w/32" },
+		"Profiling":   func(k *Key) { k.Profiling = true },
+	}
+	seen := map[string]string{base.Hash(): "base"}
+	for field, mutate := range mutations {
+		k := testKey()
+		mutate(&k)
+		h := k.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("changing %s collided with %s (hash %s)", field, prev, h)
+		}
+		seen[h] = field
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey()
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	if err := c.Put(k, testEntry()); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(k)
+	if !ok {
+		t.Fatal("miss immediately after Put")
+	}
+	want := testEntry()
+	if got.SizeBytes != want.SizeBytes || got.Stdout != want.Stdout ||
+		got.FrameChecksum != want.FrameChecksum || got.Counter != want.Counter {
+		t.Errorf("scalar fields did not round-trip: got %+v", got)
+	}
+	if got.Stats.Commands != want.Stats.Commands || len(got.Stats.Ops) != 1 ||
+		got.Stats.Ops[0] != want.Stats.Ops[0] || got.Stats.Regions[0] != want.Stats.Regions[0] {
+		t.Errorf("stats did not round-trip: got %+v", got.Stats)
+	}
+	if got.Pipe == nil || *got.Pipe != *want.Pipe {
+		t.Errorf("pipe stats did not round-trip: got %+v", got.Pipe)
+	}
+	if len(got.Sweep) != 1 || got.Sweep[0] != want.Sweep[0] {
+		t.Errorf("sweep points did not round-trip: got %+v", got.Sweep)
+	}
+	hits, misses, puts, corrupt := c.Counts()
+	if hits != 1 || misses != 1 || puts != 1 || corrupt != 0 {
+		t.Errorf("counts = %d hits, %d misses, %d puts, %d corrupt; want 1,1,1,0",
+			hits, misses, puts, corrupt)
+	}
+	// A different key must miss even with an entry on disk.
+	other := k
+	other.Scale = 2
+	if _, ok := c.Get(other); ok {
+		t.Error("hit for a key that was never stored")
+	}
+}
+
+// TestCorruptEntriesAreMisses pins the recovery contract: truncated or
+// garbage entry files read as misses (and re-Put repairs them), never as
+// errors.
+func TestCorruptEntriesAreMisses(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey()
+	if err := c.Put(k, testEntry()); err != nil {
+		t.Fatal(err)
+	}
+	path := c.path(k.Hash())
+	for name, corrupt := range map[string]func() error{
+		"truncated": func() error { return os.Truncate(path, 10) },
+		"garbage":   func() error { return os.WriteFile(path, []byte("not gzip at all"), 0o644) },
+		"empty":     func() error { return os.Truncate(path, 0) },
+	} {
+		if err := c.Put(k, testEntry()); err != nil {
+			t.Fatalf("%s: re-put: %v", name, err)
+		}
+		if err := corrupt(); err != nil {
+			t.Fatalf("%s: corrupting: %v", name, err)
+		}
+		if _, ok := c.Get(k); ok {
+			t.Errorf("%s entry produced a hit", name)
+		}
+		// The cache must heal: a fresh Put then hits again.
+		if err := c.Put(k, testEntry()); err != nil {
+			t.Fatalf("%s: healing put: %v", name, err)
+		}
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s: miss after healing put", name)
+		}
+	}
+	if _, _, _, corrupt := c.Counts(); corrupt == 0 {
+		t.Error("corrupt files were not counted")
+	}
+}
+
+func TestReadonly(t *testing.T) {
+	dir := t.TempDir()
+	rw, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey()
+	if err := rw.Put(k, testEntry()); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := Open(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ro.Get(k); !ok {
+		t.Fatal("readonly cache missed an existing entry")
+	}
+	other := testKey()
+	other.Experiment = "fig1"
+	if err := ro.Put(other, testEntry()); err != nil {
+		t.Fatalf("readonly Put should no-op, got %v", err)
+	}
+	if _, ok := rw.Get(other); ok {
+		t.Error("readonly Put wrote an entry")
+	}
+	if removed, _, err := ro.GC(Fingerprint(), 0); err != nil || removed != 0 {
+		t.Errorf("readonly GC removed %d entries (err %v); want 0, nil", removed, err)
+	}
+	if err := ro.Clear(); err == nil {
+		t.Error("readonly Clear should refuse")
+	}
+}
+
+func TestGCAndClear(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := testKey() // "current build" entry
+	old := testKey()
+	old.Fingerprint = "lab-aaaaaaaaaaaaaaaa"
+	if err := c.Put(cur, testEntry()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(old, testEntry()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ab"), []byte("stray non-entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 2 || st.ByFingerprint[cur.Fingerprint] != 1 || st.ByFingerprint[old.Fingerprint] != 1 {
+		t.Fatalf("scan = %+v; want 2 entries across 2 fingerprints", st)
+	}
+	removed, freed, err := c.GC(cur.Fingerprint, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 || freed <= 0 {
+		t.Errorf("GC removed %d entries, freed %d bytes; want 1 entry", removed, freed)
+	}
+	if _, ok := c.Get(cur); !ok {
+		t.Error("GC removed the current-fingerprint entry")
+	}
+	if _, ok := c.Get(old); ok {
+		t.Error("GC kept a stale-fingerprint entry")
+	}
+	// Age-based GC with a tiny maxAge removes even current entries.
+	time.Sleep(10 * time.Millisecond)
+	if removed, _, err = c.GC(cur.Fingerprint, time.Nanosecond); err != nil || removed != 1 {
+		t.Errorf("age GC removed %d (err %v); want 1", removed, err)
+	}
+	if err := c.Put(cur, testEntry()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := c.Scan(); err != nil || st.Entries != 0 {
+		t.Errorf("after Clear: %+v (err %v); want 0 entries", st, err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Errorf("Clear removed the cache root: %v", err)
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a, b := Fingerprint(), Fingerprint()
+	if a != b || a == "" {
+		t.Fatalf("fingerprint unstable: %q vs %q", a, b)
+	}
+	if len(a) < 8 {
+		t.Fatalf("implausibly short fingerprint %q", a)
+	}
+}

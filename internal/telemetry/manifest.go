@@ -37,6 +37,22 @@ type RunConfig struct {
 	// Parallelism is the measurement worker count the run was scheduled
 	// with (schema v1 additive field; 0 in records that predate it).
 	Parallelism int `json:"parallelism,omitempty"`
+	// Cache describes the measurement cache the run consulted, when one was
+	// attached (schema v1 additive field; nil in uncached runs).
+	Cache *CacheInfo `json:"cache,omitempty"`
+}
+
+// CacheInfo records the measurement cache attached to a run and what it
+// did: per-run hit/miss/store counts.  The hit and miss totals equal the
+// per-measurement cache_hit flags summed over every experiment.
+type CacheInfo struct {
+	Dir         string `json:"dir"`
+	ReadOnly    bool   `json:"readonly,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Puts        uint64 `json:"puts,omitempty"`
+	Corrupt     uint64 `json:"corrupt,omitempty"`
 }
 
 // RunEntry is one experiment's record: the exact text a direct run would
@@ -87,6 +103,10 @@ type Measurement struct {
 	Events     uint64  `json:"events"` // native-instruction stream length
 	Kind       string  `json:"kind"`   // "measure", "pipeline", "sweep"
 	DurationUS float64 `json:"duration_us,omitempty"`
+	// CacheHit marks a measurement restored from the measurement cache
+	// instead of executed (schema v1 additive field).  Aside from wall time
+	// it is indistinguishable from a fresh measurement.
+	CacheHit bool `json:"cache_hit,omitempty"`
 
 	Stats *atom.Stats           `json:"stats,omitempty"`
 	Pipe  *alphasim.Stats       `json:"pipe,omitempty"`
