@@ -13,6 +13,7 @@ import (
 	"interplab/internal/harness"
 	"interplab/internal/rescache"
 	"interplab/internal/telemetry"
+	"interplab/internal/trace"
 	"interplab/internal/workloads"
 )
 
@@ -23,10 +24,23 @@ type benchResult struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 }
 
+// perEventArm is the same telemetry-overhead measurement taken with the
+// batched event pipeline disabled (core.WithPerEventEmission) — the
+// "before" of the batching change, kept in the report so the win stays
+// visible run over run.
+type perEventArm struct {
+	Off                benchResult `json:"telemetry_off"`
+	On                 benchResult `json:"telemetry_on"`
+	Profiling          benchResult `json:"profiling_on"`
+	OverheadPct        float64     `json:"overhead_pct"`
+	ProfileOverheadPct float64     `json:"profile_overhead_pct"`
+}
+
 // benchReport is the BENCH_telemetry.json document: the event throughput
 // of a harness measurement with telemetry off vs. on, and with the
 // attribution-profile sink attached, seeding the repo's performance
-// trajectory.
+// trajectory.  The top-level arms measure the batched (default) pipeline;
+// PerEvent measures the same arms with batching disabled.
 type benchReport struct {
 	Benchmark          string      `json:"benchmark"`
 	Workload           string      `json:"workload"`
@@ -36,6 +50,11 @@ type benchReport struct {
 	Profiling          benchResult `json:"profiling_on"`
 	OverheadPct        float64     `json:"overhead_pct"`
 	ProfileOverheadPct float64     `json:"profile_overhead_pct"`
+
+	// PerEvent is the pre-batching emission path; Batch is the batched
+	// arm's block accounting (from the telemetry-off run).
+	PerEvent perEventArm      `json:"per_event"`
+	Batch    trace.BatchStats `json:"batch"`
 
 	// Scheduler arm: the same harness experiment measured serially and on
 	// the parallel scheduler — the output is byte-identical, so this is
@@ -70,12 +89,22 @@ func cmdBenchTelemetry(out string, scale float64, cacheDir string) {
 		blocks = 2
 	}
 	mk := func() core.Program { return workloads.DESMIPSI(blocks) }
-	const runs = 3
+	const runs = 5
 
-	off := benchArm(runs, mk)
-	reg := telemetry.NewRegistry()
-	on := benchArm(runs, mk, core.WithTelemetry(reg))
-	prof := benchArm(runs, mk, core.WithProfiling())
+	// All six overhead arms run in interleaved rounds (off, on, profiling,
+	// then their per-event twins, repeated), so a host noise episode is
+	// spread across every arm instead of sinking whichever one it lands on.
+	pe := core.WithPerEventEmission()
+	arms, results := benchArms(runs, mk, [][]core.MeasureOption{
+		{},
+		{core.WithTelemetry(telemetry.NewRegistry())},
+		{core.WithProfiling()},
+		{pe},
+		{pe, core.WithTelemetry(telemetry.NewRegistry())},
+		{pe, core.WithProfiling()},
+	})
+	off, on, prof := arms[0], arms[1], arms[2]
+	offRes, peRes := results[0], results[3]
 
 	rep := benchReport{
 		Benchmark: "telemetry-overhead",
@@ -84,10 +113,26 @@ func cmdBenchTelemetry(out string, scale float64, cacheDir string) {
 		Off:       off,
 		On:        on,
 		Profiling: prof,
+		Batch:     offRes.Batch,
 	}
 	if off.EventsPerSec > 0 {
 		rep.OverheadPct = 100 * (off.EventsPerSec - on.EventsPerSec) / off.EventsPerSec
 		rep.ProfileOverheadPct = 100 * (off.EventsPerSec - prof.EventsPerSec) / off.EventsPerSec
+	}
+
+	// The per-event arms are the pre-batching path, kept as the baseline
+	// the batching win is measured against.  The batched and per-event
+	// runs must agree on every measured number — a mismatch means batching
+	// changed the stream, which is fatal here exactly as it is in the
+	// harness differential test.
+	if offRes.Counter != peRes.Counter || offRes.Stats.Instructions != peRes.Stats.Instructions {
+		fatalf("bench: batched and per-event runs measured different streams")
+	}
+	rep.PerEvent = perEventArm{Off: arms[3], On: arms[4], Profiling: arms[5]}
+	if rep.PerEvent.Off.EventsPerSec > 0 {
+		peOff := rep.PerEvent.Off.EventsPerSec
+		rep.PerEvent.OverheadPct = 100 * (peOff - rep.PerEvent.On.EventsPerSec) / peOff
+		rep.PerEvent.ProfileOverheadPct = 100 * (peOff - rep.PerEvent.Profiling.EventsPerSec) / peOff
 	}
 
 	rep.SchedExperiment = "table1"
@@ -124,6 +169,8 @@ func cmdBenchTelemetry(out string, scale float64, cacheDir string) {
 	}
 	fmt.Printf("telemetry off: %.0f events/s, on: %.0f events/s (overhead %.2f%%), profiling: %.0f events/s (overhead %.2f%%) -> %s\n",
 		off.EventsPerSec, on.EventsPerSec, rep.OverheadPct, prof.EventsPerSec, rep.ProfileOverheadPct, out)
+	fmt.Printf("per-event baseline: telemetry overhead %.2f%%, profiling overhead %.2f%% (%d blocks, %.0f events/block)\n",
+		rep.PerEvent.OverheadPct, rep.PerEvent.ProfileOverheadPct, rep.Batch.Blocks, rep.Batch.EventsPerBlock())
 	fmt.Printf("scheduler %s: serial %.2fs, parallel(%d) %.2fs (%.2fx)\n",
 		rep.SchedExperiment, rep.SchedSerial.BestSeconds, rep.Parallelism,
 		rep.SchedParallel.BestSeconds, rep.SchedSpeedupX)
@@ -216,25 +263,34 @@ func schedArm(n int, id string, scale float64, parallelism int) benchResult {
 	return r
 }
 
-// benchArm measures best-of-n wall time for one measurement configuration.
-func benchArm(n int, mk func() core.Program, opts ...core.MeasureOption) benchResult {
-	var best time.Duration
-	var events uint64
+// benchArms measures several configurations of the same workload in n
+// interleaved rounds — arm 0, 1, 2, ..., then all arms again — keeping
+// each arm's best wall time.  It returns the per-arm timings and each
+// arm's last Result (runs are deterministic, so any run's Result stands
+// for all of that arm's).
+func benchArms(n int, mk func() core.Program, arms [][]core.MeasureOption) ([]benchResult, []core.Result) {
+	best := make([]time.Duration, len(arms))
+	last := make([]core.Result, len(arms))
 	for i := 0; i < n; i++ {
-		start := time.Now()
-		res, err := core.Measure(mk(), opts...)
-		el := time.Since(start)
-		if err != nil {
-			fatalf("bench workload: %v", err)
-		}
-		events = res.Counter.Total
-		if best == 0 || el < best {
-			best = el
+		for a, opts := range arms {
+			start := time.Now()
+			res, err := core.Measure(mk(), opts...)
+			el := time.Since(start)
+			if err != nil {
+				fatalf("bench workload: %v", err)
+			}
+			last[a] = res
+			if best[a] == 0 || el < best[a] {
+				best[a] = el
+			}
 		}
 	}
-	r := benchResult{Events: events, BestSeconds: best.Seconds()}
-	if best > 0 {
-		r.EventsPerSec = float64(events) / best.Seconds()
+	out := make([]benchResult, len(arms))
+	for a := range arms {
+		out[a] = benchResult{Events: last[a].Counter.Total, BestSeconds: best[a].Seconds()}
+		if best[a] > 0 {
+			out[a].EventsPerSec = float64(out[a].Events) / best[a].Seconds()
+		}
 	}
-	return r
+	return out, last
 }

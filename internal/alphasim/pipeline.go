@@ -226,7 +226,21 @@ func (p *Pipeline) stall(c Cause, cycles int) {
 }
 
 // Emit processes one native instruction.
-func (p *Pipeline) Emit(e trace.Event) {
+func (p *Pipeline) Emit(e trace.Event) { p.step(e) }
+
+// EmitBlock processes a whole event batch in one tight loop: the machine
+// model is inherently per-instruction (every event advances caches, TLBs
+// and the predictor), so the win over per-event Emit is purely the removed
+// interface dispatch — which, at interp-lab's event volumes, is most of
+// the instrumentation bill.
+func (p *Pipeline) EmitBlock(b *trace.Block) {
+	for i := 0; i < b.N; i++ {
+		p.step(trace.Event{PC: b.PC[i], Addr: b.Addr[i], Kind: b.Kind[i], Flags: b.Flags[i]})
+	}
+}
+
+// step simulates one native instruction.
+func (p *Pipeline) step(e trace.Event) {
 	st := &p.stats
 	st.Instructions++
 	// Base issue: `Width` instructions retire per cycle when nothing

@@ -71,6 +71,24 @@ func (s *ICacheSweep) Emit(e trace.Event) {
 	}
 }
 
+// EmitBlock probes every configured cache with a whole batch, transposed:
+// the outer loop walks the geometries and the inner loop streams the
+// block's PC column through one cache at a time, so each cache's tag state
+// stays hot while the PCs arrive as a sequential array scan.  The per-point
+// counters are updated once per block instead of once per event.
+func (s *ICacheSweep) EmitBlock(b *trace.Block) {
+	for i, c := range s.caches {
+		misses := uint64(0)
+		for k := 0; k < b.N; k++ {
+			if !c.Access(b.PC[k]) {
+				misses++
+			}
+		}
+		s.points[i].Instructions += uint64(b.N)
+		s.points[i].Misses += misses
+	}
+}
+
 // Points returns the accumulated sweep results.
 func (s *ICacheSweep) Points() []SweepPoint { return s.points }
 

@@ -75,6 +75,7 @@ func TestExecStaysInRoutine(t *testing.T) {
 	var rec trace.Recorder
 	p := NewProbe(im, &rec)
 	p.Exec(r, 1000)
+	p.FlushEvents()
 	if len(rec.Events) != 1000 {
 		t.Fatalf("emitted %d events, want 1000", len(rec.Events))
 	}
@@ -91,6 +92,7 @@ func TestExecEmitsMix(t *testing.T) {
 	var c trace.Counter
 	p := NewProbe(im, &c)
 	p.Exec(r, 10000)
+	p.FlushEvents()
 	if c.Total != 10000 {
 		t.Fatalf("total = %d, want 10000", c.Total)
 	}
@@ -118,6 +120,7 @@ func TestLoadStoreAccounting(t *testing.T) {
 	p.Store(d.Addr(4))
 	p.LoadRange(d.Addr(0), 5)
 	p.StoreRange(d.Addr(0), 3)
+	p.FlushEvents()
 	st := p.Stats()
 	if st.Loads != 6 || st.Stores != 4 {
 		t.Errorf("loads=%d stores=%d, want 6/4", st.Loads, st.Stores)
@@ -240,6 +243,7 @@ func TestCallRet(t *testing.T) {
 	p.Exec(callee, 5)
 	p.Ret()
 	p.Exec(caller, 2)
+	p.FlushEvents()
 
 	var jumps, rets int
 	for _, e := range rec.Events {
@@ -333,6 +337,7 @@ func TestExecTotalMatchesSink(t *testing.T) {
 				p.Store(d.Addr(uint32(o)))
 			}
 		}
+		p.FlushEvents()
 		return p.Total() == c.Total
 	}
 	if err := quick.Check(f, nil); err != nil {

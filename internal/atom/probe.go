@@ -52,10 +52,27 @@ type Probe struct {
 	img  *Image
 	sink trace.Sink
 
+	// batch buffers emitted events into struct-of-arrays blocks and hands
+	// whole blocks to sink; batching turns the per-event path back on
+	// (SetBatching), attrSync forces a flush before every attribution
+	// change so blocks are attribution-uniform for miss-joining sinks
+	// (RequireAttrSync), and attrTag — the lighter alternative — records a
+	// tagged segment boundary in the buffered block instead
+	// (MarkAttrBoundaries).
+	batch    *trace.Batcher
+	batching bool
+	attrSync bool
+	attrTag  func() any
+
 	cur      *Routine
 	frames   []frame
 	sp       uint32
 	stackReg *DataRegion
+
+	// frameTop tracks the identity of the pushed-frame list in a trie
+	// (FramesID); frameN hands out trie-node ids.
+	frameTop *frameNode
+	frameN   uint64
 
 	lastDep bool
 	depRng  uint32
@@ -89,6 +106,18 @@ type frame struct {
 	cursor int
 }
 
+// frameNode is one vertex of the probe's call-stack identity trie: the
+// path of pushed routines from the root names one frames list, and id is
+// its dense identifier (the empty list is 0).  Two moments with equal
+// FramesID have byte-identical pushed frames, which lets attribution
+// consumers use the id as a cache-key component instead of re-walking the
+// stack.
+type frameNode struct {
+	id   uint64
+	par  *frameNode
+	kids map[*Routine]*frameNode
+}
+
 type opStat struct {
 	name  string
 	count uint64
@@ -111,6 +140,8 @@ func NewProbe(img *Image, sink trace.Sink) *Probe {
 	p := &Probe{
 		img:         img,
 		sink:        sink,
+		batch:       trace.NewBatcher(sink),
+		batching:    true,
 		curOp:       -1,
 		opNames:     make(map[string]OpID),
 		regionNames: make(map[string]RegionID),
@@ -123,6 +154,65 @@ func NewProbe(img *Image, sink trace.Sink) *Probe {
 
 // Image returns the image the probe executes against.
 func (p *Probe) Image() *Image { return p.img }
+
+// --- batched emission --------------------------------------------------------
+
+// RequireAttrSync makes the probe flush its event buffer before every
+// attribution change (command begin/end, phase switch, call/return, routine
+// switch), so each delivered block is uniform under one attribution state.
+// Only consumers that join out-of-band per-event callbacks to the stream
+// need it — the pipeline's cache-miss observer attributes a miss to the
+// profiling collector's current node, which is coherent only when the
+// whole in-flight block shares one state.  Plain attribution consumers use
+// MarkAttrBoundaries instead and keep full blocks.  It takes precedence
+// over a registered boundary callback.
+func (p *Probe) RequireAttrSync() { p.attrSync = true }
+
+// MarkAttrBoundaries registers a callback invoked at every attribution
+// change while the outgoing state — the one every buffered event was
+// emitted under — is still live; its return value is recorded as a tagged
+// segment boundary (trace.SegMark) in the buffered block.  A profiling
+// sink resolves each segment of a full block from its tag, which keeps
+// blocks at capacity instead of flushing a few-event block per virtual
+// command the way RequireAttrSync does.  Boundaries with no events since
+// the previous one are skipped without calling tag.
+func (p *Probe) MarkAttrBoundaries(tag func() any) { p.attrTag = tag }
+
+// SetBatching switches between batched block delivery (the default) and the
+// per-event path that calls sink.Emit once per instruction.  Turning
+// batching off flushes anything buffered first, so no events are lost or
+// reordered across the switch.  The two modes produce identical sink
+// state; per-event exists as the differential-testing and overhead-bench
+// baseline.
+func (p *Probe) SetBatching(on bool) {
+	if !on {
+		p.batch.Flush(trace.FlushFinal)
+	}
+	p.batching = on
+}
+
+// FlushEvents delivers any buffered events to the sink.  Call it before
+// reading sink-side state (counters, recorders, simulators, profiles);
+// measurements do this once at collect time.
+func (p *Probe) FlushEvents() { p.batch.Flush(trace.FlushFinal) }
+
+// BatchStats returns the probe's batching account: events and blocks
+// delivered, split by flush trigger.  All zero when batching is off.
+func (p *Probe) BatchStats() trace.BatchStats { return p.batch.Stats() }
+
+// bumpAttr records an attribution change: while the outgoing state, under
+// which every buffered event was emitted, is still live, the buffer is
+// either flushed (attr-sync consumers) or segment-marked (boundary-marking
+// consumers); then the version moves.  Callers must invoke it BEFORE
+// mutating attribution state.
+func (p *Probe) bumpAttr() {
+	if p.attrSync {
+		p.batch.Flush(trace.FlushAttr)
+	} else if p.attrTag != nil && p.batch.NeedMark() {
+		p.batch.Mark(p.attrTag())
+	}
+	p.attrVersion++
+}
 
 // --- virtual command accounting -------------------------------------------
 
@@ -142,37 +232,37 @@ func (p *Probe) OpName(name string) OpID {
 // subsequent instructions are attributed to the command's fetch/decode
 // phase until BeginExecute.
 func (p *Probe) BeginCommand(op OpID) {
+	p.bumpAttr()
 	p.curOp = op
 	p.ops[op].count++
 	p.commands++
 	p.phase = PhaseFetchDecode
-	p.attrVersion++
 }
 
 // BeginExecute switches attribution of the open command to its execute
 // phase.
 func (p *Probe) BeginExecute() {
+	p.bumpAttr()
 	p.phase = PhaseExecute
-	p.attrVersion++
 }
 
 // EndCommand closes the open command; instructions between commands belong
 // to fetch/decode (the dispatch loop).
 func (p *Probe) EndCommand() {
+	p.bumpAttr()
 	p.curOp = -1
 	p.phase = PhaseFetchDecode
-	p.attrVersion++
 }
 
 // SetStartup switches the probe in or out of the startup (precompilation)
 // phase.
 func (p *Probe) SetStartup(on bool) {
+	p.bumpAttr()
 	if on {
 		p.phase = PhaseStartup
 	} else {
 		p.phase = PhaseFetchDecode
 	}
-	p.attrVersion++
 }
 
 // Commands returns the number of virtual commands begun so far.
@@ -215,6 +305,52 @@ func (p *Probe) CurrentOp() (string, bool) {
 		return "", false
 	}
 	return p.ops[p.curOp].name, true
+}
+
+// CurrentOpID returns the open virtual command's interned id, or -1
+// between commands.  Ids are stable for the probe's lifetime, so together
+// with FramesID, CurrentRoutine, and CurrentPhase they form a complete,
+// cheaply comparable key for the probe's attribution state.
+func (p *Probe) CurrentOpID() OpID { return p.curOp }
+
+// CurrentRoutine returns the routine currently executing — the call-stack
+// leaf — or nil before any Exec.
+func (p *Probe) CurrentRoutine() *Routine { return p.cur }
+
+// FramesID identifies the current pushed-frame list (the call stack
+// excluding the executing leaf): equal ids mean identical frames.  The id
+// is maintained incrementally on Call/Ret, so reading it is one load.
+func (p *Probe) FramesID() uint64 {
+	if p.frameTop == nil {
+		return 0
+	}
+	return p.frameTop.id
+}
+
+// pushFrameID descends the identity trie for a frame push of r.
+func (p *Probe) pushFrameID(r *Routine) {
+	t := p.frameTop
+	if t == nil {
+		t = &frameNode{}
+		p.frameTop = t
+	}
+	c, ok := t.kids[r]
+	if !ok {
+		p.frameN++
+		c = &frameNode{id: p.frameN, par: t}
+		if t.kids == nil {
+			t.kids = make(map[*Routine]*frameNode, 4)
+		}
+		t.kids[r] = c
+	}
+	p.frameTop = c
+}
+
+// popFrameID ascends the identity trie for a frame pop.
+func (p *Probe) popFrameID() {
+	if p.frameTop != nil && p.frameTop.par != nil {
+		p.frameTop = p.frameTop.par
+	}
 }
 
 // --- region accounting ------------------------------------------------------
@@ -277,6 +413,10 @@ func (p *Probe) emit(e trace.Event) {
 		}
 	}
 	p.lastDep = e.Kind == trace.Load || e.Kind == trace.ShortInt || e.Kind == trace.Mul
+	if p.batching {
+		p.batch.Append(e)
+		return
+	}
 	p.sink.Emit(e)
 }
 
@@ -346,8 +486,8 @@ func (p *Probe) Exec(r *Routine, n int) {
 // when it actually changes.
 func (p *Probe) setCur(r *Routine) {
 	if p.cur != r {
+		p.bumpAttr()
 		p.cur = r
-		p.attrVersion++
 	}
 }
 
@@ -411,10 +551,13 @@ func (p *Probe) Call(r *Routine) {
 		retpc = p.cur.pc()
 	}
 	p.account(1)
+	// The jump belongs to the caller: it is emitted — and, under attr-sync
+	// batching, flushed — before the frame push changes the call stack.
 	p.emit(trace.Event{PC: retpc, Addr: r.Base, Kind: trace.Jump, Flags: trace.FlagCall})
+	p.bumpAttr()
 	p.frames = append(p.frames, frame{r: p.cur, cursor: cursorOf(p.cur)})
+	p.pushFrameID(p.cur)
 	p.cur = r
-	p.attrVersion++
 	r.cursor = 0
 	// Frame setup: push return address and a saved register.
 	p.sp -= 16
@@ -432,7 +575,6 @@ func (p *Probe) Ret() {
 	p.Load(p.sp + 8)
 	p.sp += 16
 	f := p.frames[len(p.frames)-1]
-	p.frames = p.frames[:len(p.frames)-1]
 	pc := p.step()
 	var ret uint32 = CodeBase
 	if f.r != nil {
@@ -440,9 +582,14 @@ func (p *Probe) Ret() {
 		ret = f.r.pc()
 	}
 	p.account(1)
+	// The return belongs to the callee: it is emitted — and, under
+	// attr-sync batching, flushed — before the frame pop changes the call
+	// stack.
 	p.emit(trace.Event{PC: pc, Addr: ret, Kind: trace.Return})
+	p.bumpAttr()
+	p.frames = p.frames[:len(p.frames)-1]
+	p.popFrameID()
 	p.cur = f.r
-	p.attrVersion++
 }
 
 func cursorOf(r *Routine) int {

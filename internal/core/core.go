@@ -45,8 +45,10 @@ type Ctx struct {
 	Sink  trace.Sink
 	OS    *vfs.OS
 
-	display *gfx.Display
-	size    int
+	display  *gfx.Display
+	size     int
+	batch    trace.BatchStats
+	perEvent bool
 }
 
 // Display lazily creates the run's framebuffer (native graphics library).
@@ -60,6 +62,17 @@ func (c *Ctx) Display(w, h int) *gfx.Display {
 // SetProgramSize records the interpreted program's input size in bytes —
 // Table 2's "Size" column.
 func (c *Ctx) SetProgramSize(n int) { c.size = n }
+
+// RecordBatch merges a workload-side producer's batch accounting into the
+// run's totals — the compiled-C path (mipsi.Native) batches internally,
+// bypassing the probe, and reports here so Result.Batch covers the whole
+// stream.
+func (c *Ctx) RecordBatch(bs trace.BatchStats) { c.batch.Add(bs) }
+
+// PerEventEmission reports whether the run was requested with batching
+// disabled (WithPerEventEmission); workload-side producers with their own
+// batching honor it.
+func (c *Ctx) PerEventEmission() bool { return c.perEvent }
 
 // Program is one benchmark under one system.
 type Program struct {
@@ -119,6 +132,12 @@ type Result struct {
 	// results are byte-for-byte interchangeable with fresh ones except for
 	// Samples, which only a live stream produces.
 	FromCache bool
+
+	// Batch accounts the batched event pipeline: events and blocks
+	// delivered to the sinks, split by flush trigger, summed over every
+	// producer in the run (the probe, plus the compiled-C path's internal
+	// batcher).  All zero under WithPerEventEmission.
+	Batch trace.BatchStats
 }
 
 // Commands returns the virtual-command count.  For compiled C the paper
@@ -157,6 +176,7 @@ type measureConfig struct {
 	reg         *telemetry.Registry
 	sampleEvery uint64
 	profiling   bool
+	perEvent    bool
 	lane        int
 
 	cache      *rescache.Cache
@@ -224,6 +244,15 @@ func WithProfiling() MeasureOption {
 	return func(c *measureConfig) { c.profiling = true }
 }
 
+// WithPerEventEmission disables the batched event pipeline for the run:
+// every producer emits events to the sinks one at a time, the way the lab
+// worked before batching.  The measured numbers are byte-identical either
+// way (the differential tests pin this); this switch exists to measure the
+// batching win itself and to bisect any suspected batching discrepancy.
+func WithPerEventEmission() MeasureOption {
+	return func(c *measureConfig) { c.perEvent = true }
+}
+
 // cacheKey builds the content address for one measurement of p under the
 // current cache scope.
 func (mc *measureConfig) cacheKey(p Program, kind, config, sweep string) rescache.Key {
@@ -238,6 +267,7 @@ func (mc *measureConfig) cacheKey(p Program, kind, config, sweep string) rescach
 		Config:      config,
 		Sweep:       sweep,
 		Profiling:   mc.profiling,
+		PerEvent:    mc.perEvent,
 	}
 }
 
@@ -259,7 +289,7 @@ func (mc *measureConfig) lookup(p Program, key rescache.Key, valid func(*rescach
 	mc.reg.Counter("core.cache_hits").Inc()
 	span := mc.tracer.StartOn(mc.lane, "cached "+p.ID(), "program", p.ID())
 	span.End()
-	return Result{
+	res := Result{
 		Program:       p,
 		Stats:         e.Stats,
 		Counter:       e.Counter,
@@ -269,7 +299,11 @@ func (mc *measureConfig) lookup(p Program, key rescache.Key, valid func(*rescach
 		Stdout:        e.Stdout,
 		Profile:       e.Profile,
 		FromCache:     true,
-	}, true
+	}
+	if e.Batch != nil {
+		res.Batch = *e.Batch
+	}
+	return res, true
 }
 
 // store writes a fresh measurement into the cache.  A failed write is
@@ -289,6 +323,10 @@ func (mc *measureConfig) store(key rescache.Key, res Result, sweepPts []alphasim
 		Sweep:         sweepPts,
 		Profile:       res.Profile,
 	}
+	if res.Batch != (trace.BatchStats{}) {
+		b := res.Batch
+		e.Batch = &b
+	}
 	if err := mc.cache.Put(key, e); err != nil {
 		mc.reg.Counter("core.cache_put_errors").Inc()
 	}
@@ -299,6 +337,7 @@ func run(p Program, sink trace.Sink, mc measureConfig) (Result, error) {
 	res := Result{Program: p}
 	var counter trace.Counter
 	var col *profile.Collector
+	missJoin := false
 	if mc.profiling {
 		col = profile.NewCollector()
 		// The collector must see each event before any simulating sink so
@@ -308,28 +347,36 @@ func run(p Program, sink trace.Sink, mc measureConfig) (Result, error) {
 			SetMissObserver(alphasim.MissObserver)
 		}); ok {
 			mo.SetMissObserver(col)
+			missJoin = true
 		}
 	}
-	fan := make(trace.Multi, 0, 3)
-	fan = append(fan, &counter)
+	// The collector must precede the simulating sink in the fan so its
+	// cached attribution node is current when the pipeline reports an
+	// event's cache misses back to it; Combine preserves argument order.
+	var fanned trace.Sink
 	if col != nil {
-		fan = append(fan, col)
-	}
-	if sink != nil {
-		fan = append(fan, sink)
+		fanned = trace.Combine(&counter, col, sink)
+	} else {
+		fanned = trace.Combine(&counter, sink)
 	}
 	// With telemetry enabled the stream is observed on its way to the
 	// counting/simulation sinks; disabled, Wrap returns the fan unchanged.
-	var observed trace.Sink
-	if len(fan) == 1 {
-		observed = telemetry.Wrap(&counter, mc.reg, mc.sampleEvery)
-	} else {
-		observed = telemetry.Wrap(fan, mc.reg, mc.sampleEvery)
-	}
+	observed := telemetry.Wrap(fanned, mc.reg, mc.sampleEvery)
 	img := atom.NewImage()
 	probe := atom.NewProbe(img, observed)
+	if mc.perEvent {
+		probe.SetBatching(false)
+	}
 	if col != nil {
 		col.Bind(probe)
+		if missJoin {
+			// Miss attribution rides the pipeline's synchronous callbacks,
+			// which land on the collector's cached node — coherent only when
+			// every delivered block is uniform under one attribution state.
+			// Plain profiling runs skip this and keep full, segment-marked
+			// blocks instead.
+			probe.RequireAttrSync()
+		}
 	}
 	osys := vfs.New()
 	// Compiled-C runs emit their own synthetic kernel path (mipsi.Native);
@@ -337,7 +384,7 @@ func run(p Program, sink trace.Sink, mc measureConfig) (Result, error) {
 	if p.System != SysC {
 		osys.Instrument(img, probe)
 	}
-	ctx := &Ctx{Image: img, Probe: probe, Sink: observed, OS: osys}
+	ctx := &Ctx{Image: img, Probe: probe, Sink: observed, OS: osys, perEvent: mc.perEvent}
 	span := mc.tracer.StartOn(mc.lane, "workload "+p.ID(), "program", p.ID())
 	err := p.Run(ctx)
 	span.End()
@@ -346,6 +393,12 @@ func run(p Program, sink trace.Sink, mc measureConfig) (Result, error) {
 		return res, fmt.Errorf("%s: %w", p.ID(), err)
 	}
 	collect := mc.tracer.StartOn(mc.lane, "collect "+p.ID())
+	// Drain the probe's buffered tail before reading any sink-side state:
+	// the counter, observer, and profile totals are complete only after the
+	// final flush.
+	probe.FlushEvents()
+	res.Batch = probe.BatchStats()
+	res.Batch.Add(ctx.batch)
 	res.Stats = probe.Stats()
 	res.Counter = counter
 	res.SizeBytes = ctx.size
@@ -365,6 +418,17 @@ func run(p Program, sink trace.Sink, mc measureConfig) (Result, error) {
 	mc.reg.Counter("core.events").Add(counter.Total)
 	mc.reg.Histogram("core.events_per_run").Observe(counter.Total)
 	mc.reg.Histogram("core.commands_per_run").Observe(res.Commands())
+	if b := res.Batch; b.Blocks > 0 {
+		mc.reg.Counter("trace.batch.events").Add(b.Events)
+		mc.reg.Counter("trace.batch.blocks").Add(b.Blocks)
+		mc.reg.Counter("trace.batch.flush_fill").Add(b.FlushFill)
+		mc.reg.Counter("trace.batch.flush_attr").Add(b.FlushAttr)
+		mc.reg.Counter("trace.batch.flush_final").Add(b.FlushFinal)
+		bs := mc.tracer.StartOn(telemetry.BatchLane, "batch "+p.ID(),
+			"events", b.Events, "blocks", b.Blocks,
+			"flush_fill", b.FlushFill, "flush_attr", b.FlushAttr, "flush_final", b.FlushFinal)
+		bs.End()
+	}
 	return res, err
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"interplab/internal/alphasim"
 	"interplab/internal/atom"
+	"interplab/internal/profile"
 	"interplab/internal/rescache"
 	"interplab/internal/telemetry"
 )
@@ -330,5 +331,37 @@ func TestMeasureTelemetryFidelity(t *testing.T) {
 	}
 	if len(tr.Events()) == 0 {
 		t.Error("tracer recorded no spans")
+	}
+}
+
+// TestProfilingBatchModeSelection pins how run() picks the profiling
+// batching mode: plain profiled measurements keep full, segment-marked
+// blocks (no attribution flushes), while pipeline runs — whose cache-miss
+// callbacks join on the collector's cached node — force a flush per
+// attribution transition.
+func TestProfilingBatchModeSelection(t *testing.T) {
+	plain, err := Measure(toyProgram(SysPerl), WithProfiling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Profile == nil {
+		t.Fatal("profile missing")
+	}
+	if plain.Batch.FlushAttr != 0 {
+		t.Errorf("plain profiled run flushed on attribution %d times, want 0 (segment marks)", plain.Batch.FlushAttr)
+	}
+	piped, err := MeasureWithPipeline(toyProgram(SysPerl), alphasim.DefaultConfig(), WithProfiling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if piped.Batch.FlushAttr == 0 {
+		t.Error("miss-joining pipeline run must flush per attribution transition")
+	}
+	// Mode must not change the numbers: both runs fold the same stream.
+	if got, want := plain.Profile.Total(profile.SampleInstructions), int64(plain.Stats.Instructions); got != want {
+		t.Errorf("plain profile total = %d, want %d", got, want)
+	}
+	if got, want := piped.Profile.Total(profile.SampleInstructions), int64(piped.Stats.Instructions); got != want {
+		t.Errorf("piped profile total = %d, want %d", got, want)
 	}
 }

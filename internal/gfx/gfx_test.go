@@ -101,6 +101,7 @@ func TestInstrumentedDrawingChargesNativeRegion(t *testing.T) {
 	d := New(img, p, 64, 64)
 	before := p.Total()
 	d.FillRect(0, 0, 64, 64, 2)
+	p.FlushEvents()
 	cost := p.Total() - before
 	// 4096 pixels at ~3/4 instruction per pixel plus overhead.
 	if cost < 2000 || cost > 10000 {

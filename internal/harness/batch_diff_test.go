@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"interplab/internal/profile"
+	"interplab/internal/telemetry"
+)
+
+// diffRun executes one experiment serially with the batched event pipeline
+// on or off and returns everything the two emission modes promise to keep
+// byte-identical: the rendered text, the manifest run entries (wall times
+// and cache flags zeroed as in detRun, plus batch stats nulled — batch
+// accounting is the one field that legitimately differs, absent per-event
+// and populated batched), the merged folded profile, and its pprof
+// encoding.
+func diffRun(t *testing.T, id string, perEvent bool) (text string, runs []byte, folded string, pprof []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	man := telemetry.NewManifest(detScale)
+	set := profile.NewSet()
+	opt := Options{Scale: detScale, Out: &buf, Parallelism: 1, Manifest: man, Profile: set, PerEvent: perEvent}
+	if err := Run(id, opt); err != nil {
+		t.Fatalf("%s (perEvent=%v): %v", id, perEvent, err)
+	}
+	for _, r := range man.Runs {
+		r.DurationUS = 0
+		for i := range r.Measurements {
+			r.Measurements[i].DurationUS = 0
+			r.Measurements[i].CacheHit = false
+			r.Measurements[i].Batch = nil
+		}
+	}
+	rb, err := json.Marshal(man.Runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := set.Merged()
+	var fb, pb bytes.Buffer
+	if err := merged.WriteFolded(&fb, profile.SampleInstructions); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.WritePprof(&pb); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), rb, fb.String(), pb.Bytes()
+}
+
+// TestBatchedMatchesPerEvent is the batched event pipeline's acceptance
+// test: for every experiment, the batched (default) path and the per-event
+// path must produce byte-identical rendered text, manifest entries, folded
+// profiles, and pprof encodings.  Batching only changes how events travel
+// from probe to sinks — blocks instead of interface calls — so any
+// divergence here is a batching bug (an event dropped at a flush boundary,
+// or a block attributed under the wrong routine stack).
+func TestBatchedMatchesPerEvent(t *testing.T) {
+	for _, id := range Experiments {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			bText, bRuns, bFolded, bPprof := diffRun(t, id, false)
+			pText, pRuns, pFolded, pPprof := diffRun(t, id, true)
+			if bText != pText {
+				t.Errorf("rendered text differs between batched and per-event:\n--- batched ---\n%s\n--- per-event ---\n%s", bText, pText)
+			}
+			if !bytes.Equal(bRuns, pRuns) {
+				t.Errorf("manifest entries differ between batched and per-event:\n--- batched ---\n%s\n--- per-event ---\n%s", bRuns, pRuns)
+			}
+			if bFolded != pFolded {
+				t.Errorf("folded profiles differ between batched and per-event:\n--- batched ---\n%s\n--- per-event ---\n%s", bFolded, pFolded)
+			}
+			if !bytes.Equal(bPprof, pPprof) {
+				t.Error("pprof encodings differ between batched and per-event")
+			}
+		})
+	}
+}

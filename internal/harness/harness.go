@@ -26,6 +26,7 @@ import (
 	"interplab/internal/profile"
 	"interplab/internal/rescache"
 	"interplab/internal/telemetry"
+	"interplab/internal/trace"
 	"interplab/internal/workloads"
 )
 
@@ -59,6 +60,13 @@ type Options struct {
 	// attribution on pipeline runs).  With a Manifest as well, each
 	// experiment records its profiles as manifest artifacts.
 	Profile *profile.Set
+
+	// PerEvent disables the batched event pipeline for every measurement:
+	// producers emit events to the sinks one at a time.  Rendered output,
+	// manifests, and profiles are byte-identical to the batched default
+	// (the differential test pins this); the switch exists to measure the
+	// batching win and to bisect suspected batching discrepancies.
+	PerEvent bool
 
 	// Cache, when non-nil, memoizes every measurement on disk: jobs whose
 	// key (experiment, scale, program, kind, machine config, profiling
@@ -163,11 +171,16 @@ func Run(id string, opt Options) error {
 }
 
 // measureOpts threads the harness's telemetry and measurement cache into
-// core measurements.
-func (o Options) measureOpts() []core.MeasureOption {
-	opts := []core.MeasureOption{core.WithTracer(o.Tracer), core.WithTelemetry(o.Telemetry)}
+// core measurements.  reg is the registry the measurement should update —
+// the shared one on the serial path, a worker's private shard on the
+// parallel path (sched.go merges shards after the batch drains).
+func (o Options) measureOpts(reg *telemetry.Registry) []core.MeasureOption {
+	opts := []core.MeasureOption{core.WithTracer(o.Tracer), core.WithTelemetry(reg)}
 	if o.Profile != nil {
 		opts = append(opts, core.WithProfiling())
+	}
+	if o.PerEvent {
+		opts = append(opts, core.WithPerEventEmission())
 	}
 	if o.Cache != nil {
 		opts = append(opts, core.WithCache(o.Cache, rescache.Scope{Experiment: o.experiment, Scale: o.scale()}))
@@ -199,6 +212,10 @@ func (o Options) record(kind string, res core.Result, dur time.Duration, sweep *
 		CacheHit:   res.FromCache,
 		Stats:      &stats,
 		Pipe:       res.Pipe,
+	}
+	if res.Batch != (trace.BatchStats{}) {
+		bs := res.Batch
+		mm.Batch = &bs
 	}
 	if sweep != nil {
 		mm.Sweep = sweep.Points()

@@ -7,6 +7,7 @@ import (
 
 	"interplab/internal/alphasim"
 	"interplab/internal/core"
+	"interplab/internal/telemetry"
 )
 
 // This file is the parallel measurement scheduler.  The experiments'
@@ -84,7 +85,7 @@ func (b *batch) run() error {
 		// Serial path: execute in submission order on the main trace
 		// lane, exactly the pre-scheduler behavior.
 		for _, j := range b.jobs {
-			b.exec(j, 0)
+			b.exec(j, 0, b.opt.Telemetry)
 			if j.err != nil {
 				break
 			}
@@ -94,30 +95,40 @@ func (b *batch) run() error {
 		// any job fails, workers stop claiming.  Every job with a smaller
 		// index than a claimed one has itself been claimed, so after
 		// wg.Wait the prefix up to the first error is fully measured.
+		//
+		// Each worker updates a private registry shard, keeping the batch
+		// off the shared registry's mutex and counter cache lines; shards
+		// are folded back in worker order once the batch drains, so the
+		// merged totals are deterministic.
 		var (
 			cursor atomic.Int64
 			failed atomic.Bool
 			wg     sync.WaitGroup
 		)
+		shards := make([]*telemetry.Registry, workers)
 		for w := 0; w < workers; w++ {
+			shards[w] = b.opt.Telemetry.Shard()
 			wg.Add(1)
 			// Lane 1 is the experiment's main line; workers get 2..n+1.
-			go func(lane int) {
+			go func(w, lane int) {
 				defer wg.Done()
 				for !failed.Load() {
 					i := int(cursor.Add(1)) - 1
 					if i >= len(b.jobs) {
 						return
 					}
-					b.exec(b.jobs[i], lane)
+					b.exec(b.jobs[i], lane, shards[w])
 					if b.jobs[i].err != nil {
 						failed.Store(true)
 						return
 					}
 				}
-			}(w + 2)
+			}(w, w+2)
 		}
 		wg.Wait()
+		for _, s := range shards {
+			b.opt.Telemetry.Merge(s)
+		}
 	}
 	for _, j := range b.jobs {
 		if j.err != nil {
@@ -133,8 +144,9 @@ func (b *batch) run() error {
 	return nil
 }
 
-// exec performs one job on the given trace lane (0 = main lane).
-func (b *batch) exec(j *job, lane int) {
+// exec performs one job on the given trace lane (0 = main lane), updating
+// the given telemetry registry (the shared one, or a worker's shard).
+func (b *batch) exec(j *job, lane int, reg *telemetry.Registry) {
 	o := b.opt
 	args := []any{"program", j.prog.ID()}
 	switch j.kind {
@@ -145,7 +157,7 @@ func (b *batch) exec(j *job, lane int) {
 	}
 	span := o.Tracer.StartOn(lane, "measure "+j.prog.ID(), args...)
 	defer span.End()
-	opts := o.measureOpts()
+	opts := o.measureOpts(reg)
 	if lane > 0 {
 		opts = append(opts, core.WithTraceLane(lane))
 	}

@@ -29,6 +29,12 @@ type Native struct {
 	// virtual commands with native instructions).
 	Counter trace.Counter
 
+	// batch buffers the emitted stream into blocks delivered to both the
+	// counter and the sink once per fill; the compiled-C path has no
+	// attribution state, so blocks only flush on fill and at end of Run.
+	batch    *trace.Batcher
+	batching bool
+
 	prevDest int // register written by the previous instruction (0 = none)
 	kpc      uint32
 }
@@ -42,13 +48,50 @@ func NewNative(prog *mips.Program, os *vfs.OS, sink trace.Sink) (*Native, error)
 	if sink == nil {
 		sink = trace.Discard
 	}
-	return &Native{M: m, sink: sink}, nil
+	n := &Native{M: m, sink: sink, batching: true}
+	n.batch = trace.NewBatcher(fanSink{n})
+	return n, nil
+}
+
+// fanSink delivers flushed blocks to the Native's counter and sink in the
+// per-event order (counter first).
+type fanSink struct{ n *Native }
+
+func (f fanSink) Emit(e trace.Event) {
+	f.n.Counter.Emit(e)
+	f.n.sink.Emit(e)
+}
+
+func (f fanSink) EmitBlock(b *trace.Block) {
+	f.n.Counter.EmitBlock(b)
+	trace.EmitBlockTo(f.n.sink, b)
 }
 
 func (n *Native) emit(e trace.Event) {
+	if n.batching {
+		n.batch.Append(e)
+		return
+	}
 	n.Counter.Emit(e)
 	n.sink.Emit(e)
 }
+
+// SetBatching switches between batched block delivery (the default) and
+// the per-event path; turning batching off flushes buffered events first.
+func (n *Native) SetBatching(on bool) {
+	if !on {
+		n.batch.Flush(trace.FlushFinal)
+	}
+	n.batching = on
+}
+
+// Flush delivers any buffered events.  Run flushes on every exit path;
+// callers stepping the machine by hand flush before reading the Counter or
+// sink state.
+func (n *Native) Flush() { n.batch.Flush(trace.FlushFinal) }
+
+// BatchStats returns the native path's batching account.
+func (n *Native) BatchStats() trace.BatchStats { return n.batch.Stats() }
 
 // destReg returns the register an instruction writes, or 0.
 func destReg(in mips.Inst) int {
@@ -166,6 +209,7 @@ func (n *Native) kernel(info StepInfo) {
 
 // Run executes until exit or maxSteps instructions (0 = no limit).
 func (n *Native) Run(maxSteps uint64) error {
+	defer n.Flush()
 	for maxSteps == 0 || n.M.Steps < maxSteps {
 		if err := n.Step(); err != nil {
 			if err == ErrExited || n.M.Exited() {

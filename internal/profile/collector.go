@@ -49,7 +49,12 @@ func (n *node) child(frame string) *node {
 //
 // Per-event cost is one version check plus a handful of increments; the
 // stack is re-resolved only when the probe reports an attribution change
-// (command begin/end, phase switch, call/return, routine switch).
+// (command begin/end, phase switch, call/return, routine switch), and even
+// then a memo on the probe's compact attribution state usually turns the
+// resolve into an array load — interpreters cycle through the same few
+// (op, phase, routine) states millions of times, so the common bump is an
+// index into the dense op×phase node table cached for the current
+// (frames, routine) context.
 type Collector struct {
 	probe *atom.Probe
 	root  node
@@ -58,20 +63,52 @@ type Collector struct {
 	lastNode    *node
 	stackBuf    []*atom.Routine
 	addrs       map[string]uint64
+
+	// Resolved-node memo, two-level: the (frames, routine) context changes
+	// only on call/return/routine switch, so cur caches its dense
+	// (op+1)×phase node table and the far more frequent op/phase bumps
+	// reduce to an array index.
+	ctxFrames uint64
+	ctxCur    *atom.Routine
+	ctxTab    []*node
+	ctxs      map[ctxKey][]*node
+}
+
+// ctxKey is the slow-changing half of the probe's attribution state: the
+// identity of the pushed frames plus the executing routine.  Together with
+// the open command and phase it fully determines the sample stack resolve
+// builds.
+type ctxKey struct {
+	frames uint64
+	cur    *atom.Routine
 }
 
 // NewCollector returns a collector; Bind attaches it to the probe whose
 // stream it will observe.
 func NewCollector() *Collector {
-	return &Collector{addrs: make(map[string]uint64)}
+	return &Collector{
+		addrs: make(map[string]uint64),
+		ctxs:  make(map[ctxKey][]*node),
+	}
 }
 
 // Bind attaches the probe whose attribution state keys the samples.  Must
-// be called before the first event arrives.
+// be called before the first event arrives.  Binding registers the
+// collector's boundary callback: at every attribution change the probe
+// records the outgoing state's sample node as a segment mark in its
+// buffered block, so blocks stay full and EmitBlock resolves each segment
+// from its tag.  Runs that join cache misses back to the collector must
+// additionally call Probe.RequireAttrSync, which overrides marking with a
+// flush per transition (see EmitBlock).
 func (c *Collector) Bind(p *atom.Probe) {
 	c.probe = p
 	c.lastNode = nil
+	p.MarkAttrBoundaries(c.boundaryTag)
 }
+
+// boundaryTag is the probe's attribution-boundary callback: the sample
+// node for the outgoing state, recorded as the closing segment's tag.
+func (c *Collector) boundaryTag() any { return c.cur() }
 
 // resolve walks the trie to the node for the probe's current attribution
 // state.
@@ -96,14 +133,36 @@ func (c *Collector) resolve() *node {
 }
 
 // cur returns the sample node for the probe's current state, re-resolving
-// only when the probe's attribution version moved.
+// only when the probe's attribution version moved, and then only on the
+// first visit to a given attribution state — repeats hit the memo.
 func (c *Collector) cur() *node {
 	if c.probe == nil {
 		return &c.root
 	}
 	if v := c.probe.AttrVersion(); c.lastNode == nil || v != c.lastVersion {
 		c.lastVersion = v
-		c.lastNode = c.resolve()
+		frames, curR := c.probe.FramesID(), c.probe.CurrentRoutine()
+		if frames != c.ctxFrames || curR != c.ctxCur || c.ctxTab == nil {
+			k := ctxKey{frames: frames, cur: curR}
+			c.ctxFrames, c.ctxCur, c.ctxTab = frames, curR, c.ctxs[k]
+		}
+		// CurrentOpID is -1 between commands, hence the +1 bias.
+		idx := (int(c.probe.CurrentOpID())+1)*atom.NumPhases + int(c.probe.CurrentPhase())
+		var n *node
+		if idx < len(c.ctxTab) {
+			n = c.ctxTab[idx]
+		}
+		if n == nil {
+			n = c.resolve()
+			if idx >= len(c.ctxTab) {
+				tab := make([]*node, idx+1)
+				copy(tab, c.ctxTab)
+				c.ctxTab = tab
+				c.ctxs[ctxKey{frames: frames, cur: curR}] = tab
+			}
+			c.ctxTab[idx] = n
+		}
+		c.lastNode = n
 	}
 	return c.lastNode
 }
@@ -122,9 +181,48 @@ func (c *Collector) Emit(e trace.Event) {
 	}
 }
 
+// EmitBlock attributes a whole batch.  In the marking mode Bind sets up,
+// the block carries one tagged boundary per attribution change and each
+// tag IS the segment's resolved sample node, so attribution costs one
+// pointer read per segment plus a Kind-column scan.  In attr-sync mode
+// (miss-joining runs, Probe.RequireAttrSync) blocks carry no marks and the
+// whole block belongs to the probe's still-current state; the tail
+// accounting below covers it.
+func (c *Collector) EmitBlock(b *trace.Block) {
+	lo := 0
+	for _, m := range b.Marks {
+		n, ok := m.Tag.(*node)
+		if !ok {
+			n = c.cur()
+		}
+		c.accountSeg(n, b, lo, m.End)
+		lo = m.End
+	}
+	c.accountSeg(c.cur(), b, lo, b.N)
+}
+
+// accountSeg charges one attribution-uniform event range of b to n.  The
+// kind tally goes through a dense count table rather than a per-event
+// switch: Kind values are small, and the table walk is branch-free.
+func (c *Collector) accountSeg(n *node, b *trace.Block, lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	n.values[SampleInstructions] += int64(hi - lo)
+	var cnt [trace.NumKinds]int64
+	for _, k := range b.Kind[lo:hi] {
+		cnt[k]++
+	}
+	n.values[SampleLoads] += cnt[trace.Load]
+	n.values[SampleStores] += cnt[trace.Store]
+	n.values[SampleBranches] += cnt[trace.Branch]
+}
+
 // IMiss attributes one instruction-cache miss (alphasim.MissObserver).  The
 // pipeline calls it synchronously while processing the event the collector
-// just attributed, so the cached node is the right account.
+// just attributed, so the cached node is the right account — provided the
+// run flushes per attribution transition (Probe.RequireAttrSync, which
+// core.run engages whenever it registers this observer).
 func (c *Collector) IMiss(e trace.Event, level int) {
 	c.cur().values[SampleIMiss]++
 }

@@ -163,6 +163,7 @@ func TestCollectorStacks(t *testing.T) {
 	probe.Ret() // 2 loads + return
 	probe.EndCommand()
 	probe.Exec(dispatch, 2) // between commands: dispatch loop
+	probe.FlushEvents()
 
 	prof := col.Profile("test/hand")
 	find := func(stack ...string) *profile.Sample {
@@ -262,4 +263,84 @@ func TestSetMerged(t *testing.T) {
 	// var unused to ensure collector respects trace API
 	var _ trace.Sink = profile.NewCollector()
 	var _ alphasim.MissObserver = profile.NewCollector()
+}
+
+// driveScenario pushes a fixed attribution-rich stream through a bound
+// probe: startup work, many small command cycles across several opcodes
+// and handler routines, nested calls, memory traffic, and one segment
+// long enough to span a block-fill boundary.
+func driveScenario(probe *atom.Probe, img *atom.Image) {
+	dispatch := img.Routine("interp.dispatch", 48)
+	handlers := []*atom.Routine{
+		img.Routine("interp.add", 16),
+		img.Routine("interp.load", 24),
+		img.Routine("interp.call", 32),
+	}
+	helper := img.Routine("interp.helper", 8)
+	ops := []atom.OpID{probe.OpName("add"), probe.OpName("load"), probe.OpName("call")}
+
+	probe.SetStartup(true)
+	probe.Exec(dispatch, 50)
+	probe.SetStartup(false)
+
+	for i := 0; i < 400; i++ {
+		op := i % len(ops)
+		probe.BeginCommand(ops[op])
+		probe.Exec(dispatch, 3+op)
+		probe.BeginExecute()
+		h := handlers[op]
+		probe.Exec(h, 5+i%7)
+		switch op {
+		case 1:
+			probe.Load(0x1000 + uint32(i)*8)
+			probe.Store(0x2000 + uint32(i)*8)
+		case 2:
+			probe.Call(helper)
+			probe.Exec(helper, 4)
+			probe.Ret()
+		}
+		probe.EndCommand()
+		probe.Exec(dispatch, 2)
+	}
+
+	// One attribution segment larger than a block: the fill flush lands
+	// mid-segment and the tail must still be attributed to the same node.
+	probe.BeginCommand(ops[0])
+	probe.BeginExecute()
+	probe.Exec(handlers[0], trace.BlockCap+500)
+	probe.EndCommand()
+	probe.FlushEvents()
+}
+
+// TestCollectorSegmentedMatchesPerEvent pins the segment-marked batching
+// path to the per-event path: the same scripted stream must fold into
+// byte-identical profiles either way.
+func TestCollectorSegmentedMatchesPerEvent(t *testing.T) {
+	fold := func(perEvent bool) string {
+		img := atom.NewImage()
+		col := profile.NewCollector()
+		probe := atom.NewProbe(img, col)
+		if perEvent {
+			probe.SetBatching(false)
+		}
+		col.Bind(probe)
+		driveScenario(probe, img)
+		var buf bytes.Buffer
+		for _, typ := range []int{
+			profile.SampleInstructions, profile.SampleLoads,
+			profile.SampleStores, profile.SampleBranches,
+		} {
+			if err := col.Profile("test/seg").WriteFolded(&buf, typ); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.String()
+	}
+	batched, perEvent := fold(false), fold(true)
+	if batched != perEvent {
+		t.Errorf("segment-marked profile differs from per-event profile:\n-- batched --\n%s\n-- per-event --\n%s", batched, perEvent)
+	}
+	if !strings.Contains(batched, "interp.helper") || !strings.Contains(batched, "op:load") {
+		t.Fatalf("scenario profile missing expected frames:\n%s", batched)
+	}
 }

@@ -25,4 +25,5 @@ type Entry struct {
 	Pipe          *alphasim.Stats       `json:"pipe,omitempty"`
 	Sweep         []alphasim.SweepPoint `json:"sweep,omitempty"`
 	Profile       *profile.Profile      `json:"profile,omitempty"`
+	Batch         *trace.BatchStats     `json:"batch,omitempty"`
 }

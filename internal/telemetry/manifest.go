@@ -8,6 +8,7 @@ import (
 
 	"interplab/internal/alphasim"
 	"interplab/internal/atom"
+	"interplab/internal/trace"
 )
 
 // ManifestSchema identifies the manifest document type.
@@ -107,6 +108,11 @@ type Measurement struct {
 	// instead of executed (schema v1 additive field).  Aside from wall time
 	// it is indistinguishable from a fresh measurement.
 	CacheHit bool `json:"cache_hit,omitempty"`
+
+	// Batch accounts the batched event pipeline for this measurement:
+	// events and blocks delivered to the sinks, split by flush trigger
+	// (schema v1 additive field; nil when the run emitted per-event).
+	Batch *trace.BatchStats `json:"batch,omitempty"`
 
 	Stats *atom.Stats           `json:"stats,omitempty"`
 	Pipe  *alphasim.Stats       `json:"pipe,omitempty"`

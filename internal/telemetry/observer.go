@@ -76,6 +76,26 @@ func (o *Observer) Emit(e trace.Event) {
 	}
 }
 
+// EmitBlock forwards a whole batch (natively when the wrapped sink
+// understands blocks) and updates the observer's tallies once per flush
+// instead of once per event.  Snapshots fire when the batch carries the
+// stream across one or more sampling boundaries; the sample then lands on
+// the block edge rather than the exact interval multiple, which only
+// shifts where along the stream the cumulative mix is read.
+func (o *Observer) EmitBlock(b *trace.Block) {
+	trace.EmitBlockTo(o.sink, b)
+	before := o.total
+	o.total += uint64(b.N)
+	// The wrapped fan's counter has usually populated the block's shared
+	// kind table already, so this is nine adds, not an event loop.
+	for k, n := range b.KindCounts() {
+		o.byKind[k] += uint64(n)
+	}
+	if o.total/o.interval > before/o.interval {
+		o.snapshot()
+	}
+}
+
 func (o *Observer) snapshot() {
 	now := o.now()
 	s := Sample{Events: o.total}

@@ -240,6 +240,53 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Shard returns a fresh registry meant for one worker's private updates,
+// to be folded back with Merge when the worker finishes.  Sharding keeps
+// concurrent workers off the shared registry's mutex and counter cache
+// lines entirely.  A nil registry shards to nil (the disabled path stays
+// disabled).
+func (r *Registry) Shard() *Registry {
+	if r == nil {
+		return nil
+	}
+	return NewRegistry()
+}
+
+// Merge folds a shard's instruments into r: counters add, histograms add
+// bucket-wise, and gauges overwrite (callers merge shards in a fixed order
+// so the surviving gauge value is deterministic).  Merging nil, or into
+// nil, no-ops.
+func (r *Registry) Merge(s *Registry) {
+	if r == nil || s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, c := range s.counters {
+		r.Counter(name).Add(c.Value())
+	}
+	for name, g := range s.gauges {
+		r.Gauge(name).Set(g.Value())
+	}
+	for name, h := range s.hists {
+		r.Histogram(name).merge(h)
+	}
+}
+
+// merge adds another histogram's observations bucket-wise.
+func (h *Histogram) merge(from *Histogram) {
+	if h == nil || from == nil {
+		return
+	}
+	h.count.Add(from.count.Load())
+	h.sum.Add(from.sum.Load())
+	for i := 0; i < histBuckets; i++ {
+		if n := from.buckets[i].Load(); n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+}
+
 // Metric is one exported instrument value.  Exactly one of the value
 // fields is meaningful, selected by Type.
 type Metric struct {

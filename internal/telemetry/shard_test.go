@@ -1,0 +1,55 @@
+package telemetry
+
+import "testing"
+
+// TestShardMerge pins the worker-shard contract the parallel scheduler
+// relies on: counters add, histograms add bucket-wise, gauges take the last
+// merged shard's value, and pre-existing instruments in the target survive.
+func TestShardMerge(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs").Add(5)
+	r.Histogram("events").Observe(100)
+
+	s1 := r.Shard()
+	s2 := r.Shard()
+	s1.Counter("jobs").Add(2)
+	s1.Counter("only_s1").Inc()
+	s1.Histogram("events").Observe(7)
+	s1.Gauge("last").Set(1)
+	s2.Counter("jobs").Add(3)
+	s2.Histogram("events").Observe(9)
+	s2.Gauge("last").Set(2)
+
+	r.Merge(s1)
+	r.Merge(s2)
+
+	if got := r.Counter("jobs").Value(); got != 10 {
+		t.Errorf("jobs = %d, want 10", got)
+	}
+	if got := r.Counter("only_s1").Value(); got != 1 {
+		t.Errorf("only_s1 = %d, want 1", got)
+	}
+	h := r.Histogram("events")
+	if h.Count() != 3 || h.Sum() != 116 {
+		t.Errorf("events histogram count=%d sum=%d, want 3/116", h.Count(), h.Sum())
+	}
+	if got := r.Gauge("last").Value(); got != 2 {
+		t.Errorf("gauge = %g, want the last-merged shard's value 2", got)
+	}
+}
+
+// TestShardMergeNil keeps the disabled path disabled: a nil registry shards
+// to nil, and merging nil in either direction no-ops.
+func TestShardMergeNil(t *testing.T) {
+	var disabled *Registry
+	if s := disabled.Shard(); s != nil {
+		t.Error("nil registry must shard to nil")
+	}
+	disabled.Merge(NewRegistry()) // must not panic
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	r.Merge(nil)
+	if got := r.Counter("c").Value(); got != 1 {
+		t.Errorf("merging nil changed a counter: %d", got)
+	}
+}

@@ -53,6 +53,12 @@ type Span struct {
 	args   map[string]any
 }
 
+// BatchLane is the Chrome-trace lane (tid) reserved for the batched event
+// pipeline's per-measurement flush summaries.  It sits far above the
+// parallel scheduler's worker lanes (2..workers+1), so batch spans render
+// as their own track instead of interleaving with measurement spans.
+const BatchLane = 99
+
 // Start opens a span on lane 1, the main line.  Args are alternating key,
 // value pairs attached to the trace event ("program", "Tcl/des").  Returns
 // nil when t is nil.

@@ -1,0 +1,97 @@
+package trace
+
+// batchRing is the number of blocks a Batcher rotates through.  Delivery
+// is synchronous, so one block would suffice functionally; a small ring
+// means a sink that inspects a just-delivered block (debugging, tests)
+// still sees intact data while the producer fills the next one.
+const batchRing = 4
+
+// Batcher accumulates events into a reusable ring of Blocks and delivers
+// full blocks to a sink via EmitBlockTo.  It is the shared engine behind
+// the batching producers (atom.Probe, mipsi.Native).  Blocks are allocated
+// lazily, so an idle producer pays nothing.
+type Batcher struct {
+	sink  Sink
+	ring  [batchRing]*Block
+	idx   int
+	blk   *Block
+	stats BatchStats
+}
+
+// NewBatcher returns a batcher delivering to sink (Discard when nil).
+func NewBatcher(sink Sink) *Batcher {
+	if sink == nil {
+		sink = Discard
+	}
+	return &Batcher{sink: sink}
+}
+
+// Append buffers e, flushing with FlushFill when the block fills.
+func (t *Batcher) Append(e Event) {
+	b := t.blk
+	if b == nil {
+		b = t.next()
+	}
+	b.Append(e)
+	if b.N == BlockCap {
+		t.Flush(FlushFill)
+	}
+}
+
+// Pending reports whether buffered events await a flush.
+func (t *Batcher) Pending() bool { return t.blk != nil && t.blk.N > 0 }
+
+// NeedMark reports whether buffered events sit after the last recorded
+// segment boundary — i.e. whether Mark would record anything.  Producers
+// check it before computing a tag, so back-to-back attribution changes
+// with no events between them cost nothing.
+func (t *Batcher) NeedMark() bool {
+	b := t.blk
+	if b == nil || b.N == 0 {
+		return false
+	}
+	m := b.Marks
+	return len(m) == 0 || m[len(m)-1].End != b.N
+}
+
+// Mark records an attribution segment boundary at the current buffer
+// position: the events since the previous boundary (or block start) are
+// tagged with tag.  Boundaries that would close an empty segment are
+// dropped — the first tag already covers the events, and zero events need
+// no account.
+func (t *Batcher) Mark(tag any) {
+	if !t.NeedMark() {
+		return
+	}
+	b := t.blk
+	b.Marks = append(b.Marks, SegMark{End: b.N, Tag: tag})
+}
+
+// Flush delivers the buffered events (if any) tagged with reason, then
+// advances to the next ring slot.
+func (t *Batcher) Flush(reason FlushReason) {
+	b := t.blk
+	if b == nil || b.N == 0 {
+		return
+	}
+	b.Reason = reason
+	t.stats.count(b)
+	EmitBlockTo(t.sink, b)
+	t.idx = (t.idx + 1) % batchRing
+	t.blk = t.next()
+}
+
+// next returns the current ring slot, allocating and resetting it.
+func (t *Batcher) next() *Block {
+	b := t.ring[t.idx]
+	if b == nil {
+		b = &Block{}
+		t.ring[t.idx] = b
+	}
+	b.Reset()
+	t.blk = b
+	return b
+}
+
+// Stats returns the accumulated batch accounting.
+func (t *Batcher) Stats() BatchStats { return t.stats }

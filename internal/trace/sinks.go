@@ -17,6 +17,25 @@ func (c *Counter) Emit(e Event) {
 	}
 }
 
+// EmitBlock records a whole batch: the per-kind tally comes from the
+// block's shared KindCounts table (nine adds), and only blocks that
+// actually contain branches pay a Kind/Flags scan for the taken count.
+func (c *Counter) EmitBlock(b *Block) {
+	c.Total += uint64(b.N)
+	cnt := b.KindCounts()
+	for k, n := range cnt {
+		c.ByKind[k] += uint64(n)
+	}
+	if cnt[Branch] == 0 {
+		return
+	}
+	for i := 0; i < b.N; i++ {
+		if b.Kind[i] == Branch && b.Flags[i]&FlagTaken != 0 {
+			c.TakenBr++
+		}
+	}
+}
+
 // Loads returns the number of Load events seen.
 func (c *Counter) Loads() uint64 { return c.ByKind[Load] }
 
@@ -39,6 +58,15 @@ func (m Multi) Emit(e Event) {
 	}
 }
 
+// EmitBlock forwards the batch to every sink, natively where the sink
+// implements BlockSink and unrolled otherwise, so one unconverted sink in
+// the fan never forces the others back onto the per-event path.
+func (m Multi) EmitBlock(b *Block) {
+	for _, s := range m {
+		EmitBlockTo(s, b)
+	}
+}
+
 // Discard drops every event.  A nil sink is not legal on a Probe; Discard is
 // the explicit "count nothing, simulate nothing" choice.
 var Discard Sink = discard{}
@@ -46,6 +74,8 @@ var Discard Sink = discard{}
 type discard struct{}
 
 func (discard) Emit(Event) {}
+
+func (discard) EmitBlock(*Block) {}
 
 // Recorder appends every event to memory.  Only suitable for small runs
 // (unit tests, debugging); macro workloads produce tens of millions of
@@ -56,3 +86,10 @@ type Recorder struct {
 
 // Emit appends e.
 func (r *Recorder) Emit(e Event) { r.Events = append(r.Events, e) }
+
+// EmitBlock appends every event of the batch.
+func (r *Recorder) EmitBlock(b *Block) {
+	for i := 0; i < b.N; i++ {
+		r.Events = append(r.Events, b.Event(i))
+	}
+}

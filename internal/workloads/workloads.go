@@ -55,9 +55,13 @@ func runNative(ctx *core.Ctx, name, src string) error {
 	if err != nil {
 		return err
 	}
+	if ctx.PerEventEmission() {
+		nat.SetBatching(false)
+	}
 	if err := nat.Run(0); err != nil {
 		return err
 	}
+	ctx.RecordBatch(nat.BatchStats())
 	if nat.M.ExitCode != 0 {
 		return fmt.Errorf("program exited with %d", nat.M.ExitCode)
 	}
