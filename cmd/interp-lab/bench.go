@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -11,6 +12,7 @@ import (
 
 	"interplab/internal/core"
 	"interplab/internal/harness"
+	"interplab/internal/labstats"
 	"interplab/internal/rescache"
 	"interplab/internal/telemetry"
 	"interplab/internal/trace"
@@ -58,12 +60,26 @@ type benchReport struct {
 
 	// Scheduler arm: the same harness experiment measured serially and on
 	// the parallel scheduler — the output is byte-identical, so this is
-	// pure wall-time.
-	SchedExperiment string      `json:"sched_experiment"`
-	Parallelism     int         `json:"parallelism"`
-	SchedSerial     benchResult `json:"sched_serial"`
-	SchedParallel   benchResult `json:"sched_parallel"`
-	SchedSpeedupX   float64     `json:"sched_speedup_x"`
+	// pure wall-time.  Parallelism is the worker count the parallel arm
+	// actually ran at; SchedParallelismRequested is what -sched-parallelism
+	// asked for (default GOMAXPROCS) before the >= 2 clamp, and
+	// SchedParallelismEffective is what the batch used after capping at
+	// its job count.
+	SchedExperiment           string      `json:"sched_experiment"`
+	Parallelism               int         `json:"parallelism"`
+	SchedParallelismRequested int         `json:"sched_parallelism_requested"`
+	SchedParallelismEffective int         `json:"sched_parallelism_effective"`
+	SchedSerial               benchResult `json:"sched_serial"`
+	SchedParallel             benchResult `json:"sched_parallel"`
+	SchedSpeedupX             float64     `json:"sched_speedup_x"`
+
+	// SchedLedger is the speedup ledger of the parallel arm's best run —
+	// why SchedSpeedupX is what it is (per-worker utilization, serial
+	// fraction, imbalance, Amdahl prediction).  SchedLedgerP2 is the same
+	// ledger at exactly two workers, a fixed point comparable across hosts
+	// with different core counts.
+	SchedLedger   *schedLedgerSummary `json:"sched_ledger"`
+	SchedLedgerP2 *schedLedgerSummary `json:"sched_ledger_p2"`
 
 	// Measurement-cache arm: all nine experiments, first against an empty
 	// cache (cold: every job measured and stored), then again (warm: every
@@ -77,10 +93,27 @@ type benchReport struct {
 }
 
 // cmdBenchTelemetry wall-times a small harness measurement with telemetry
-// disabled and enabled and writes the throughput comparison to out.  With
+// disabled and enabled and writes the throughput comparison to out (the
+// optional positional argument, default BENCH_telemetry.json).  With
 // -cache dir the measurement-cache arm runs there (the dir is cleared to
 // guarantee a cold start); otherwise it uses a throwaway temp dir.
-func cmdBenchTelemetry(out string, scale float64, cacheDir string) {
+// -sched-parallelism sets the parallel scheduler arm's worker count.
+func cmdBenchTelemetry(args []string, scale float64, cacheDir string) {
+	fs := flag.NewFlagSet("bench-telemetry", flag.ExitOnError)
+	schedPar := fs.Int("sched-parallelism", runtime.GOMAXPROCS(0),
+		"workers for the parallel scheduler arm and its speedup ledger (default GOMAXPROCS)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: interp-lab bench-telemetry [-sched-parallelism n] [file]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	out := "BENCH_telemetry.json"
+	if fs.NArg() > 0 {
+		out = fs.Arg(0)
+	}
+	if *schedPar < 1 {
+		usageFatalf("-sched-parallelism must be >= 1 (got %d)", *schedPar)
+	}
 	if scale <= 0 {
 		fatalf("-scale must be > 0 (got %g)", scale)
 	}
@@ -136,17 +169,31 @@ func cmdBenchTelemetry(out string, scale float64, cacheDir string) {
 	}
 
 	rep.SchedExperiment = "table1"
+	rep.SchedParallelismRequested = *schedPar
 	// At least two workers, so the parallel arm always measures the
 	// concurrent scheduler path (on a single-CPU host the honest result is
 	// ~1.0x; with more cores the speedup shows up here).
-	rep.Parallelism = runtime.GOMAXPROCS(0)
+	rep.Parallelism = *schedPar
 	if rep.Parallelism < 2 {
 		rep.Parallelism = 2
 	}
-	rep.SchedSerial = schedArm(runs, rep.SchedExperiment, scale, 1)
-	rep.SchedParallel = schedArm(runs, rep.SchedExperiment, scale, rep.Parallelism)
+	rep.SchedSerial, _ = schedArm(runs, rep.SchedExperiment, scale, 1)
+	var parSched *labstats.SchedStats
+	rep.SchedParallel, parSched = schedArm(runs, rep.SchedExperiment, scale, rep.Parallelism)
 	if rep.SchedParallel.BestSeconds > 0 {
 		rep.SchedSpeedupX = rep.SchedSerial.BestSeconds / rep.SchedParallel.BestSeconds
+	}
+	rep.SchedLedger = summarizeLedger(parSched)
+	if parSched != nil {
+		rep.SchedParallelismEffective = parSched.WorkersEffective
+	}
+	if rep.Parallelism == 2 {
+		rep.SchedLedgerP2 = rep.SchedLedger
+	} else {
+		// One run suffices: the fixed two-worker point is ledger data, not
+		// a best-of timing.
+		_, p2 := schedArm(1, rep.SchedExperiment, scale, 2)
+		rep.SchedLedgerP2 = summarizeLedger(p2)
 	}
 
 	rep.CacheExperiments = len(harness.Experiments)
@@ -174,6 +221,10 @@ func cmdBenchTelemetry(out string, scale float64, cacheDir string) {
 	fmt.Printf("scheduler %s: serial %.2fs, parallel(%d) %.2fs (%.2fx)\n",
 		rep.SchedExperiment, rep.SchedSerial.BestSeconds, rep.Parallelism,
 		rep.SchedParallel.BestSeconds, rep.SchedSpeedupX)
+	if l := rep.SchedLedger; l != nil {
+		fmt.Printf("scheduler ledger (%d workers): serial fraction %.3f, imbalance %.1f%%, batch speedup %.2fx vs Amdahl %.2fx\n",
+			l.EffectiveWorkers, l.SerialFraction, l.ImbalancePct, l.MeasuredSpeedupX, l.PredictedSpeedupX)
+	}
 	fmt.Printf("cache (%d experiments): cold %.2fs, warm %.2fs (%.1fx)\n",
 		rep.CacheExperiments, rep.CacheCold.BestSeconds, rep.CacheWarm.BestSeconds, rep.CacheSpeedupX)
 }
@@ -237,15 +288,53 @@ func cacheRun(cache *rescache.Cache, scale float64) (string, benchResult) {
 	return buf.String(), r
 }
 
+// schedLedgerSummary condenses one batch's speedup ledger for
+// BENCH_telemetry.json: enough to explain the headline speedup — who was
+// busy, what share of the work ran serially, and what Amdahl's law says
+// that should have cost — without the full per-job ledger.
+type schedLedgerSummary struct {
+	Parallelism       int       `json:"parallelism"`
+	EffectiveWorkers  int       `json:"effective_workers"`
+	WorkerUtilization []float64 `json:"worker_utilization"`
+	SerialFraction    float64   `json:"serial_fraction"`
+	ImbalancePct      float64   `json:"imbalance_pct"`
+	MeasuredSpeedupX  float64   `json:"measured_speedup_x"`
+	PredictedSpeedupX float64   `json:"predicted_speedup_x"`
+	ContentionWaitUS  float64   `json:"contention_wait_us"`
+}
+
+// summarizeLedger condenses a batch's speedup ledger; nil in, nil out.
+func summarizeLedger(s *labstats.SchedStats) *schedLedgerSummary {
+	if s == nil {
+		return nil
+	}
+	out := &schedLedgerSummary{
+		Parallelism:       s.WorkersRequested,
+		EffectiveWorkers:  s.WorkersEffective,
+		SerialFraction:    s.SerialFraction,
+		ImbalancePct:      s.ImbalancePct,
+		MeasuredSpeedupX:  s.MeasuredSpeedupX,
+		PredictedSpeedupX: s.PredictedSpeedupX,
+		ContentionWaitUS:  s.ContentionWaitUS,
+	}
+	for _, w := range s.Workers {
+		out.WorkerUtilization = append(out.WorkerUtilization, w.Utilization)
+	}
+	return out
+}
+
 // schedArm measures best-of-n wall time for one harness experiment at the
 // given parallelism.  Events is the total native-instruction stream length
-// across the experiment's measurements, taken from the run's registry.
-func schedArm(n int, id string, scale float64, parallelism int) benchResult {
+// across the experiment's measurements, taken from the run's registry; the
+// returned SchedStats is the speedup ledger of the best-timed run.
+func schedArm(n int, id string, scale float64, parallelism int) (benchResult, *labstats.SchedStats) {
 	var best time.Duration
 	var events uint64
+	var sched *labstats.SchedStats
 	for i := 0; i < n; i++ {
 		reg := telemetry.NewRegistry()
-		opt := harness.Options{Scale: scale, Out: io.Discard, Parallelism: parallelism, Telemetry: reg}
+		man := telemetry.NewManifest(scale)
+		opt := harness.Options{Scale: scale, Out: io.Discard, Parallelism: parallelism, Telemetry: reg, Manifest: man}
 		start := time.Now()
 		if err := harness.Run(id, opt); err != nil {
 			fatalf("bench %s: %v", id, err)
@@ -254,13 +343,16 @@ func schedArm(n int, id string, scale float64, parallelism int) benchResult {
 		events = reg.Counter("core.events").Value()
 		if best == 0 || el < best {
 			best = el
+			if len(man.Runs) > 0 && len(man.Runs[0].Sched) > 0 {
+				sched = man.Runs[0].Sched[0]
+			}
 		}
 	}
 	r := benchResult{Events: events, BestSeconds: best.Seconds()}
 	if best > 0 {
 		r.EventsPerSec = float64(events) / best.Seconds()
 	}
-	return r
+	return r, sched
 }
 
 // benchArms measures several configurations of the same workload in n

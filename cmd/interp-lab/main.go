@@ -9,7 +9,8 @@
 //	interp-lab cache [-dir d] [-max-age dur] stats|gc|clear|fingerprint
 //	interp-lab list
 //	interp-lab report manifest.json
-//	interp-lab bench-telemetry [file]
+//	interp-lab sched-report [-json] manifest.json
+//	interp-lab bench-telemetry [-sched-parallelism n] [file]
 //
 // Experiments: table1 table2 table3 fig1 fig2 fig3 fig4 memmodel ablation,
 // or "all".  -parallel fans each experiment's measurements out over n
@@ -23,7 +24,10 @@
 // trace-event file of the run's span hierarchy for chrome://tracing or
 // Perfetto.  The profile subcommand attaches the attribution profiler and
 // exports per-routine/per-opcode profiles as pprof (go tool pprof) and
-// folded stacks (flamegraphs); see docs/OBSERVABILITY.md.
+// folded stacks (flamegraphs); sched-report renders the speedup ledger a
+// -json run records for each measurement batch (per-worker utilization,
+// serial fraction, predicted vs. measured speedup); see
+// docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -44,7 +48,8 @@ func usage() {
        interp-lab cache [-dir d] [-max-age dur] stats|gc|clear|fingerprint
        interp-lab list
        interp-lab report manifest.json
-       interp-lab bench-telemetry [file]
+       interp-lab sched-report [-json] manifest.json
+       interp-lab bench-telemetry [-sched-parallelism n] [file]
 
 experiments: %v, all
 `, harness.Experiments)
@@ -57,6 +62,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event file to `file`")
 	cacheDir := flag.String("cache", "", "memoize measurements in the cache at `dir` (see docs/CACHING.md)")
 	cacheRO := flag.Bool("cache-readonly", false, "with -cache: consult the cache without writing new entries")
+	schedContention := flag.Bool("sched-contention", false, "bracket each measurement batch with mutex-/block-profile capture (diagnostic; adds overhead)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -88,12 +94,11 @@ func main() {
 	case "cache":
 		cmdCache(args[1:])
 		return
+	case "sched-report":
+		cmdSchedReport(args[1:])
+		return
 	case "bench-telemetry":
-		out := "BENCH_telemetry.json"
-		if len(args) > 1 {
-			out = args[1]
-		}
-		cmdBenchTelemetry(out, *scale, *cacheDir)
+		cmdBenchTelemetry(args[1:], *scale, *cacheDir)
 		return
 	}
 	if *scale <= 0 {
@@ -102,7 +107,7 @@ func main() {
 	if err := validateParallel(*parallel); err != nil {
 		usageFatalf("%v", err)
 	}
-	cmdRun(args, *scale, *parallel, *jsonOut, *traceOut, openCacheFlags(*cacheDir, *cacheRO))
+	cmdRun(args, *scale, *parallel, *jsonOut, *traceOut, openCacheFlags(*cacheDir, *cacheRO), *schedContention)
 }
 
 // validateParallel rejects worker counts the scheduler cannot honor.  Both
@@ -148,11 +153,11 @@ func openCacheFlags(dir string, readonly bool) *rescache.Cache {
 // cmdRun executes the named experiments, optionally recording a run
 // manifest (-json), a span trace (-trace), and memoizing measurements
 // (-cache).
-func cmdRun(ids []string, scale float64, parallel int, jsonOut, traceOut string, cache *rescache.Cache) {
+func cmdRun(ids []string, scale float64, parallel int, jsonOut, traceOut string, cache *rescache.Cache, schedContention bool) {
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = harness.Experiments
 	}
-	opt := harness.Options{Scale: scale, Out: os.Stdout, Parallelism: parallel, Cache: cache}
+	opt := harness.Options{Scale: scale, Out: os.Stdout, Parallelism: parallel, Cache: cache, SchedContention: schedContention}
 	var reg *telemetry.Registry
 	var man *telemetry.Manifest
 	if jsonOut != "" {

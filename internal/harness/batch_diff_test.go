@@ -27,6 +27,7 @@ func diffRun(t *testing.T, id string, perEvent bool) (text string, runs []byte, 
 	}
 	for _, r := range man.Runs {
 		r.DurationUS = 0
+		r.Sched = nil
 		for i := range r.Measurements {
 			r.Measurements[i].DurationUS = 0
 			r.Measurements[i].CacheHit = false

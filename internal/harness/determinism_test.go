@@ -33,6 +33,10 @@ func detRun(t *testing.T, id string, parallelism int, cache *rescache.Cache) (te
 	}
 	for _, r := range man.Runs {
 		r.DurationUS = 0
+		// The sched block records scheduling itself — timestamps, worker
+		// assignment, runtime churn — so it legitimately differs between
+		// serial and parallel runs; null it like the wall times.
+		r.Sched = nil
 		for i := range r.Measurements {
 			r.Measurements[i].DurationUS = 0
 			r.Measurements[i].CacheHit = false

@@ -76,6 +76,15 @@ type Options struct {
 	// restored measurements with cache_hit.
 	Cache *rescache.Cache
 
+	// SchedContention arms the scheduler ledger's optional mutex-/block-
+	// profile bracket: each batch raises the runtime's contention
+	// sampling rates while it runs and records how many contended stacks
+	// appeared (manifest sched block, `contention` field).  Off by
+	// default — the bracket perturbs the runtime's profiling rates
+	// process-wide, so it is opt-in diagnostics, not steady-state
+	// telemetry.
+	SchedContention bool
+
 	// rec is the manifest entry of the experiment currently dispatched by
 	// Run; the measure helpers record into it.
 	rec *telemetry.RunEntry

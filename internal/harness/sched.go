@@ -1,12 +1,14 @@
 package harness
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"interplab/internal/alphasim"
 	"interplab/internal/core"
+	"interplab/internal/labstats"
 	"interplab/internal/telemetry"
 )
 
@@ -33,6 +35,7 @@ type job struct {
 	prog  core.Program
 	cfg   alphasim.Config       // pipeline jobs
 	sweep *alphasim.ICacheSweep // sweep jobs
+	lidx  int                   // this job's index in the batch ledger
 
 	res core.Result
 	err error
@@ -44,32 +47,38 @@ type job struct {
 type batch struct {
 	opt  Options
 	jobs []*job
+	// led is the batch's scheduling ledger: per-job
+	// enqueue/claim/start/finish timestamps, worker assignment, and
+	// bracketing runtime snapshots, folded into the manifest's sched
+	// block and the sched.* registry instruments after the batch drains.
+	led *labstats.Ledger
 }
 
 // newBatch starts an empty batch carrying the experiment's options.
-func (o Options) newBatch() *batch { return &batch{opt: o} }
+func (o Options) newBatch() *batch { return &batch{opt: o, led: labstats.NewLedger()} }
+
+// enqueue appends one job and registers it in the ledger.
+func (b *batch) enqueue(j *job) *job {
+	j.lidx = b.led.Enqueue(j.kind, j.prog.ID())
+	b.jobs = append(b.jobs, j)
+	return j
+}
 
 // measure enqueues a software-metrics measurement of p.
 func (b *batch) measure(p core.Program) *job {
-	j := &job{kind: "measure", prog: p}
-	b.jobs = append(b.jobs, j)
-	return j
+	return b.enqueue(&job{kind: "measure", prog: p})
 }
 
 // measurePipeline enqueues a measurement of p through the simulated
 // processor.
 func (b *batch) measurePipeline(p core.Program, cfg alphasim.Config) *job {
-	j := &job{kind: "pipeline", prog: p, cfg: cfg}
-	b.jobs = append(b.jobs, j)
-	return j
+	return b.enqueue(&job{kind: "pipeline", prog: p, cfg: cfg})
 }
 
 // measureSweep enqueues a measurement of p through the instruction-cache
 // sweep.  The sweep must be private to this job: workers run concurrently.
 func (b *batch) measureSweep(p core.Program, sweep *alphasim.ICacheSweep) *job {
-	j := &job{kind: "sweep", prog: p, sweep: sweep}
-	b.jobs = append(b.jobs, j)
-	return j
+	return b.enqueue(&job{kind: "sweep", prog: p, sweep: sweep})
 }
 
 // run executes every enqueued job on the configured number of workers,
@@ -77,14 +86,24 @@ func (b *batch) measureSweep(p core.Program, sweep *alphasim.ICacheSweep) *job {
 // order.  It returns the first (submission-order) error, recording only
 // the measurements before it.
 func (b *batch) run() error {
-	workers := b.opt.parallelism()
+	requested := b.opt.parallelism()
+	workers := requested
 	if workers > len(b.jobs) {
 		workers = len(b.jobs)
 	}
+	effective := workers
+	if effective < 1 {
+		effective = 1
+	}
+	if b.opt.SchedContention {
+		b.led.CaptureContention()
+	}
+	b.led.Begin(requested, effective)
 	if workers <= 1 {
 		// Serial path: execute in submission order on the main trace
 		// lane, exactly the pre-scheduler behavior.
 		for _, j := range b.jobs {
+			b.led.Claim(j.lidx, 0)
 			b.exec(j, 0, b.opt.Telemetry)
 			if j.err != nil {
 				break
@@ -92,8 +111,10 @@ func (b *batch) run() error {
 		}
 	} else {
 		// Jobs are claimed in submission order via an atomic cursor; once
-		// any job fails, workers stop claiming.  Every job with a smaller
-		// index than a claimed one has itself been claimed, so after
+		// any job fails, workers stop executing — each live worker
+		// abandons at most the one job it claims after the failure, and
+		// everything beyond stays unclaimed.  Every job with a smaller
+		// index than an executed one has itself been claimed, so after
 		// wg.Wait the prefix up to the first error is fully measured.
 		//
 		// Each worker updates a private registry shard, keeping the batch
@@ -112,13 +133,28 @@ func (b *batch) run() error {
 			// Lane 1 is the experiment's main line; workers get 2..n+1.
 			go func(w, lane int) {
 				defer wg.Done()
-				for !failed.Load() {
+				var lastFinish time.Time
+				for {
 					i := int(cursor.Add(1)) - 1
 					if i >= len(b.jobs) {
 						return
 					}
-					b.exec(b.jobs[i], lane, shards[w])
-					if b.jobs[i].err != nil {
+					j := b.jobs[i]
+					if failed.Load() {
+						b.led.Abandon(j.lidx, w)
+						return
+					}
+					b.led.Claim(j.lidx, w)
+					b.opt.Tracer.InstantOn(lane, "claim "+j.prog.ID(), "job", i, "worker", w)
+					if !lastFinish.IsZero() {
+						if gap := time.Since(lastFinish); gap > 0 {
+							b.opt.Tracer.InstantOn(lane, "idle", "worker", w,
+								"gap_us", float64(gap)/float64(time.Microsecond))
+						}
+					}
+					b.exec(j, lane, shards[w])
+					lastFinish = time.Now()
+					if j.err != nil {
 						failed.Store(true)
 						return
 					}
@@ -130,6 +166,8 @@ func (b *batch) run() error {
 			b.opt.Telemetry.Merge(s)
 		}
 	}
+	b.led.End()
+	b.recordSched()
 	for _, j := range b.jobs {
 		if j.err != nil {
 			return j.err
@@ -162,6 +200,7 @@ func (b *batch) exec(j *job, lane int, reg *telemetry.Registry) {
 		opts = append(opts, core.WithTraceLane(lane))
 	}
 	start := time.Now()
+	b.led.Start(j.lidx)
 	switch j.kind {
 	case "measure":
 		j.res, j.err = core.Measure(j.prog, opts...)
@@ -170,6 +209,40 @@ func (b *batch) exec(j *job, lane int, reg *telemetry.Registry) {
 	case "sweep":
 		j.res, j.err = core.MeasureWithSweep(j.prog, j.sweep, opts...)
 	}
+	b.led.Finish(j.lidx, j.err != nil)
 	j.dur = time.Since(start)
 	j.ran = true
+}
+
+// recordSched folds the drained batch's ledger into the run record: the
+// manifest entry's sched block (even for failed batches — the ledger must
+// balance exactly when something went wrong) and the sched.* registry
+// instruments, including a per-worker utilization gauge and busy/job
+// counters.
+func (b *batch) recordSched() {
+	s := b.led.Stats()
+	if s == nil {
+		return
+	}
+	b.opt.rec.AddSched(s)
+	reg := b.opt.Telemetry
+	if reg == nil {
+		return
+	}
+	reg.Counter("sched.batches").Inc()
+	reg.Counter("sched.jobs").Add(uint64(s.Jobs.Finished))
+	reg.Counter("sched.errors").Add(uint64(s.Jobs.Errors))
+	reg.Counter("sched.abandoned").Add(uint64(s.Jobs.Abandoned))
+	reg.Counter("sched.unclaimed").Add(uint64(s.Jobs.Unclaimed))
+	reg.Histogram("sched.batch_wall_us").Observe(uint64(s.WallUS))
+	reg.Gauge("sched.workers_effective").Set(float64(s.WorkersEffective))
+	reg.Gauge("sched.serial_fraction").Set(s.SerialFraction)
+	reg.Gauge("sched.imbalance_pct").Set(s.ImbalancePct)
+	reg.Gauge("sched.measured_speedup_x").Set(s.MeasuredSpeedupX)
+	reg.Gauge("sched.contention_wait_us").Set(s.ContentionWaitUS)
+	for _, w := range s.Workers {
+		reg.Gauge(fmt.Sprintf("sched.worker.%d.utilization", w.Worker)).Set(w.Utilization)
+		reg.Counter(fmt.Sprintf("sched.worker.%d.jobs", w.Worker)).Add(uint64(w.Jobs))
+		reg.Counter(fmt.Sprintf("sched.worker.%d.busy_us", w.Worker)).Add(uint64(w.BusyUS))
+	}
 }

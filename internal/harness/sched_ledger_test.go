@@ -1,0 +1,235 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"interplab/internal/core"
+	"interplab/internal/labstats"
+	"interplab/internal/telemetry"
+)
+
+// TestStopAtFirstErrorLedgerBalance pins the scheduler's stop-at-first-
+// error contract under parallelism > 1, now with the ledger watching: the
+// returned error is the first in submission order, nothing after it is
+// recorded in the manifest, every unrecorded job is either unrun
+// (abandoned/unclaimed in ledger terms) or ran-but-uncollected, and the
+// ledger balances exactly — enqueued = claimed + unclaimed and claimed =
+// finished + abandoned — even though the batch died mid-flight.
+func TestStopAtFirstErrorLedgerBalance(t *testing.T) {
+	const n = 32
+	const failAt = 5
+	man := telemetry.NewManifest(1)
+	opt := Options{Parallelism: 4, Out: io.Discard}
+	opt.rec = man.StartRun("synthetic")
+	b := opt.newBatch()
+	for i := 0; i < n; i++ {
+		i := i
+		b.measure(core.Program{
+			System: "X", Name: fmt.Sprintf("j%02d", i),
+			Run: func(ctx *core.Ctx) error {
+				time.Sleep(time.Millisecond)
+				switch i {
+				case failAt:
+					return errors.New("boom at 5")
+				case 20:
+					return errors.New("boom at 20")
+				}
+				return nil
+			},
+		})
+	}
+	err := b.run()
+	if err == nil || !strings.Contains(err.Error(), "boom at 5") {
+		t.Fatalf("run() = %v, want the submission-order-first error (boom at 5)", err)
+	}
+
+	// The serial semantics: exactly the prefix before the first error is
+	// recorded, in order.
+	if got := len(opt.rec.Measurements); got != failAt {
+		t.Errorf("recorded %d measurements, want the %d before the first error", got, failAt)
+	}
+	for i, mm := range opt.rec.Measurements {
+		if want := fmt.Sprintf("X/j%02d", i); mm.Program != want {
+			t.Errorf("measurement %d = %q, want %q", i, mm.Program, want)
+		}
+	}
+
+	if len(opt.rec.Sched) != 1 {
+		t.Fatalf("got %d sched blocks, want 1", len(opt.rec.Sched))
+	}
+	s := opt.rec.Sched[0]
+	if s.Jobs.Enqueued != n {
+		t.Errorf("enqueued = %d, want %d", s.Jobs.Enqueued, n)
+	}
+	if s.Jobs.Enqueued != s.Jobs.Claimed+s.Jobs.Unclaimed {
+		t.Errorf("ledger does not balance: enqueued %d != claimed %d + unclaimed %d",
+			s.Jobs.Enqueued, s.Jobs.Claimed, s.Jobs.Unclaimed)
+	}
+	if s.Jobs.Claimed != s.Jobs.Finished+s.Jobs.Abandoned {
+		t.Errorf("ledger does not balance: claimed %d != finished %d + abandoned %d",
+			s.Jobs.Claimed, s.Jobs.Finished, s.Jobs.Abandoned)
+	}
+	if s.Jobs.Errors < 1 {
+		t.Errorf("errors = %d, want >= 1", s.Jobs.Errors)
+	}
+	// The prefix through the failing job was claimed in cursor order and
+	// fully executed before collect.
+	if s.Jobs.Finished <= failAt {
+		t.Errorf("finished = %d, want > %d (the prefix plus the failing job)", s.Jobs.Finished, failAt)
+	}
+
+	// Cross-check the ledger against the jobs themselves: every job after
+	// the first error is either unrecorded (not in the manifest, checked
+	// above) or unrun, and every unrun job is abandoned or unclaimed.
+	outcomes := make(map[int]string, n)
+	for _, jr := range s.Ledger {
+		outcomes[jr.Index] = jr.Outcome
+	}
+	for i, j := range b.jobs {
+		if j.ran {
+			if out := outcomes[j.lidx]; out != labstats.OutcomeOK && out != labstats.OutcomeError {
+				t.Errorf("job %d ran but ledger says %q", i, out)
+			}
+			continue
+		}
+		if out := outcomes[j.lidx]; out != labstats.OutcomeAbandoned && out != labstats.OutcomeUnclaimed {
+			t.Errorf("job %d never ran but ledger says %q", i, out)
+		}
+	}
+}
+
+// TestSchedBlockOnParallelRun is the tentpole's acceptance check at the
+// harness level: a parallelism-4 table1 run records one sched block whose
+// per-worker busy+idle sums to the batch wall time, whose utilization is
+// positive for every worker, and whose headline ratios are sane.  The
+// same numbers must reach the telemetry registry as sched.* instruments.
+func TestSchedBlockOnParallelRun(t *testing.T) {
+	man := telemetry.NewManifest(0.1)
+	reg := telemetry.NewRegistry()
+	opt := Options{Scale: 0.1, Out: io.Discard, Parallelism: 4, Manifest: man, Telemetry: reg}
+	if err := Run("table1", opt); err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Runs) != 1 || len(man.Runs[0].Sched) != 1 {
+		t.Fatalf("want 1 run with 1 sched block, got %+v", man.Runs)
+	}
+	s := man.Runs[0].Sched[0]
+	if s.WorkersRequested != 4 || s.WorkersEffective != 4 {
+		t.Errorf("workers = %d requested / %d effective, want 4/4", s.WorkersRequested, s.WorkersEffective)
+	}
+	if s.Jobs.Finished != len(man.Runs[0].Measurements) {
+		t.Errorf("finished %d != %d recorded measurements", s.Jobs.Finished, len(man.Runs[0].Measurements))
+	}
+	if len(s.Workers) != 4 {
+		t.Fatalf("got %d worker rows, want 4", len(s.Workers))
+	}
+	for _, w := range s.Workers {
+		if sum := w.BusyUS + w.IdleUS; math.Abs(sum-s.WallUS) > 0.01*s.WallUS {
+			t.Errorf("worker %d busy+idle = %v, want wall %v (±1%%)", w.Worker, sum, s.WallUS)
+		}
+		if w.Utilization <= 0 || w.Utilization > 1 {
+			t.Errorf("worker %d utilization = %v, want (0, 1]", w.Worker, w.Utilization)
+		}
+		if w.Jobs == 0 {
+			t.Errorf("worker %d claimed no jobs", w.Worker)
+		}
+	}
+	if s.SerialFraction < 0 || s.SerialFraction > 1 {
+		t.Errorf("serial fraction = %v", s.SerialFraction)
+	}
+	if s.MeasuredSpeedupX <= 0 || s.PredictedSpeedupX < 1 {
+		t.Errorf("speedups: measured %v, predicted %v", s.MeasuredSpeedupX, s.PredictedSpeedupX)
+	}
+	if s.CriticalPathUS <= 0 || s.CriticalPathUS > s.WallUS {
+		t.Errorf("critical path = %v with wall %v", s.CriticalPathUS, s.WallUS)
+	}
+	if s.Runtime == nil || s.Runtime.AllocBytes == 0 {
+		t.Error("runtime snapshot delta missing or empty")
+	}
+	if len(s.Ledger) != s.Jobs.Enqueued {
+		t.Errorf("ledger has %d records for %d jobs", len(s.Ledger), s.Jobs.Enqueued)
+	}
+
+	// Registry surface: per-worker utilization gauges and batch counters.
+	if got := reg.Counter("sched.batches").Value(); got != 1 {
+		t.Errorf("sched.batches = %d, want 1", got)
+	}
+	if got := reg.Counter("sched.jobs").Value(); got != uint64(s.Jobs.Finished) {
+		t.Errorf("sched.jobs = %d, want %d", got, s.Jobs.Finished)
+	}
+	for w := 0; w < 4; w++ {
+		if u := reg.Gauge(fmt.Sprintf("sched.worker.%d.utilization", w)).Value(); u <= 0 {
+			t.Errorf("sched.worker.%d.utilization = %v, want > 0", w, u)
+		}
+	}
+}
+
+// TestSchedBlockOnSerialRun: the serial path keeps the same books — one
+// worker, utilization positive, serial fraction exactly 1 (no overlap is
+// possible).
+func TestSchedBlockOnSerialRun(t *testing.T) {
+	man := telemetry.NewManifest(0.1)
+	opt := Options{Scale: 0.1, Out: io.Discard, Parallelism: 1, Manifest: man}
+	if err := Run("fig1", opt); err != nil {
+		t.Fatal(err)
+	}
+	s := man.Runs[0].Sched[0]
+	if s.WorkersEffective != 1 || len(s.Workers) != 1 {
+		t.Fatalf("serial run should report one worker: %+v", s)
+	}
+	if s.SerialFraction != 1 {
+		t.Errorf("serial fraction = %v, want exactly 1", s.SerialFraction)
+	}
+	if s.Workers[0].Utilization <= 0 {
+		t.Errorf("utilization = %v, want > 0", s.Workers[0].Utilization)
+	}
+	if s.Jobs.Abandoned != 0 || s.Jobs.Unclaimed != 0 || s.Jobs.Errors != 0 {
+		t.Errorf("clean serial run should have no abandoned/unclaimed/errors: %+v", s.Jobs)
+	}
+}
+
+// TestSchedContentionBracket: Options.SchedContention arms the optional
+// mutex-/block-profile capture and the bracket's record lands in the
+// sched block.
+func TestSchedContentionBracket(t *testing.T) {
+	man := telemetry.NewManifest(0.1)
+	opt := Options{Scale: 0.1, Out: io.Discard, Parallelism: 2, Manifest: man, SchedContention: true}
+	if err := Run("fig1", opt); err != nil {
+		t.Fatal(err)
+	}
+	s := man.Runs[0].Sched[0]
+	if s.Contention == nil {
+		t.Fatal("SchedContention set but no contention record in the sched block")
+	}
+	if s.Contention.MutexProfileFraction <= 0 {
+		t.Errorf("contention bracket rates not recorded: %+v", s.Contention)
+	}
+}
+
+// TestClaimInstantsOnWorkerLanes: a traced parallel run marks each job
+// claim as an instant event on the claiming worker's lane.
+func TestClaimInstantsOnWorkerLanes(t *testing.T) {
+	tr := telemetry.NewTracer()
+	opt := Options{Scale: 0.1, Out: io.Discard, Parallelism: 4, Tracer: tr}
+	if err := Run("fig1", opt); err != nil {
+		t.Fatal(err)
+	}
+	claims := 0
+	for _, ev := range tr.Events() {
+		if ev.Ph == "i" && strings.HasPrefix(ev.Name, "claim ") {
+			claims++
+			if ev.Tid < 2 {
+				t.Errorf("claim instant on lane %d, want a worker lane (>= 2)", ev.Tid)
+			}
+		}
+	}
+	if claims == 0 {
+		t.Error("no claim instants recorded on a traced parallel run")
+	}
+}

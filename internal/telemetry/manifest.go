@@ -8,6 +8,7 @@ import (
 
 	"interplab/internal/alphasim"
 	"interplab/internal/atom"
+	"interplab/internal/labstats"
 	"interplab/internal/trace"
 )
 
@@ -68,6 +69,24 @@ type RunEntry struct {
 	DurationUS   float64           `json:"duration_us,omitempty"`
 	Measurements []Measurement     `json:"measurements,omitempty"`
 	Profiles     []ProfileArtifact `json:"profiles,omitempty"`
+
+	// Sched is the experiment's scheduler introspection: one speedup
+	// ledger per measurement batch (schema v1 additive field; every
+	// current experiment runs exactly one batch).  Unlike every other
+	// entry field it legitimately differs between two runs of the same
+	// experiment — it records timing, worker assignment, and runtime
+	// behavior, not measured results — so determinism comparisons null it
+	// the way they zero wall times.  `interp-lab sched-report` renders it.
+	Sched []*labstats.SchedStats `json:"sched,omitempty"`
+}
+
+// AddSched appends one batch's speedup ledger to the entry.  A nil entry
+// or nil stats no-op, mirroring Add.
+func (r *RunEntry) AddSched(s *labstats.SchedStats) {
+	if r == nil || s == nil {
+		return
+	}
+	r.Sched = append(r.Sched, s)
 }
 
 // ProfileArtifact is one program's attribution profile as recorded in the

@@ -118,20 +118,28 @@ func (s *Span) End() {
 	t.mu.Unlock()
 }
 
-// Instant emits a zero-duration instant ("i") event, useful for marking
-// one-off occurrences inside a run.
+// Instant emits a zero-duration instant ("i") event on lane 1, useful for
+// marking one-off occurrences inside a run.
 func (t *Tracer) Instant(name string, args ...any) {
+	t.InstantOn(1, name, args...)
+}
+
+// InstantOn emits an instant event on the given lane (Chrome trace tid,
+// >= 1).  The parallel scheduler marks job claims and idle gaps on each
+// worker's lane, so thread-scoped instants line up with that worker's
+// measurement spans.
+func (t *Tracer) InstantOn(lane int, name string, args ...any) {
 	if t == nil {
 		return
 	}
-	s := t.Start(name, args...)
+	s := t.StartOn(lane, name, args...)
 	t.mu.Lock()
 	t.events = append(t.events, TraceEvent{
 		Name: s.name,
 		Ph:   "i",
 		Ts:   float64(s.begin.Sub(t.epoch)) / float64(time.Microsecond),
 		Pid:  1,
-		Tid:  1,
+		Tid:  s.tid,
 		Args: s.args,
 	})
 	t.mu.Unlock()
