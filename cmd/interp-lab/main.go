@@ -6,6 +6,7 @@
 //
 //	interp-lab [-scale f] [-parallel n] [-cache dir] [-json manifest.json] [-trace trace.json] experiment...
 //	interp-lab profile [-scale f] [-pprof file] [-folded file] [-top n] [-value type] [-json file] experiment
+//	interp-lab serve [-addr host:port] [-cache dir] [-parallel n] [-queue n] [-batch-window d]
 //	interp-lab cache [-dir d] [-max-age dur] stats|gc|clear|fingerprint
 //	interp-lab list
 //	interp-lab report manifest.json
@@ -27,7 +28,11 @@
 // folded stacks (flamegraphs); sched-report renders the speedup ledger a
 // -json run records for each measurement batch (per-worker utilization,
 // serial fraction, predicted vs. measured speedup); see
-// docs/OBSERVABILITY.md.
+// docs/OBSERVABILITY.md.  The serve subcommand runs the lab as an HTTP
+// daemon — measurement requests with singleflight dedup, scheduler
+// batching, backpressure, and a cache shared with CLI runs (see
+// docs/SERVING.md); -version prints the build fingerprint that cache
+// keys on.
 package main
 
 import (
@@ -38,6 +43,7 @@ import (
 	"runtime"
 
 	"interplab/internal/harness"
+	"interplab/internal/labserver"
 	"interplab/internal/rescache"
 	"interplab/internal/telemetry"
 )
@@ -45,11 +51,13 @@ import (
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: interp-lab [-scale f] [-parallel n] [-cache dir [-cache-readonly]] [-json file] [-trace file] experiment...
        interp-lab profile [-scale f] [-pprof file] [-folded file] [-top n] [-value type] [-json file] experiment
+       interp-lab serve [-addr host:port] [-cache dir] [-parallel n] [-queue n] [-batch-window d]
        interp-lab cache [-dir d] [-max-age dur] stats|gc|clear|fingerprint
        interp-lab list
        interp-lab report manifest.json
        interp-lab sched-report [-json] manifest.json
        interp-lab bench-telemetry [-sched-parallelism n] [file]
+       interp-lab -version
 
 experiments: %v, all
 `, harness.Experiments)
@@ -63,9 +71,14 @@ func main() {
 	cacheDir := flag.String("cache", "", "memoize measurements in the cache at `dir` (see docs/CACHING.md)")
 	cacheRO := flag.Bool("cache-readonly", false, "with -cache: consult the cache without writing new entries")
 	schedContention := flag.Bool("sched-contention", false, "bracket each measurement batch with mutex-/block-profile capture (diagnostic; adds overhead)")
+	version := flag.Bool("version", false, "print the lab build identity (binary fingerprint, cache schema, toolchain) and exit")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
+	if *version {
+		printVersion(os.Stdout)
+		return
+	}
 	if len(args) == 0 {
 		usage()
 		fmt.Fprintln(os.Stderr, "\navailable experiments (interp-lab list):")
@@ -90,6 +103,9 @@ func main() {
 		return
 	case "profile":
 		cmdProfile(args[1:], *scale, *cacheDir, *cacheRO)
+		return
+	case "serve":
+		cmdServe(args[1:], *cacheDir, *cacheRO)
 		return
 	case "cache":
 		cmdCache(args[1:])
@@ -119,6 +135,16 @@ func validateParallel(n int) error {
 		return fmt.Errorf("-parallel must be >= 1 (got %d)", n)
 	}
 	return nil
+}
+
+// printVersion reports the lab build identity: the binary fingerprint the
+// measurement cache keys on (so a client can tell whether two invocations
+// — or a CLI and a server — share cache entries), the cache schema, and
+// the toolchain.  /healthz reports the same fields for a running server.
+func printVersion(w io.Writer) {
+	info := labserver.Info()
+	fmt.Fprintf(w, "interp-lab %s (cache schema %d, %s)\n",
+		info.Fingerprint, info.CacheSchema, info.GoVersion)
 }
 
 func fatalf(format string, args ...any) {

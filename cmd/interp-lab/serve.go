@@ -1,0 +1,95 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"interplab/internal/labserver"
+	"interplab/internal/telemetry"
+)
+
+// cmdServe runs the measurement server: an HTTP daemon that admits
+// measurement/profile requests with singleflight dedup, coalesces them
+// into scheduler batches, shares one measurement cache across sessions,
+// and drains gracefully on SIGINT/SIGTERM.  See docs/SERVING.md.
+func cmdServe(args []string, defaultCache string, defaultCacheRO bool) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8347", "listen address")
+	cacheDir := fs.String("cache", defaultCache, "share the measurement cache at `dir` across all requests and CLI runs")
+	cacheRO := fs.Bool("cache-readonly", defaultCacheRO, "with -cache: consult the cache without writing new entries")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "scheduler workers per request batch")
+	queue := fs.Int("queue", 64, "admission queue depth; a full queue answers 429")
+	maxBatch := fs.Int("max-batch", 16, "max requests coalesced into one scheduler batch")
+	batchWindow := fs.Duration("batch-window", 2*time.Millisecond, "linger to coalesce requests into a batch")
+	reqTimeout := fs.Duration("request-timeout", 2*time.Minute, "server-side cap on a request's wait")
+	drainTimeout := fs.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for in-flight batches")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event file to `file` on shutdown")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: interp-lab serve [-addr host:port] [-cache dir [-cache-readonly]] [-parallel n] [-queue n] [-max-batch n] [-batch-window d] [-request-timeout d] [-trace file]\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if err := validateParallel(*parallel); err != nil {
+		usageFatalf("%v", err)
+	}
+
+	cfg := labserver.Config{
+		Cache:          openCacheFlags(*cacheDir, *cacheRO),
+		Parallelism:    *parallel,
+		QueueDepth:     *queue,
+		MaxBatch:       *maxBatch,
+		BatchWindow:    *batchWindow,
+		RequestTimeout: *reqTimeout,
+		Telemetry:      telemetry.NewRegistry(),
+	}
+	if *traceOut != "" {
+		cfg.Tracer = telemetry.NewTracer()
+	}
+	srv := labserver.New(cfg)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	info := labserver.Info()
+	fmt.Fprintf(os.Stderr, "interp-lab serve: listening on %s (%s, cache schema %d, %d workers)\n",
+		*addr, info.Fingerprint, info.CacheSchema, *parallel)
+	if cfg.Cache != nil {
+		fmt.Fprintf(os.Stderr, "interp-lab serve: measurement cache at %s (readonly=%v)\n",
+			cfg.Cache.Dir(), cfg.Cache.ReadOnly())
+	}
+
+	// Serve until a signal arrives, then drain: stop admission, finish
+	// queued and in-flight batches, and only then close the listener.
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatalf("serve: %v", err)
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "interp-lab serve: %v — draining\n", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "interp-lab serve: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "interp-lab serve: shutdown: %v\n", err)
+	}
+	if *traceOut != "" {
+		writeFileVia(*traceOut, cfg.Tracer.WriteJSON)
+	}
+	fmt.Fprintln(os.Stderr, "interp-lab serve: drained, bye")
+}

@@ -182,17 +182,24 @@ func Run(id string, opt Options) error {
 // measureOpts threads the harness's telemetry and measurement cache into
 // core measurements.  reg is the registry the measurement should update —
 // the shared one on the serial path, a worker's private shard on the
-// parallel path (sched.go merges shards after the batch drains).
-func (o Options) measureOpts(reg *telemetry.Registry) []core.MeasureOption {
+// parallel path (sched.go merges shards after the batch drains).  j can
+// override the batch-wide profiling and cache-scope settings: the
+// measurement server mixes requests with different scopes and profiling
+// modes in one batch, while experiments leave both fields zero.
+func (o Options) measureOpts(reg *telemetry.Registry, j *job) []core.MeasureOption {
 	opts := []core.MeasureOption{core.WithTracer(o.Tracer), core.WithTelemetry(reg)}
-	if o.Profile != nil {
+	if o.Profile != nil || j.profiling {
 		opts = append(opts, core.WithProfiling())
 	}
 	if o.PerEvent {
 		opts = append(opts, core.WithPerEventEmission())
 	}
 	if o.Cache != nil {
-		opts = append(opts, core.WithCache(o.Cache, rescache.Scope{Experiment: o.experiment, Scale: o.scale()}))
+		scope := rescache.Scope{Experiment: o.experiment, Scale: o.scale()}
+		if j.scope != nil {
+			scope = *j.scope
+		}
+		opts = append(opts, core.WithCache(o.Cache, scope))
 	}
 	return opts
 }
@@ -209,6 +216,14 @@ func (o Options) record(kind string, res core.Result, dur time.Duration, sweep *
 	if res.Profile != nil {
 		o.rec.AddProfile(profileArtifact(res.Profile))
 	}
+	o.rec.Add(NewMeasurement(kind, res, dur, sweep))
+}
+
+// NewMeasurement builds the manifest record for one measured result — the
+// exact structure the run manifest stores, shared with the measurement
+// server so served measurements are byte-identical to a CLI run's manifest
+// entries.  sweep, when non-nil, contributes its per-geometry points.
+func NewMeasurement(kind string, res core.Result, dur time.Duration, sweep *alphasim.ICacheSweep) telemetry.Measurement {
 	stats := res.Stats
 	mm := telemetry.Measurement{
 		Program:    res.Program.ID(),
@@ -229,8 +244,13 @@ func (o Options) record(kind string, res core.Result, dur time.Duration, sweep *
 	if sweep != nil {
 		mm.Sweep = sweep.Points()
 	}
-	o.rec.Add(mm)
+	return mm
 }
+
+// ProfileRecord summarizes one profile as a manifest artifact — the same
+// record Options.Profile runs attach to run manifests, exported for the
+// measurement server's profile responses.
+func ProfileRecord(p *profile.Profile) telemetry.ProfileArtifact { return profileArtifact(p) }
 
 // profileArtifact summarizes one program's profile for the run manifest:
 // totals, the fetch/decode-vs-execute split, and the folded-stack text.

@@ -1,0 +1,518 @@
+// Package labserver is the lab-as-a-service layer: a long-running HTTP
+// daemon (`interp-lab serve`) that accepts measurement and profile
+// requests, deduplicates identical in-flight requests with
+// singleflight-style admission, coalesces distinct requests into batches
+// run through the harness's parallel scheduler, shares one
+// content-addressed measurement cache across every session, and streams
+// manifest-identical results (plus folded stacks and pprof bytes for
+// profile requests) back to each waiter.
+//
+// The admission path is where the paper's one-shot CLI becomes a system
+// that can serve sustained traffic:
+//
+//   - Singleflight: concurrent requests with the same content address
+//     (the rescache key) share one measurement — a stampede of N identical
+//     requests costs one execution, and every waiter gets byte-identical
+//     response bytes.
+//   - Batching: distinct requests admitted within a short window are
+//     coalesced into one scheduler batch, so the worker pool sees batches
+//     the way the experiments' own runs do, with the same speedup ledger.
+//   - Backpressure: the admission queue is bounded; when it is full the
+//     server answers 429 with Retry-After instead of queueing unboundedly.
+//   - Deadlines: each request waits at most min(its timeout_ms, the
+//     server's request timeout); on expiry the waiter gets 504 while the
+//     measurement completes server-side and populates the shared cache.
+//   - Graceful drain: shutdown stops admission (503), then drains queued
+//     and in-flight batches before the process exits.
+//   - Panic isolation: a panicking measurement fails its own request with
+//     500; a panicking handler is caught at the top of the mux.
+//
+// Everything is observable: server.* metrics (in-flight, dedup hits,
+// queue depth, batch sizes, cache hits, latency), request spans in the
+// run tracer, and a /statusz endpoint carrying the last batches' speedup
+// ledgers.  See docs/SERVING.md.
+package labserver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"interplab/internal/harness"
+	"interplab/internal/labstats"
+	"interplab/internal/profile"
+	"interplab/internal/rescache"
+	"interplab/internal/telemetry"
+)
+
+// Config configures a Server.  The zero value serves with defaults and no
+// cache.
+type Config struct {
+	// Cache is the shared measurement cache; nil serves uncached (every
+	// non-deduplicated request measures).
+	Cache *rescache.Cache
+	// Parallelism is the scheduler worker count per batch (0 =
+	// GOMAXPROCS).
+	Parallelism int
+	// QueueDepth bounds the admission queue; a request arriving with the
+	// queue full is rejected with 429 (default 64).
+	QueueDepth int
+	// MaxBatch caps how many admitted requests one scheduler batch
+	// carries (default 16).
+	MaxBatch int
+	// BatchWindow is how long the batcher lingers after the first admitted
+	// request to coalesce more before submitting (default 2ms).
+	BatchWindow time.Duration
+	// RequestTimeout caps every request's wait, regardless of its own
+	// timeout_ms (default 2m).
+	RequestTimeout time.Duration
+	// StatusBatches is how many recent batch ledgers /statusz retains
+	// (default 8).
+	StatusBatches int
+
+	// Telemetry receives the server.* instruments plus everything the
+	// harness and core record; nil disables metrics (statusz then carries
+	// no snapshot).
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, records request admission spans alongside the
+	// scheduler's worker lanes.
+	Tracer *telemetry.Tracer
+
+	// batchGate, when non-nil, makes runBatch wait for a receive before
+	// executing (test seam for backpressure and drain tests).
+	batchGate chan struct{}
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 64
+}
+
+func (c Config) maxBatch() int {
+	if c.MaxBatch > 0 {
+		return c.MaxBatch
+	}
+	return 16
+}
+
+func (c Config) batchWindow() time.Duration {
+	if c.BatchWindow > 0 {
+		return c.BatchWindow
+	}
+	return 2 * time.Millisecond
+}
+
+func (c Config) requestTimeout() time.Duration {
+	if c.RequestTimeout > 0 {
+		return c.RequestTimeout
+	}
+	return 2 * time.Minute
+}
+
+func (c Config) statusBatches() int {
+	if c.StatusBatches > 0 {
+		return c.StatusBatches
+	}
+	return 8
+}
+
+// call is one admitted measurement and everybody waiting on it: the
+// creator plus every deduplicated joiner.  done is closed once status and
+// body are final; body bytes are rendered exactly once, so all waiters
+// answer byte-identically.
+type call struct {
+	key  string
+	rr   *resolved
+	done chan struct{}
+
+	status int
+	body   []byte
+}
+
+// Server is the measurement server.  It implements http.Handler; create
+// with New, shut down with Drain.
+type Server struct {
+	cfg   Config
+	reg   *telemetry.Registry
+	mux   *http.ServeMux
+	start time.Time
+
+	mu       sync.Mutex
+	inflight map[string]*call
+	draining bool
+	queue    chan *call
+
+	pending     sync.WaitGroup // admitted calls not yet answered
+	batcherDone chan struct{}
+
+	schedMu sync.Mutex
+	sched   []*labstats.SchedStats // most recent batch ledgers, oldest first
+}
+
+// New starts a server (its batcher goroutine runs until Drain).
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:         cfg,
+		reg:         cfg.Telemetry,
+		start:       time.Now(),
+		inflight:    make(map[string]*call),
+		queue:       make(chan *call, cfg.queueDepth()),
+		batcherDone: make(chan struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/measure", s.handleMeasure)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statusz", s.handleStatusz)
+	go s.batcher()
+	return s
+}
+
+// ServeHTTP dispatches to the server's endpoints, isolating handler
+// panics to a 500 on the one request.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.reg.Counter("server.panics").Inc()
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: fmt.Sprintf("internal panic: %v", rec)})
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON writes one JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Every body type here is a plain struct; Marshal cannot fail.
+		status, b = http.StatusInternalServerError, []byte(`{"error":"encode response"}`)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+// handleMeasure admits one measurement request and waits for its result.
+func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST a measurement request (see docs/SERVING.md)"})
+		return
+	}
+	started := time.Now()
+	s.reg.Counter("server.requests").Inc()
+	var req Request
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		s.reg.Counter("server.bad_requests").Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	rr, herr := resolve(req)
+	if herr != nil {
+		s.reg.Counter("server.bad_requests").Inc()
+		writeJSON(w, herr.status, errorBody{Error: herr.msg})
+		return
+	}
+	key := rr.key.Hash()
+	span := s.cfg.Tracer.Start("serve "+rr.prog.ID(), "kind", rr.req.Kind, "key", key[:12])
+	defer span.End()
+
+	c, deduped, herr := s.admit(key, rr)
+	if herr != nil {
+		if herr.status == http.StatusTooManyRequests {
+			// The queue drains one batch per window, so "one window from
+			// now" is the honest earliest retry.
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(s.cfg.batchWindow())))
+		}
+		writeJSON(w, herr.status, errorBody{Error: herr.msg, Key: key})
+		return
+	}
+	if deduped {
+		s.reg.Counter("server.dedup_hits").Inc()
+		w.Header().Set("X-Interp-Lab-Deduped", "1")
+	}
+	w.Header().Set("X-Interp-Lab-Key", key)
+
+	s.reg.Gauge("server.inflight").Add(1)
+	defer s.reg.Gauge("server.inflight").Add(-1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), req.timeout(s.cfg.requestTimeout()))
+	defer cancel()
+	select {
+	case <-c.done:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(c.status)
+		w.Write(c.body)
+		s.reg.Histogram("server.request_us").Observe(uint64(time.Since(started) / time.Microsecond))
+	case <-ctx.Done():
+		// The waiter leaves; the measurement continues server-side and
+		// populates the shared cache, so a retry is nearly free.
+		s.reg.Counter("server.timeouts").Inc()
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{
+			Error: "deadline exceeded waiting for the measurement (it continues server-side and will populate the cache)",
+			Key:   key,
+		})
+	}
+}
+
+// retryAfterSeconds rounds a batch window up to whole seconds for the
+// Retry-After header (minimum 1).
+func retryAfterSeconds(window time.Duration) int {
+	secs := int((window + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// admit registers the request under singleflight admission: an identical
+// in-flight call is joined, otherwise a new call is enqueued.  Rejections:
+// 503 while draining, 429 when the bounded queue is full.
+func (s *Server) admit(key string, rr *resolved) (c *call, deduped bool, herr *httpError) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false, &httpError{status: http.StatusServiceUnavailable, msg: "server is draining"}
+	}
+	if c := s.inflight[key]; c != nil {
+		return c, true, nil
+	}
+	c = &call{key: key, rr: rr, done: make(chan struct{})}
+	select {
+	case s.queue <- c:
+	default:
+		s.reg.Counter("server.queue_rejects").Inc()
+		return nil, false, &httpError{status: http.StatusTooManyRequests, msg: "admission queue is full; retry shortly"}
+	}
+	s.inflight[key] = c
+	s.pending.Add(1)
+	s.reg.Gauge("server.queue_depth").Add(1)
+	return c, false, nil
+}
+
+// batcher drains the admission queue: it takes the first waiting call,
+// lingers up to BatchWindow to coalesce more (up to MaxBatch), and runs
+// the batch through the scheduler.  It exits when the queue is closed
+// (Drain) and fully drained.
+func (s *Server) batcher() {
+	defer close(s.batcherDone)
+	for {
+		c, ok := <-s.queue
+		if !ok {
+			return
+		}
+		calls := []*call{c}
+		timer := time.NewTimer(s.cfg.batchWindow())
+	fill:
+		for len(calls) < s.cfg.maxBatch() {
+			select {
+			case c2, ok := <-s.queue:
+				if !ok {
+					break fill
+				}
+				calls = append(calls, c2)
+			case <-timer.C:
+				break fill
+			}
+		}
+		timer.Stop()
+		s.runBatch(calls)
+	}
+}
+
+// runBatch executes one coalesced batch through the harness scheduler and
+// answers every call.  A panic outside the per-job isolation (batch setup,
+// response rendering) fails the batch's unanswered calls instead of
+// killing the batcher.
+func (s *Server) runBatch(calls []*call) {
+	s.reg.Gauge("server.queue_depth").Add(-float64(len(calls)))
+	if s.cfg.batchGate != nil {
+		<-s.cfg.batchGate
+	}
+	answered := make([]bool, len(calls))
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.reg.Counter("server.panics").Inc()
+			for i, c := range calls {
+				if !answered[i] {
+					s.finishError(c, fmt.Errorf("batch panicked: %v", rec))
+					answered[i] = true
+				}
+			}
+		}
+	}()
+
+	opt := harness.Options{
+		Out:         io.Discard,
+		Parallelism: s.cfg.Parallelism,
+		Telemetry:   s.reg,
+		Tracer:      s.cfg.Tracer,
+		Cache:       s.cfg.Cache,
+	}
+	b := harness.NewBatch(opt)
+	jobs := make([]*harness.Job, len(calls))
+	for i, c := range calls {
+		scope := c.rr.scope
+		j, err := b.Submit(harness.BatchJob{
+			Kind:      c.rr.req.Kind,
+			Program:   c.rr.prog,
+			Config:    c.rr.cfg,
+			Sweep:     c.rr.sweep,
+			Scope:     &scope,
+			Profiling: c.rr.req.Profiling,
+		})
+		if err != nil {
+			// resolve() already vetted the kind, so this is unreachable;
+			// answer the call rather than wedge its waiters.
+			s.finishError(c, err)
+			answered[i] = true
+			continue
+		}
+		jobs[i] = j
+	}
+	start := time.Now()
+	err := b.Run()
+	s.reg.Counter("server.batches").Inc()
+	s.reg.Histogram("server.batch_jobs").Observe(uint64(len(calls)))
+	s.reg.Histogram("server.batch_us").Observe(uint64(time.Since(start) / time.Microsecond))
+	if st := b.Sched(); st != nil {
+		s.pushSched(st)
+	}
+	for i, c := range calls {
+		if answered[i] {
+			continue
+		}
+		switch {
+		case err != nil:
+			s.finishError(c, err)
+		case jobs[i].Err() != nil:
+			s.finishError(c, jobs[i].Err())
+		case !jobs[i].Ran():
+			s.finishError(c, fmt.Errorf("measurement was never executed"))
+		default:
+			s.finishOK(c, jobs[i])
+		}
+		answered[i] = true
+	}
+}
+
+// pushSched retains one batch's speedup ledger for /statusz, dropping the
+// oldest beyond the retention limit.
+func (s *Server) pushSched(st *labstats.SchedStats) {
+	s.schedMu.Lock()
+	defer s.schedMu.Unlock()
+	s.sched = append(s.sched, st)
+	if over := len(s.sched) - s.cfg.statusBatches(); over > 0 {
+		s.sched = append(s.sched[:0], s.sched[over:]...)
+	}
+}
+
+// recentSched snapshots the retained batch ledgers, oldest first.
+func (s *Server) recentSched() []*labstats.SchedStats {
+	s.schedMu.Lock()
+	defer s.schedMu.Unlock()
+	out := make([]*labstats.SchedStats, len(s.sched))
+	copy(out, s.sched)
+	return out
+}
+
+// finishError answers a failed call with 500.
+func (s *Server) finishError(c *call, err error) {
+	s.reg.Counter("server.errors").Inc()
+	body, _ := json.Marshal(errorBody{Error: err.Error(), Key: c.key})
+	c.status = http.StatusInternalServerError
+	c.body = append(body, '\n')
+	s.complete(c)
+}
+
+// finishOK renders a successful measurement into the call's response
+// bytes: the manifest-identical measurement record, plus profile
+// artifacts on profiling requests.
+func (s *Server) finishOK(c *call, j *harness.Job) {
+	res := j.Result()
+	if res.FromCache {
+		s.reg.Counter("server.cache_hits").Inc()
+	} else {
+		s.reg.Counter("server.cache_misses").Inc()
+	}
+	resp := Response{
+		Key:         c.key,
+		Measurement: harness.NewMeasurement(c.rr.req.Kind, res, j.Duration(), j.Sweep()),
+	}
+	if res.Profile != nil {
+		pa := harness.ProfileRecord(res.Profile)
+		resp.Profile = &pa
+		var folded strings.Builder
+		if err := res.Profile.WriteFolded(&folded, profile.SampleInstructions); err == nil {
+			resp.Folded = folded.String()
+		}
+		var pprofBuf bytes.Buffer
+		if err := res.Profile.WritePprof(&pprofBuf); err == nil {
+			resp.Pprof = pprofBuf.Bytes()
+		}
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		s.finishError(c, fmt.Errorf("encode response: %v", err))
+		return
+	}
+	c.status = http.StatusOK
+	c.body = append(body, '\n')
+	s.complete(c)
+}
+
+// complete publishes the call's final status/body and releases its
+// waiters and singleflight slot.
+func (s *Server) complete(c *call) {
+	s.mu.Lock()
+	delete(s.inflight, c.key)
+	s.mu.Unlock()
+	close(c.done)
+	s.pending.Done()
+}
+
+// Drain gracefully shuts the server down: new requests are rejected with
+// 503, then the admission queue and every in-flight batch drain.  It
+// returns ctx's error if the drain does not finish in time (queued work
+// keeps draining in the background regardless).
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.pending.Wait()
+		<-s.batcherDone
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("labserver: drain: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// queueLen returns the current admission-queue depth.
+func (s *Server) queueLen() int { return len(s.queue) }
+
+// goroutines reports the process goroutine count for /statusz.
+func goroutines() int { return runtime.NumGoroutine() }

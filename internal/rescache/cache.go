@@ -19,6 +19,16 @@ import (
 // reader that races a writer sees either the old complete entry or the new
 // one, never a torn file (a torn or foreign file reads as a miss).
 //
+// The same guarantees hold ACROSS PROCESSES sharing one directory — the
+// serving daemon, concurrent CLI runs, and CI jobs may all point at the
+// same cache.  Concurrent writers of the same key each rename a complete
+// temp file over the final path, so the survivor is one writer's complete
+// entry (keys are content addresses, so all writers carry interchangeable
+// values); readers racing either writer see a complete entry or a miss.
+// Scan and GC tolerate entries appearing, being rewritten, or vanishing
+// mid-walk: a file another process already removed is skipped, never an
+// error.
+//
 // A nil *Cache is a valid no-op receiver — Get always misses, Put does
 // nothing — so call sites need not branch on whether caching is enabled.
 type Cache struct {
@@ -222,6 +232,12 @@ func (c *Cache) walk(visit func(EntryInfo) error) error {
 // differs from keep (pass Fingerprint() for the running build), any entry
 // older than maxAge (0 disables the age check), and every corrupt file.
 // It returns the number of files removed and the bytes freed.
+//
+// GC is safe to run while other processes use the directory: an entry
+// another process removed (or rewrote) between the scan and the removal is
+// skipped rather than erroring, and entries written mid-scan are simply
+// judged by what the walk sees — a fresh-fingerprint write survives, the
+// next GC catches anything the walk missed.
 func (c *Cache) GC(keep string, maxAge time.Duration) (removed int, freed int64, err error) {
 	if c == nil || c.readonly {
 		return 0, 0, nil
@@ -236,6 +252,11 @@ func (c *Cache) GC(keep string, maxAge time.Duration) (removed int, freed int64,
 			return nil
 		}
 		if rmErr := os.Remove(info.Path); rmErr != nil {
+			if os.IsNotExist(rmErr) {
+				// A concurrent GC (another process sharing the cache)
+				// removed it first; the entry is gone either way.
+				return nil
+			}
 			return rmErr
 		}
 		removed++

@@ -64,6 +64,24 @@ func (g *Gauge) Set(v float64) {
 	g.bits.Store(math.Float64bits(v))
 }
 
+// Add adjusts the gauge by delta (negative deltas decrease it), atomically
+// with respect to concurrent Add and Set calls.  Level-style gauges — a
+// server's in-flight request count, an admission queue's depth — are
+// incremented and decremented from many goroutines, which Set alone cannot
+// express without a racy read-modify-write.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the last value set (0 for a nil Gauge).
 func (g *Gauge) Value() float64 {
 	if g == nil {

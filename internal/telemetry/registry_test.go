@@ -23,6 +23,37 @@ func TestCounterGaugeBasics(t *testing.T) {
 	}
 }
 
+// TestGaugeAdd covers the level-tracking use (in-flight requests, queue
+// depth): concurrent +1/-1 deltas must balance back to the starting level.
+func TestGaugeAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("inflight")
+	g.Add(2)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge after +2 -0.5 = %g, want 1.5", got)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge after balanced concurrent deltas = %g, want 1.5", got)
+	}
+
+	var nilG *Gauge
+	nilG.Add(3) // must not panic
+}
+
 // TestNilRegistryNoOps pins the disabled path: a nil registry hands out
 // nil instruments whose every method is a safe no-op.
 func TestNilRegistryNoOps(t *testing.T) {
