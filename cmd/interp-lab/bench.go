@@ -24,6 +24,11 @@ type benchResult struct {
 	Events       uint64  `json:"events"`
 	BestSeconds  float64 `json:"best_seconds"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	// WinningRound is the 1-based interleaved round that produced
+	// BestSeconds — a diagnostic for host noise: arms that keep winning in
+	// late rounds are being warmed, arms that win round 1 and never again
+	// are being disturbed.  Zero for arms not measured in rounds.
+	WinningRound int `json:"winning_round,omitempty"`
 }
 
 // perEventArm is the same telemetry-overhead measurement taken with the
@@ -177,9 +182,13 @@ func cmdBenchTelemetry(args []string, scale float64, cacheDir string) {
 	if rep.Parallelism < 2 {
 		rep.Parallelism = 2
 	}
-	rep.SchedSerial, _ = schedArm(runs, rep.SchedExperiment, scale, 1)
-	var parSched *labstats.SchedStats
-	rep.SchedParallel, parSched = schedArm(runs, rep.SchedExperiment, scale, rep.Parallelism)
+	// Serial and parallel run in interleaved best-of rounds (serial,
+	// parallel, serial, parallel, ...) so a host noise episode degrades
+	// both arms instead of sinking whichever one it lands on — the speedup
+	// ratio stays honest even on a noisy runner.
+	schedRes, schedStats := schedArms(runs, rep.SchedExperiment, scale, []int{1, rep.Parallelism})
+	rep.SchedSerial, rep.SchedParallel = schedRes[0], schedRes[1]
+	parSched := schedStats[1]
 	if rep.SchedParallel.BestSeconds > 0 {
 		rep.SchedSpeedupX = rep.SchedSerial.BestSeconds / rep.SchedParallel.BestSeconds
 	}
@@ -192,8 +201,8 @@ func cmdBenchTelemetry(args []string, scale float64, cacheDir string) {
 	} else {
 		// One run suffices: the fixed two-worker point is ledger data, not
 		// a best-of timing.
-		_, p2 := schedArm(1, rep.SchedExperiment, scale, 2)
-		rep.SchedLedgerP2 = summarizeLedger(p2)
+		_, p2 := schedArms(1, rep.SchedExperiment, scale, []int{2})
+		rep.SchedLedgerP2 = summarizeLedger(p2[0])
 	}
 
 	rep.CacheExperiments = len(harness.Experiments)
@@ -218,12 +227,18 @@ func cmdBenchTelemetry(args []string, scale float64, cacheDir string) {
 		off.EventsPerSec, on.EventsPerSec, rep.OverheadPct, prof.EventsPerSec, rep.ProfileOverheadPct, out)
 	fmt.Printf("per-event baseline: telemetry overhead %.2f%%, profiling overhead %.2f%% (%d blocks, %.0f events/block)\n",
 		rep.PerEvent.OverheadPct, rep.PerEvent.ProfileOverheadPct, rep.Batch.Blocks, rep.Batch.EventsPerBlock())
-	fmt.Printf("scheduler %s: serial %.2fs, parallel(%d) %.2fs (%.2fx)\n",
-		rep.SchedExperiment, rep.SchedSerial.BestSeconds, rep.Parallelism,
-		rep.SchedParallel.BestSeconds, rep.SchedSpeedupX)
+	fmt.Printf("scheduler %s: serial %.2fs (round %d), parallel(%d) %.2fs (round %d) -> %.2fx\n",
+		rep.SchedExperiment, rep.SchedSerial.BestSeconds, rep.SchedSerial.WinningRound,
+		rep.Parallelism, rep.SchedParallel.BestSeconds, rep.SchedParallel.WinningRound,
+		rep.SchedSpeedupX)
 	if l := rep.SchedLedger; l != nil {
-		fmt.Printf("scheduler ledger (%d workers): serial fraction %.3f, imbalance %.1f%%, batch speedup %.2fx vs Amdahl %.2fx\n",
-			l.EffectiveWorkers, l.SerialFraction, l.ImbalancePct, l.MeasuredSpeedupX, l.PredictedSpeedupX)
+		fmt.Printf("scheduler ledger (%d workers, %s, %d cpus): serial fraction %.3f, imbalance %.1f%%, dilation %.2fx, batch speedup %.2fx vs Amdahl %.2fx\n",
+			l.EffectiveWorkers, l.ClaimPolicy, l.CPUs, l.SerialFraction,
+			l.ImbalancePct, l.DilationX, l.MeasuredSpeedupX, l.PredictedSpeedupX)
+		for _, ph := range l.Phases {
+			fmt.Printf("  phase %-8s %3d jobs, wall %8.0fus, busy %8.0fus\n",
+				ph.Phase, ph.Jobs, ph.WallUS, ph.BusyUS)
+		}
 	}
 	fmt.Printf("cache (%d experiments): cold %.2fs, warm %.2fs (%.1fx)\n",
 		rep.CacheExperiments, rep.CacheCold.BestSeconds, rep.CacheWarm.BestSeconds, rep.CacheSpeedupX)
@@ -301,6 +316,19 @@ type schedLedgerSummary struct {
 	MeasuredSpeedupX  float64   `json:"measured_speedup_x"`
 	PredictedSpeedupX float64   `json:"predicted_speedup_x"`
 	ContentionWaitUS  float64   `json:"contention_wait_us"`
+	// ClaimPolicy, CPUs/GOMAXPROCS, and DilationX qualify the headline:
+	// how claims were ordered, how much hardware parallelism the arm
+	// really had, and how far concurrent execution stretched jobs past
+	// their single-run estimates (≈1 on idle multicore; ≫1 when the
+	// workers timeshare).
+	ClaimPolicy string  `json:"claim_policy,omitempty"`
+	CPUs        int     `json:"cpus,omitempty"`
+	GOMAXPROCS  int     `json:"gomaxprocs,omitempty"`
+	DilationX   float64 `json:"dilation_x,omitempty"`
+	// Phases decomposes the batch wall by scheduling stage (setup,
+	// measure, render) — a speedup regression localizes to the stage that
+	// slowed.
+	Phases []labstats.PhaseStats `json:"phases,omitempty"`
 }
 
 // summarizeLedger condenses a batch's speedup ledger; nil in, nil out.
@@ -316,6 +344,11 @@ func summarizeLedger(s *labstats.SchedStats) *schedLedgerSummary {
 		MeasuredSpeedupX:  s.MeasuredSpeedupX,
 		PredictedSpeedupX: s.PredictedSpeedupX,
 		ContentionWaitUS:  s.ContentionWaitUS,
+		ClaimPolicy:       s.ClaimPolicy,
+		CPUs:              s.CPUs,
+		GOMAXPROCS:        s.GOMAXPROCS,
+		DilationX:         s.DilationX,
+		Phases:            s.Phases,
 	}
 	for _, w := range s.Workers {
 		out.WorkerUtilization = append(out.WorkerUtilization, w.Utilization)
@@ -323,36 +356,45 @@ func summarizeLedger(s *labstats.SchedStats) *schedLedgerSummary {
 	return out
 }
 
-// schedArm measures best-of-n wall time for one harness experiment at the
-// given parallelism.  Events is the total native-instruction stream length
-// across the experiment's measurements, taken from the run's registry; the
-// returned SchedStats is the speedup ledger of the best-timed run.
-func schedArm(n int, id string, scale float64, parallelism int) (benchResult, *labstats.SchedStats) {
-	var best time.Duration
-	var events uint64
-	var sched *labstats.SchedStats
+// schedArms measures best-of-n wall time for one harness experiment at
+// each of the given parallelisms, in interleaved rounds (every arm once
+// per round).  Events is the total native-instruction stream length across
+// the experiment's measurements, taken from each run's registry; the
+// returned SchedStats are each arm's best-timed run's speedup ledger, and
+// each result records which round won.
+func schedArms(n int, id string, scale float64, parallelisms []int) ([]benchResult, []*labstats.SchedStats) {
+	best := make([]time.Duration, len(parallelisms))
+	rounds := make([]int, len(parallelisms))
+	events := make([]uint64, len(parallelisms))
+	scheds := make([]*labstats.SchedStats, len(parallelisms))
 	for i := 0; i < n; i++ {
-		reg := telemetry.NewRegistry()
-		man := telemetry.NewManifest(scale)
-		opt := harness.Options{Scale: scale, Out: io.Discard, Parallelism: parallelism, Telemetry: reg, Manifest: man}
-		start := time.Now()
-		if err := harness.Run(id, opt); err != nil {
-			fatalf("bench %s: %v", id, err)
-		}
-		el := time.Since(start)
-		events = reg.Counter("core.events").Value()
-		if best == 0 || el < best {
-			best = el
-			if len(man.Runs) > 0 && len(man.Runs[0].Sched) > 0 {
-				sched = man.Runs[0].Sched[0]
+		for a, p := range parallelisms {
+			reg := telemetry.NewRegistry()
+			man := telemetry.NewManifest(scale)
+			opt := harness.Options{Scale: scale, Out: io.Discard, Parallelism: p, Telemetry: reg, Manifest: man}
+			start := time.Now()
+			if err := harness.Run(id, opt); err != nil {
+				fatalf("bench %s: %v", id, err)
+			}
+			el := time.Since(start)
+			events[a] = reg.Counter("core.events").Value()
+			if best[a] == 0 || el < best[a] {
+				best[a] = el
+				rounds[a] = i + 1
+				if len(man.Runs) > 0 && len(man.Runs[0].Sched) > 0 {
+					scheds[a] = man.Runs[0].Sched[0]
+				}
 			}
 		}
 	}
-	r := benchResult{Events: events, BestSeconds: best.Seconds()}
-	if best > 0 {
-		r.EventsPerSec = float64(events) / best.Seconds()
+	out := make([]benchResult, len(parallelisms))
+	for a := range parallelisms {
+		out[a] = benchResult{Events: events[a], BestSeconds: best[a].Seconds(), WinningRound: rounds[a]}
+		if best[a] > 0 {
+			out[a].EventsPerSec = float64(events[a]) / best[a].Seconds()
+		}
 	}
-	return r, sched
+	return out, scheds
 }
 
 // benchArms measures several configurations of the same workload in n
@@ -362,6 +404,7 @@ func schedArm(n int, id string, scale float64, parallelism int) (benchResult, *l
 // for all of that arm's).
 func benchArms(n int, mk func() core.Program, arms [][]core.MeasureOption) ([]benchResult, []core.Result) {
 	best := make([]time.Duration, len(arms))
+	rounds := make([]int, len(arms))
 	last := make([]core.Result, len(arms))
 	for i := 0; i < n; i++ {
 		for a, opts := range arms {
@@ -374,12 +417,13 @@ func benchArms(n int, mk func() core.Program, arms [][]core.MeasureOption) ([]be
 			last[a] = res
 			if best[a] == 0 || el < best[a] {
 				best[a] = el
+				rounds[a] = i + 1
 			}
 		}
 	}
 	out := make([]benchResult, len(arms))
 	for a := range arms {
-		out[a] = benchResult{Events: last[a].Counter.Total, BestSeconds: best[a].Seconds()}
+		out[a] = benchResult{Events: last[a].Counter.Total, BestSeconds: best[a].Seconds(), WinningRound: rounds[a]}
 		if best[a] > 0 {
 			out[a].EventsPerSec = float64(out[a].Events) / best[a].Seconds()
 		}

@@ -1,0 +1,210 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"interplab/internal/alphasim"
+	"interplab/internal/core"
+	"interplab/internal/labstats"
+)
+
+// stressEmits is the synthetic workload size: each program walks a 256-word
+// routine 50×64 instructions, so every sweep point must count exactly this
+// many instruction fetches.
+const stressEmits = 50 * 64
+
+// stressProgram builds a cheap deterministic workload that emits real
+// instruction events (so sweeps accumulate counts), optionally failing or
+// panicking instead.
+func stressProgram(name string, fail error, panics bool) core.Program {
+	return core.Program{
+		System: "X", Name: name,
+		Run: func(ctx *core.Ctx) error {
+			if panics {
+				panic("synthetic panic in " + name)
+			}
+			if fail != nil {
+				return fail
+			}
+			r := ctx.Image.Routine("loop", 256)
+			for k := 0; k < 50; k++ {
+				ctx.Probe.Exec(r, 64)
+			}
+			return nil
+		},
+	}
+}
+
+// stressSweep returns a private 4-point sweep (8/16KB × 1/2-way, 32B
+// lines); on a parallel batch it decomposes into 4 sweep-point jobs.
+func stressSweep() *alphasim.ICacheSweep {
+	return alphasim.NewICacheSweep([]int{8, 16}, []int{1, 2}, 32)
+}
+
+// TestBatchKeepGoingStress hammers the exported Batch's keep-going
+// contract at parallelism 8 with a mixed load: plain measurements, ones
+// that error, ones that panic, and sweep jobs (healthy, erroring, and
+// panicking) that each decompose into per-point children.  Every job must
+// run to completion, failures must stay isolated to their own job, sweeps
+// must reassemble to exact deterministic counts, and the batch ledger
+// must balance with the decomposed sweep-point rows on the books.  Run
+// under -race this is also the scheduler's data-race stress.
+func TestBatchKeepGoingStress(t *testing.T) {
+	const nMeasure = 40
+	b := NewBatch(Options{Parallelism: 8})
+
+	errBoom := errors.New("synthetic failure")
+	var measures []*Job
+	wantErrs := 0
+	for i := 0; i < nMeasure; i++ {
+		fail := error(nil)
+		panics := false
+		switch i % 10 {
+		case 3:
+			fail = errBoom
+			wantErrs++
+		case 7:
+			panics = true
+			wantErrs++
+		}
+		j, err := b.Submit(BatchJob{
+			Kind:    "measure",
+			Program: stressProgram(fmt.Sprintf("m%02d", i), fail, panics),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		measures = append(measures, j)
+	}
+
+	// Two healthy sweeps over identical geometry (their reassembled points
+	// must agree bit for bit), one erroring, one panicking.
+	good1, err := b.Submit(BatchJob{Kind: "sweep", Program: stressProgram("s-good-a", nil, false), Sweep: stressSweep()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good2, err := b.Submit(BatchJob{Kind: "sweep", Program: stressProgram("s-good-b", nil, false), Sweep: stressSweep()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := b.Submit(BatchJob{Kind: "sweep", Program: stressProgram("s-bad", errBoom, false), Sweep: stressSweep()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	panicky, err := b.Submit(BatchJob{Kind: "sweep", Program: stressProgram("s-panic", nil, true), Sweep: stressSweep()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nSweepPoints = 4 * 4 // 4 sweep jobs × 4 geometry points
+
+	// Keep-going: individual failures never fail the batch.
+	if err := b.Run(); err != nil {
+		t.Fatalf("keep-going batch returned %v", err)
+	}
+
+	// Isolation: every measurement ran; the planted failures surface on
+	// their own jobs and nowhere else.
+	for i, j := range measures {
+		if !j.Ran() {
+			t.Fatalf("measure %d never ran in keep-going mode", i)
+		}
+		switch i % 10 {
+		case 3:
+			if !errors.Is(j.Err(), errBoom) {
+				t.Errorf("measure %d error = %v, want the planted failure", i, j.Err())
+			}
+		case 7:
+			if j.Err() == nil || !strings.Contains(j.Err().Error(), "panicked") {
+				t.Errorf("measure %d error = %v, want a recovered panic", i, j.Err())
+			}
+		default:
+			if j.Err() != nil {
+				t.Errorf("healthy measure %d failed: %v", i, j.Err())
+			}
+			if j.Duration() <= 0 {
+				t.Errorf("healthy measure %d has no duration", i)
+			}
+		}
+	}
+
+	// Sweeps reassembled: exact instruction counts per point, identical
+	// points across the two healthy sweeps, failures confined.
+	for _, g := range []*Job{good1, good2} {
+		if !g.Ran() || g.Err() != nil {
+			t.Fatalf("healthy sweep: ran=%v err=%v", g.Ran(), g.Err())
+		}
+		pts := g.Sweep().Points()
+		if len(pts) != 4 {
+			t.Fatalf("sweep reassembled %d points, want 4", len(pts))
+		}
+		for _, pt := range pts {
+			if pt.Instructions != stressEmits {
+				t.Errorf("point %s counted %d instructions, want %d", pt.Label(), pt.Instructions, stressEmits)
+			}
+		}
+	}
+	for i, pt := range good1.Sweep().Points() {
+		if other := good2.Sweep().Points()[i]; pt != other {
+			t.Errorf("identical sweeps diverged at point %d: %+v vs %+v", i, pt, other)
+		}
+	}
+	if !errors.Is(bad.Err(), errBoom) {
+		t.Errorf("erroring sweep error = %v, want the planted failure", bad.Err())
+	}
+	if panicky.Err() == nil || !strings.Contains(panicky.Err().Error(), "panicked") {
+		t.Errorf("panicking sweep error = %v, want a recovered panic", panicky.Err())
+	}
+
+	// The ledger balances with the decomposition on the books: sweep
+	// parents never enter it, their per-point children do.
+	s := b.Sched()
+	if s == nil {
+		t.Fatal("no sched stats after Run")
+	}
+	if s.ClaimPolicy != labstats.PolicyLJF {
+		t.Errorf("claim policy = %q, want %q", s.ClaimPolicy, labstats.PolicyLJF)
+	}
+	wantUnits := nMeasure + nSweepPoints
+	if s.Jobs.Enqueued != wantUnits {
+		t.Errorf("ledger enqueued %d units, want %d (sweeps decomposed per point)", s.Jobs.Enqueued, wantUnits)
+	}
+	if s.Jobs.Finished != wantUnits || s.Jobs.Abandoned != 0 || s.Jobs.Unclaimed != 0 {
+		t.Errorf("keep-going must finish every unit: %+v", s.Jobs)
+	}
+	// Errors: the planted measure failures plus every child of the two
+	// broken sweeps (the failure repeats per point — each child re-runs
+	// the workload).
+	if wantLedgerErrs := wantErrs + 2*4; s.Jobs.Errors != wantLedgerErrs {
+		t.Errorf("ledger errors = %d, want %d", s.Jobs.Errors, wantLedgerErrs)
+	}
+	points := 0
+	for _, jr := range s.Ledger {
+		if jr.Kind == "sweep-point" {
+			points++
+		}
+		if jr.Kind == "sweep" {
+			t.Errorf("monolithic sweep row %q in a parallel batch's ledger", jr.Program)
+		}
+		if jr.EstUS <= 0 || jr.EstSource == "" {
+			t.Errorf("unit %d (%s %s) has no cost estimate", jr.Index, jr.Kind, jr.Program)
+		}
+	}
+	if points != nSweepPoints {
+		t.Errorf("ledger shows %d sweep-point rows, want %d", points, nSweepPoints)
+	}
+	if s.WorkersEffective != 8 {
+		t.Errorf("workers effective = %d, want 8", s.WorkersEffective)
+	}
+	claimed := 0
+	for _, w := range s.Workers {
+		if w.Jobs > 0 {
+			claimed++
+		}
+	}
+	if claimed < 2 {
+		t.Errorf("only %d workers claimed jobs; the stress needs real overlap", claimed)
+	}
+}

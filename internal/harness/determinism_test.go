@@ -21,13 +21,18 @@ var detScale = 0.1
 // promise to keep byte-identical: the rendered text, the manifest run
 // entries (wall times zeroed — they vary even between two serial runs —
 // and cache_hit zeroed, the one field that legitimately flips between a
-// cold and a warm run), and the merged folded profile.
-func detRun(t *testing.T, id string, parallelism int, cache *rescache.Cache) (text string, runs []byte, folded string, measured int) {
+// cold and a warm run), the merged folded profile, and its pprof
+// encoding.  tweaks adjust the Options before the run (e.g. forcing
+// monolithic sweeps).
+func detRun(t *testing.T, id string, parallelism int, cache *rescache.Cache, tweaks ...func(*Options)) (text string, runs []byte, folded string, pprof []byte, measured int) {
 	t.Helper()
 	var buf bytes.Buffer
 	man := telemetry.NewManifest(detScale)
 	set := profile.NewSet()
 	opt := Options{Scale: detScale, Out: &buf, Parallelism: parallelism, Manifest: man, Profile: set, Cache: cache}
+	for _, tweak := range tweaks {
+		tweak(&opt)
+	}
 	if err := Run(id, opt); err != nil {
 		t.Fatalf("%s (parallelism %d): %v", id, parallelism, err)
 	}
@@ -47,11 +52,15 @@ func detRun(t *testing.T, id string, parallelism int, cache *rescache.Cache) (te
 	if err != nil {
 		t.Fatal(err)
 	}
-	var fb bytes.Buffer
-	if err := set.Merged().WriteFolded(&fb, profile.SampleInstructions); err != nil {
+	merged := set.Merged()
+	var fb, pb bytes.Buffer
+	if err := merged.WriteFolded(&fb, profile.SampleInstructions); err != nil {
 		t.Fatal(err)
 	}
-	return buf.String(), rb, fb.String(), measured
+	if err := merged.WritePprof(&pb); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), rb, fb.String(), pb.Bytes(), measured
 }
 
 // TestParallelOutputIsByteIdentical is the scheduler's acceptance test:
@@ -65,8 +74,8 @@ func TestParallelOutputIsByteIdentical(t *testing.T) {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()
-			sText, sRuns, sFolded, _ := detRun(t, id, 1, nil)
-			pText, pRuns, pFolded, _ := detRun(t, id, 8, nil)
+			sText, sRuns, sFolded, sPprof, _ := detRun(t, id, 1, nil)
+			pText, pRuns, pFolded, pPprof, _ := detRun(t, id, 8, nil)
 			if sText != pText {
 				t.Errorf("rendered text differs between serial and parallel:\n--- serial ---\n%s\n--- parallel ---\n%s", sText, pText)
 			}
@@ -75,6 +84,9 @@ func TestParallelOutputIsByteIdentical(t *testing.T) {
 			}
 			if sFolded != pFolded {
 				t.Errorf("folded profiles differ between serial and parallel:\n--- serial ---\n%s\n--- parallel ---\n%s", sFolded, pFolded)
+			}
+			if !bytes.Equal(sPprof, pPprof) {
+				t.Error("pprof encodings differ between serial and parallel")
 			}
 		})
 	}
@@ -97,9 +109,9 @@ func TestWarmCacheOutputIsByteIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			bText, bRuns, bFolded, measured := detRun(t, id, 1, nil)
-			cText, cRuns, cFolded, _ := detRun(t, id, 1, cache)
-			wText, wRuns, wFolded, _ := detRun(t, id, 1, cache)
+			bText, bRuns, bFolded, _, measured := detRun(t, id, 1, nil)
+			cText, cRuns, cFolded, _, _ := detRun(t, id, 1, cache)
+			wText, wRuns, wFolded, _, _ := detRun(t, id, 1, cache)
 			hits, misses, puts, _ := cache.Counts()
 			// Config-only experiments (table3) measure nothing, so the
 			// cache legitimately stays idle; every measuring experiment
@@ -129,6 +141,35 @@ func TestWarmCacheOutputIsByteIdentical(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestSweepDecompositionIsByteIdentical pins the per-point sweep
+// decomposition against its monolithic baseline: a parallel fig4 run with
+// every sweep split into one job per cache geometry must produce
+// byte-identical rendered text, manifest entries, folded profiles, and
+// pprof encodings to the same run forced monolithic.  The simulated
+// caches never interact, so re-running the workload per single-point
+// sweep accumulates exactly the monolithic counts; this test is the wall
+// that keeps that equivalence from regressing.
+func TestSweepDecompositionIsByteIdentical(t *testing.T) {
+	mText, mRuns, mFolded, mPprof, measured := detRun(t, "fig4", 8, nil,
+		func(o *Options) { o.MonolithicSweeps = true })
+	dText, dRuns, dFolded, dPprof, dMeasured := detRun(t, "fig4", 8, nil)
+	if measured == 0 || dMeasured != measured {
+		t.Fatalf("measured %d monolithic vs %d decomposed manifest records", measured, dMeasured)
+	}
+	if mText != dText {
+		t.Errorf("rendered text differs between monolithic and per-point sweeps:\n--- monolithic ---\n%s\n--- per-point ---\n%s", mText, dText)
+	}
+	if !bytes.Equal(mRuns, dRuns) {
+		t.Errorf("manifest entries differ between monolithic and per-point sweeps:\n--- monolithic ---\n%s\n--- per-point ---\n%s", mRuns, dRuns)
+	}
+	if mFolded != dFolded {
+		t.Errorf("folded profiles differ between monolithic and per-point sweeps:\n--- monolithic ---\n%s\n--- per-point ---\n%s", mFolded, dFolded)
+	}
+	if !bytes.Equal(mPprof, dPprof) {
+		t.Error("pprof encodings differ between monolithic and per-point sweeps")
 	}
 }
 

@@ -76,6 +76,17 @@ type Options struct {
 	// restored measurements with cache_hit.
 	Cache *rescache.Cache
 
+	// MonolithicSweeps disables per-geometry-point decomposition of sweep
+	// measurements on parallel batches: each Fig4-style sweep runs as one
+	// job simulating every geometry in a single pass, the pre-decomposition
+	// behavior.  Rendered output is byte-identical either way (the
+	// equivalence tests pin this); the switch exists to measure the
+	// decomposition win and to bisect suspected decomposition
+	// discrepancies.  Note the measurement cache keys on sweep geometry,
+	// so decomposed and monolithic runs populate different entries —
+	// keep the flag consistent between the cold and warm run of a pair.
+	MonolithicSweeps bool
+
 	// SchedContention arms the scheduler ledger's optional mutex-/block-
 	// profile bracket: each batch raises the runtime's contention
 	// sampling rates while it runs and records how many contended stacks
@@ -114,6 +125,14 @@ func (o Options) parallelism() int {
 		return o.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// decomposeSweeps reports whether sweep measurements split into
+// per-geometry-point jobs.  The decision depends only on the run's flags
+// (not the batch's job count), so every batch of a run — and the cache
+// entries it writes — decomposes consistently.
+func (o Options) decomposeSweeps() bool {
+	return !o.MonolithicSweeps && o.parallelism() > 1
 }
 
 // Experiments lists the runnable experiment ids, in presentation order.
@@ -188,7 +207,7 @@ func Run(id string, opt Options) error {
 // modes in one batch, while experiments leave both fields zero.
 func (o Options) measureOpts(reg *telemetry.Registry, j *job) []core.MeasureOption {
 	opts := []core.MeasureOption{core.WithTracer(o.Tracer), core.WithTelemetry(reg)}
-	if o.Profile != nil || j.profiling {
+	if (o.Profile != nil || j.profiling) && !j.noProfile {
 		opts = append(opts, core.WithProfiling())
 	}
 	if o.PerEvent {
@@ -283,36 +302,45 @@ var systems = []core.System{core.SysMIPSI, core.SysJava, core.SysPerl, core.SysT
 // ratios of simulated machine cycles against the compiled-C run of the
 // same operation count.
 func Table1(opt Options) error {
-	micros := workloads.Micros(opt.scale())
 	type t1row struct {
 		base *job
 		sys  []*job
 	}
+	var (
+		micros []workloads.Micro
+		rows   []t1row
+	)
 	b := opt.newBatch()
-	rows := make([]t1row, 0, len(micros))
-	for _, m := range micros {
-		r := t1row{base: b.measurePipeline(m.Progs[core.SysC], alphasim.DefaultConfig())}
-		for _, sys := range systems {
-			r.sys = append(r.sys, b.measurePipeline(m.Progs[sys], alphasim.DefaultConfig()))
+	b.addSetup("table1", func() error {
+		micros = workloads.Micros(opt.scale())
+		return nil
+	})
+	b.plan(func() error {
+		rows = make([]t1row, 0, len(micros))
+		for _, m := range micros {
+			r := t1row{base: b.measurePipeline(m.Progs[core.SysC], alphasim.DefaultConfig())}
+			for _, sys := range systems {
+				r.sys = append(r.sys, b.measurePipeline(m.Progs[sys], alphasim.DefaultConfig()))
+			}
+			rows = append(rows, r)
 		}
-		rows = append(rows, r)
-	}
-	if err := b.run(); err != nil {
-		return err
-	}
-	w := opt.out()
-	fmt.Fprintf(w, "Table 1: microbenchmark slowdowns relative to C (simulated cycles)\n\n")
-	fmt.Fprintf(w, "%-14s %-50s %9s %9s %9s %9s\n", "Benchmark", "Description", "MIPSI", "Java", "Perl", "Tcl")
-	for i, m := range micros {
-		cCycles := float64(rows[i].base.res.Pipe.Cycles)
-		fmt.Fprintf(w, "%-14s %-50s", m.Name, m.Desc)
-		for _, j := range rows[i].sys {
-			slow := float64(j.res.Pipe.Cycles) / cCycles
-			fmt.Fprintf(w, " %9s", fmtSlowdown(slow))
+		return nil
+	})
+	b.addRender("table1", func(w io.Writer) error {
+		fmt.Fprintf(w, "Table 1: microbenchmark slowdowns relative to C (simulated cycles)\n\n")
+		fmt.Fprintf(w, "%-14s %-50s %9s %9s %9s %9s\n", "Benchmark", "Description", "MIPSI", "Java", "Perl", "Tcl")
+		for i, m := range micros {
+			cCycles := float64(rows[i].base.res.Pipe.Cycles)
+			fmt.Fprintf(w, "%-14s %-50s", m.Name, m.Desc)
+			for _, j := range rows[i].sys {
+				slow := float64(j.res.Pipe.Cycles) / cCycles
+				fmt.Fprintf(w, " %9s", fmtSlowdown(slow))
+			}
+			fmt.Fprintln(w)
 		}
-		fmt.Fprintln(w)
-	}
-	return nil
+		return nil
+	})
+	return b.run()
 }
 
 func fmtSlowdown(s float64) string {
@@ -329,32 +357,41 @@ func fmtSlowdown(s float64) string {
 // Table2 regenerates the baseline performance table: commands, native
 // instructions, fetch/decode and execute averages, and simulated cycles.
 func Table2(opt Options) error {
+	var (
+		progs []core.Program
+		jobs  []*job
+	)
 	b := opt.newBatch()
-	var jobs []*job
-	for _, p := range table2Order(opt.scale()) {
-		jobs = append(jobs, b.measurePipeline(p, alphasim.DefaultConfig()))
-	}
-	if err := b.run(); err != nil {
-		return err
-	}
-	w := opt.out()
-	fmt.Fprintf(w, "Table 2: baseline interpreter performance\n\n")
-	fmt.Fprintf(w, "%-6s %-10s %8s %10s %14s %10s %8s %8s %12s\n",
-		"Lang", "Benchmark", "Size(KB)", "VCmds(K)", "NativeI(K)", "(startup)", "FD/cmd", "Ex/cmd", "Cycles(K)")
-	for _, j := range jobs {
-		res := j.res
-		fd, ex := res.PerCommand()
-		startup := ""
-		if res.StartupInstructions() > 0 && res.Program.System == core.SysPerl {
-			startup = fmt.Sprintf("(%s)", fmtK(res.StartupInstructions()))
+	b.addSetup("table2", func() error {
+		progs = table2Order(opt.scale())
+		return nil
+	})
+	b.plan(func() error {
+		for _, p := range progs {
+			jobs = append(jobs, b.measurePipeline(p, alphasim.DefaultConfig()))
 		}
-		fmt.Fprintf(w, "%-6s %-10s %8.1f %10s %14s %10s %8.0f %8.1f %12s\n",
-			res.Program.System, res.Program.Name,
-			float64(res.SizeBytes)/1024,
-			fmtK(res.Commands()), fmtK(res.NativeInstructions()), startup,
-			fd, ex, fmtK(res.Pipe.Cycles))
-	}
-	return nil
+		return nil
+	})
+	b.addRender("table2", func(w io.Writer) error {
+		fmt.Fprintf(w, "Table 2: baseline interpreter performance\n\n")
+		fmt.Fprintf(w, "%-6s %-10s %8s %10s %14s %10s %8s %8s %12s\n",
+			"Lang", "Benchmark", "Size(KB)", "VCmds(K)", "NativeI(K)", "(startup)", "FD/cmd", "Ex/cmd", "Cycles(K)")
+		for _, j := range jobs {
+			res := j.res
+			fd, ex := res.PerCommand()
+			startup := ""
+			if res.StartupInstructions() > 0 && res.Program.System == core.SysPerl {
+				startup = fmt.Sprintf("(%s)", fmtK(res.StartupInstructions()))
+			}
+			fmt.Fprintf(w, "%-6s %-10s %8.1f %10s %14s %10s %8.0f %8.1f %12s\n",
+				res.Program.System, res.Program.Name,
+				float64(res.SizeBytes)/1024,
+				fmtK(res.Commands()), fmtK(res.NativeInstructions()), startup,
+				fd, ex, fmtK(res.Pipe.Cycles))
+		}
+		return nil
+	})
+	return b.run()
 }
 
 // table2Order interleaves C des first, then per-language groups, as the
@@ -388,9 +425,16 @@ func fmtK(v uint64) string {
 	}
 }
 
-// Table3 prints the simulated machine description.
+// Table3 prints the simulated machine description.  It measures nothing,
+// but still runs as a batch so the description renders as a render-stage
+// job like every other experiment's output.
 func Table3(opt Options) error {
-	w := opt.out()
+	b := opt.newBatch()
+	b.addRender("table3", table3Render)
+	return b.run()
+}
+
+func table3Render(w io.Writer) error {
 	cfg := alphasim.DefaultConfig()
 	fmt.Fprintf(w, "Table 3: simulated processor (2-issue, 21064-like)\n\n")
 	fmt.Fprintf(w, "%-12s %-10s %s\n", "Cause", "Latency", "Description")
@@ -430,16 +474,30 @@ func interpretedSuite(scale float64) []core.Program {
 // Fig1 regenerates the cumulative execute-instruction distributions: the
 // share of execute instructions covered by the top-x virtual commands.
 func Fig1(opt Options) error {
-	progs := interpretedSuite(opt.scale())
+	var (
+		progs []core.Program
+		jobs  []*job
+	)
 	b := opt.newBatch()
-	jobs := make([]*job, len(progs))
-	for i, p := range progs {
-		jobs[i] = b.measure(p)
-	}
-	if err := b.run(); err != nil {
-		return err
-	}
-	w := opt.out()
+	b.addSetup("fig1", func() error {
+		progs = interpretedSuite(opt.scale())
+		return nil
+	})
+	b.plan(func() error {
+		jobs = make([]*job, len(progs))
+		for i, p := range progs {
+			jobs[i] = b.measure(p)
+		}
+		return nil
+	})
+	b.addRender("fig1", func(w io.Writer) error {
+		fig1Render(w, progs, jobs)
+		return nil
+	})
+	return b.run()
+}
+
+func fig1Render(w io.Writer, progs []core.Program, jobs []*job) {
 	fmt.Fprintf(w, "Figure 1: cumulative native instruction count distributions\n")
 	fmt.Fprintf(w, "(execute instructions covered by the top-x virtual commands)\n\n")
 	fmt.Fprintf(w, "%-18s %6s %6s %6s %6s %6s\n", "Benchmark", "top1", "top2", "top3", "top5", "top10")
@@ -468,7 +526,6 @@ func Fig1(opt Options) error {
 		fmt.Fprintf(w, "%-18s %5.0f%% %5.0f%% %5.0f%% %5.0f%% %5.0f%%\n",
 			p.ID(), cum[0], cum[1], cum[2], cum[3], cum[4])
 	}
-	return nil
 }
 
 func max(a, b float64) float64 {
@@ -482,37 +539,46 @@ func max(a, b float64) float64 {
 // top virtual commands with their share of commands and of execute
 // instructions.
 func Fig2(opt Options) error {
-	progs := interpretedSuite(opt.scale())
+	var (
+		progs []core.Program
+		jobs  []*job
+	)
 	b := opt.newBatch()
-	jobs := make([]*job, len(progs))
-	for i, p := range progs {
-		jobs[i] = b.measure(p)
-	}
-	if err := b.run(); err != nil {
-		return err
-	}
-	w := opt.out()
-	fmt.Fprintf(w, "Figure 2: virtual command and execute-instruction distributions\n\n")
-	for i, p := range progs {
-		res := jobs[i].res
-		fmt.Fprintf(w, "%s:\n", p.ID())
-		ops := res.Stats.Ops
-		if p.System == core.SysJava {
-			ops = groupJavaOps(ops)
+	b.addSetup("fig2", func() error {
+		progs = interpretedSuite(opt.scale())
+		return nil
+	})
+	b.plan(func() error {
+		jobs = make([]*job, len(progs))
+		for i, p := range progs {
+			jobs[i] = b.measure(p)
 		}
-		sort.Slice(ops, func(a, b int) bool { return ops[a].Execute > ops[b].Execute })
-		n := len(ops)
-		if n > 6 {
-			n = 6
+		return nil
+	})
+	b.addRender("fig2", func(w io.Writer) error {
+		fmt.Fprintf(w, "Figure 2: virtual command and execute-instruction distributions\n\n")
+		for i, p := range progs {
+			res := jobs[i].res
+			fmt.Fprintf(w, "%s:\n", p.ID())
+			ops := res.Stats.Ops
+			if p.System == core.SysJava {
+				ops = groupJavaOps(ops)
+			}
+			sort.Slice(ops, func(a, b int) bool { return ops[a].Execute > ops[b].Execute })
+			n := len(ops)
+			if n > 6 {
+				n = 6
+			}
+			for _, op := range ops[:n] {
+				cmdShare := 100 * float64(op.Count) / float64(res.Stats.Commands)
+				exShare := 100 * float64(op.Execute) / float64(res.Stats.Execute)
+				fmt.Fprintf(w, "  %-14s %5.1f%% of commands  %5.1f%% of execute  %s\n",
+					op.Name, cmdShare, exShare, bar(exShare))
+			}
 		}
-		for _, op := range ops[:n] {
-			cmdShare := 100 * float64(op.Count) / float64(res.Stats.Commands)
-			exShare := 100 * float64(op.Execute) / float64(res.Stats.Execute)
-			fmt.Fprintf(w, "  %-14s %5.1f%% of commands  %5.1f%% of execute  %s\n",
-				op.Name, cmdShare, exShare, bar(exShare))
-		}
-	}
-	return nil
+		return nil
+	})
+	return b.run()
 }
 
 func bar(pct float64) string {
@@ -525,56 +591,74 @@ func bar(pct float64) string {
 
 // MemModel regenerates the §3.3 memory-model measurements.
 func MemModel(opt Options) error {
-	progs := interpretedSuite(opt.scale())
+	var (
+		progs []core.Program
+		jobs  []*job
+	)
 	b := opt.newBatch()
-	jobs := make([]*job, len(progs))
-	for i, p := range progs {
-		jobs[i] = b.measure(p)
-	}
-	if err := b.run(); err != nil {
-		return err
-	}
-	w := opt.out()
-	fmt.Fprintf(w, "Section 3.3: memory model costs\n\n")
-	fmt.Fprintf(w, "%-18s %-12s %10s %12s %8s\n", "Benchmark", "Region", "Accesses", "Instr/access", "%total")
-	for i, p := range progs {
-		res := jobs[i].res
-		total := float64(res.NativeInstructions())
-		for _, region := range res.Stats.Regions {
-			if region.Accesses == 0 {
-				continue
-			}
-			switch region.Name {
-			case "memmodel", "java.stack", "java.field":
-				fmt.Fprintf(w, "%-18s %-12s %10d %12.0f %7.1f%%\n",
-					p.ID(), region.Name, region.Accesses, region.PerAccess(),
-					100*float64(region.Instructions)/total)
+	b.addSetup("memmodel", func() error {
+		progs = interpretedSuite(opt.scale())
+		return nil
+	})
+	b.plan(func() error {
+		jobs = make([]*job, len(progs))
+		for i, p := range progs {
+			jobs[i] = b.measure(p)
+		}
+		return nil
+	})
+	b.addRender("memmodel", func(w io.Writer) error {
+		fmt.Fprintf(w, "Section 3.3: memory model costs\n\n")
+		fmt.Fprintf(w, "%-18s %-12s %10s %12s %8s\n", "Benchmark", "Region", "Accesses", "Instr/access", "%total")
+		for i, p := range progs {
+			res := jobs[i].res
+			total := float64(res.NativeInstructions())
+			for _, region := range res.Stats.Regions {
+				if region.Accesses == 0 {
+					continue
+				}
+				switch region.Name {
+				case "memmodel", "java.stack", "java.field":
+					fmt.Fprintf(w, "%-18s %-12s %10d %12.0f %7.1f%%\n",
+						p.ID(), region.Name, region.Accesses, region.PerAccess(),
+						100*float64(region.Instructions)/total)
+				}
 			}
 		}
-	}
-	return nil
+		return nil
+	})
+	return b.run()
 }
 
 // Fig3 regenerates the issue-slot stall distributions for the interpreted
 // suite and the native baselines.
 func Fig3(opt Options) error {
-	progs := append(workloads.NativeSuite(opt.scale()), workloads.Suite(opt.scale())...)
+	var (
+		progs []core.Program
+		jobs  []*job
+	)
 	b := opt.newBatch()
-	jobs := make([]*job, len(progs))
-	for i, p := range progs {
-		jobs[i] = b.measurePipeline(p, alphasim.DefaultConfig())
-	}
-	if err := b.run(); err != nil {
-		return err
-	}
-	w := opt.out()
-	fmt.Fprintf(w, "Figure 3: overall execution behavior (%% of issue slots)\n\n")
-	fmt.Fprintf(w, "%-18s %5s %6s %6s %6s %6s %6s %6s %6s %6s\n",
-		"Benchmark", "busy", "other", "shint", "load", "mispr", "dtlb", "itlb", "dmiss", "imiss")
-	for i, p := range progs {
-		fig3Row(w, p, jobs[i].res)
-	}
-	return nil
+	b.addSetup("fig3", func() error {
+		progs = append(workloads.NativeSuite(opt.scale()), workloads.Suite(opt.scale())...)
+		return nil
+	})
+	b.plan(func() error {
+		jobs = make([]*job, len(progs))
+		for i, p := range progs {
+			jobs[i] = b.measurePipeline(p, alphasim.DefaultConfig())
+		}
+		return nil
+	})
+	b.addRender("fig3", func(w io.Writer) error {
+		fmt.Fprintf(w, "Figure 3: overall execution behavior (%% of issue slots)\n\n")
+		fmt.Fprintf(w, "%-18s %5s %6s %6s %6s %6s %6s %6s %6s %6s\n",
+			"Benchmark", "busy", "other", "shint", "load", "mispr", "dtlb", "itlb", "dmiss", "imiss")
+		for i, p := range progs {
+			fig3Row(w, p, jobs[i].res)
+		}
+		return nil
+	})
+	return b.run()
 }
 
 func fig3Row(w io.Writer, p core.Program, res core.Result) {
@@ -597,43 +681,52 @@ func fig3Row(w io.Writer, p core.Program, res core.Result) {
 // instructions across sizes and associativities for the Java, Perl and
 // Tcl suites (plus MIPSI des for contrast).
 func Fig4(opt Options) error {
-	var progs []core.Program
-	for _, p := range workloads.Suite(opt.scale()) {
-		switch p.System {
-		case core.SysC:
-			continue
-		case core.SysMIPSI:
-			if p.Name != "des" {
-				continue
-			}
-		}
-		progs = append(progs, p)
-	}
+	var (
+		progs  []core.Program
+		sweeps []*alphasim.ICacheSweep
+	)
 	b := opt.newBatch()
-	sweeps := make([]*alphasim.ICacheSweep, len(progs))
-	for i, p := range progs {
-		// Each job gets a private sweep; jobs run concurrently.
-		sweeps[i] = alphasim.DefaultICacheSweep()
-		b.measureSweep(p, sweeps[i])
-	}
-	if err := b.run(); err != nil {
-		return err
-	}
-	w := opt.out()
-	fmt.Fprintf(w, "Figure 4: instruction cache behavior (misses per 100 instructions)\n\n")
-	fmt.Fprintf(w, "%-18s", "Benchmark")
-	for _, pt := range alphasim.DefaultICacheSweep().Points() {
-		fmt.Fprintf(w, " %9s", pt.Label())
-	}
-	fmt.Fprintln(w)
-	for i, p := range progs {
-		fmt.Fprintf(w, "%-18s", p.ID())
-		for _, pt := range sweeps[i].Points() {
-			fmt.Fprintf(w, " %9.2f", pt.MissPer100())
+	b.addSetup("fig4", func() error {
+		for _, p := range workloads.Suite(opt.scale()) {
+			switch p.System {
+			case core.SysC:
+				continue
+			case core.SysMIPSI:
+				if p.Name != "des" {
+					continue
+				}
+			}
+			progs = append(progs, p)
+		}
+		return nil
+	})
+	b.plan(func() error {
+		sweeps = make([]*alphasim.ICacheSweep, len(progs))
+		for i, p := range progs {
+			// Each job gets a private sweep; jobs run concurrently (and on
+			// a parallel batch decompose into one job per geometry point).
+			sweeps[i] = alphasim.DefaultICacheSweep()
+			b.measureSweep(p, sweeps[i])
+		}
+		return nil
+	})
+	b.addRender("fig4", func(w io.Writer) error {
+		fmt.Fprintf(w, "Figure 4: instruction cache behavior (misses per 100 instructions)\n\n")
+		fmt.Fprintf(w, "%-18s", "Benchmark")
+		for _, pt := range alphasim.DefaultICacheSweep().Points() {
+			fmt.Fprintf(w, " %9s", pt.Label())
 		}
 		fmt.Fprintln(w)
-	}
-	return nil
+		for i, p := range progs {
+			fmt.Fprintf(w, "%-18s", p.ID())
+			for _, pt := range sweeps[i].Points() {
+				fmt.Fprintf(w, " %9.2f", pt.MissPer100())
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	})
+	return b.run()
 }
 
 // groupJavaOps folds raw bytecodes into the primary categories Figure 2

@@ -123,8 +123,37 @@ func TestSchedBlockOnParallelRun(t *testing.T) {
 	if s.WorkersRequested != 4 || s.WorkersEffective != 4 {
 		t.Errorf("workers = %d requested / %d effective, want 4/4", s.WorkersRequested, s.WorkersEffective)
 	}
-	if s.Jobs.Finished != len(man.Runs[0].Measurements) {
-		t.Errorf("finished %d != %d recorded measurements", s.Jobs.Finished, len(man.Runs[0].Measurements))
+	// Finished units = recorded measurements plus table1's one setup and
+	// one render job; the phase decomposition must agree line by line.
+	if s.Jobs.Finished != len(man.Runs[0].Measurements)+2 {
+		t.Errorf("finished %d != %d recorded measurements + setup + render",
+			s.Jobs.Finished, len(man.Runs[0].Measurements))
+	}
+	if len(s.Phases) != 3 {
+		t.Fatalf("got %d phases, want setup/measure/render: %+v", len(s.Phases), s.Phases)
+	}
+	for i, want := range []string{"setup", "measure", "render"} {
+		if s.Phases[i].Phase != want {
+			t.Errorf("phase %d = %q, want %q", i, s.Phases[i].Phase, want)
+		}
+		if s.Phases[i].Jobs == 0 || s.Phases[i].BusyUS <= 0 {
+			t.Errorf("phase %q recorded no work: %+v", want, s.Phases[i])
+		}
+	}
+	if s.Phases[1].Jobs != len(man.Runs[0].Measurements) {
+		t.Errorf("measure phase ran %d jobs, want %d", s.Phases[1].Jobs, len(man.Runs[0].Measurements))
+	}
+	if s.ClaimPolicy != labstats.PolicyLJF {
+		t.Errorf("claim policy = %q, want %q on a parallel run", s.ClaimPolicy, labstats.PolicyLJF)
+	}
+	if s.CPUs <= 0 || s.GOMAXPROCS <= 0 {
+		t.Errorf("cpu accounting missing: cpus=%d gomaxprocs=%d", s.CPUs, s.GOMAXPROCS)
+	}
+	for _, jr := range s.Ledger {
+		if jr.EstUS <= 0 || jr.EstSource == "" {
+			t.Errorf("job %d (%s %s) has no cost estimate: est=%v source=%q",
+				jr.Index, jr.Kind, jr.Program, jr.EstUS, jr.EstSource)
+		}
 	}
 	if len(s.Workers) != 4 {
 		t.Fatalf("got %d worker rows, want 4", len(s.Workers))
@@ -185,6 +214,9 @@ func TestSchedBlockOnSerialRun(t *testing.T) {
 	}
 	if s.SerialFraction != 1 {
 		t.Errorf("serial fraction = %v, want exactly 1", s.SerialFraction)
+	}
+	if s.ClaimPolicy != labstats.PolicyFIFO {
+		t.Errorf("claim policy = %q, want %q on a serial run", s.ClaimPolicy, labstats.PolicyFIFO)
 	}
 	if s.Workers[0].Utilization <= 0 {
 		t.Errorf("utilization = %v, want > 0", s.Workers[0].Utilization)

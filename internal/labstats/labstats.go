@@ -15,6 +15,7 @@
 package labstats
 
 import (
+	"runtime"
 	"sort"
 	"time"
 )
@@ -29,6 +30,23 @@ const (
 	OutcomeOK        = "ok"        // executed successfully
 	OutcomeError     = "error"     // executed, returned an error
 	OutcomeAbandoned = "abandoned" // claimed after a failure; never executed
+)
+
+// Cost-estimate provenance: a static estimate comes from the per-kind
+// weight table (no history for this job shape yet); a prior estimate comes
+// from observed durations of earlier jobs with the same (kind, program,
+// scale) ledger identity.
+const (
+	EstStatic = "static"
+	EstPrior  = "prior"
+)
+
+// Claim policies: FIFO is the original atomic-cursor order (submission
+// order); LJF is longest-job-first, claiming in descending cost-estimate
+// order so critical-path jobs start early and the tail stays short.
+const (
+	PolicyFIFO = "fifo"
+	PolicyLJF  = "ljf"
 )
 
 // JobRecord is one job's line in the ledger.  Timestamps are microseconds
@@ -46,6 +64,12 @@ type JobRecord struct {
 	FinishUS  float64 `json:"finish_us"`
 	DurUS     float64 `json:"dur_us"`
 	Outcome   string  `json:"outcome"`
+	// EstUS is the scheduler's pre-run cost estimate for the job — the
+	// number longest-job-first claiming ordered it by — and EstSource says
+	// where it came from (EstStatic or EstPrior).  Zero/empty when the
+	// scheduler ran without estimates (FIFO claiming).
+	EstUS     float64 `json:"est_us,omitempty"`
+	EstSource string  `json:"est_source,omitempty"`
 }
 
 // executed reports whether the job actually ran (to success or error).
@@ -68,6 +92,7 @@ type Ledger struct {
 	workersEffective int
 	beginUS, endUS   float64
 	ended            bool
+	claimPolicy      string
 
 	captureContention bool
 	contention        *ContentionStats
@@ -125,6 +150,26 @@ func (l *Ledger) Enqueue(kind, program string) int {
 	return i
 }
 
+// SetEstimate records the scheduler's pre-run cost estimate for job i and
+// its provenance (EstStatic or EstPrior).  Call between Enqueue and the
+// job's Claim.
+func (l *Ledger) SetEstimate(i int, estUS float64, source string) {
+	if l == nil || i < 0 || i >= len(l.jobs) {
+		return
+	}
+	l.jobs[i].EstUS = estUS
+	l.jobs[i].EstSource = source
+}
+
+// SetPolicy records the claim policy the batch ran under (e.g. PolicyFIFO,
+// PolicyLJF); Stats copies it into the speedup ledger.
+func (l *Ledger) SetPolicy(policy string) {
+	if l == nil {
+		return
+	}
+	l.claimPolicy = policy
+}
+
 // Begin marks the start of scheduling: the requested worker count, the
 // effective one (after capping at the job count), the wall-clock origin
 // utilization is measured against, and the opening runtime snapshot.
@@ -141,6 +186,16 @@ func (l *Ledger) Begin(requested, effective int) {
 	if l.captureContention {
 		l.contention = beginContention()
 	}
+}
+
+// SetEffective updates the effective worker count after Begin.  The
+// staged scheduler finalizes it once planning has revealed the widest
+// stage — plan callbacks can enqueue jobs after Begin has been called.
+func (l *Ledger) SetEffective(n int) {
+	if l == nil || n < 1 {
+		return
+	}
+	l.workersEffective = n
 }
 
 // Claim records worker taking job i.
@@ -213,6 +268,9 @@ func (l *Ledger) Stats() *SchedStats {
 		end = l.stamp()
 	}
 	s := Compute(l.jobs, l.workersRequested, l.workersEffective, l.beginUS, end)
+	s.ClaimPolicy = l.claimPolicy
+	s.CPUs = runtime.NumCPU()
+	s.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	if l.snapValid {
 		after := ReadRuntimeSnapshot()
 		after.AtUS = end
@@ -238,6 +296,29 @@ type JobCounts struct {
 	Errors    int `json:"errors,omitempty"`
 	Abandoned int `json:"abandoned,omitempty"`
 	Unclaimed int `json:"unclaimed,omitempty"`
+}
+
+// PhaseStats is one scheduling phase's line in the speedup ledger.  The
+// batch runs in sequential stages — setup jobs, then measurement jobs,
+// then render jobs — so each phase's wall is the claim-to-finish extent of
+// its jobs, and the three extents tile the batch wall (minus the
+// per-stage scheduling gaps between them).
+type PhaseStats struct {
+	Phase  string  `json:"phase"`
+	Jobs   int     `json:"jobs"`
+	WallUS float64 `json:"wall_us"`
+	BusyUS float64 `json:"busy_us"`
+}
+
+// PhaseOf maps a ledger job kind to its scheduling phase: "setup" and
+// "render" name their own stages; every measurement kind (measure,
+// pipeline, sweep, sweep-point) is the "measure" stage between them.
+func PhaseOf(kind string) string {
+	switch kind {
+	case "setup", "render":
+		return kind
+	}
+	return "measure"
 }
 
 // WorkerStats is one worker's line in the speedup ledger.  BusyUS + IdleUS
@@ -287,6 +368,26 @@ type SchedStats struct {
 
 	MeasuredSpeedupX  float64 `json:"measured_speedup_x"`
 	PredictedSpeedupX float64 `json:"predicted_speedup_x"`
+
+	// ClaimPolicy is how the workers ordered their claims (PolicyFIFO or
+	// PolicyLJF); empty on ledgers recorded before policies existed.
+	ClaimPolicy string `json:"claim_policy,omitempty"`
+	// CPUs and GOMAXPROCS are the hardware and runtime parallelism the
+	// batch actually had available.  MeasuredSpeedupX is busy/wall, which
+	// on an oversubscribed machine (workers > CPUs) counts timesharing
+	// dilation as speedup — compare against CPUs before celebrating.
+	CPUs       int `json:"cpus,omitempty"`
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	// DilationX is measured-over-estimated duration (Σ dur / Σ est) across
+	// finished jobs whose estimate came from priors.  ≈1 means jobs ran at
+	// the speed history predicted; ≫1 means concurrent execution stretched
+	// them (CPU oversubscription, contention).  Zero when no prior-based
+	// estimates were recorded.
+	DilationX float64 `json:"dilation_x,omitempty"`
+
+	// Phases decomposes the batch by scheduling stage (setup, measure,
+	// render) so a speedup regression localizes to the stage that slowed.
+	Phases []PhaseStats `json:"phases,omitempty"`
 
 	// ContentionWaitUS is the runtime's cumulative sync.Mutex wait time
 	// across the batch (from runtime/metrics), an estimate of lock
@@ -365,10 +466,27 @@ func Compute(jobs []JobRecord, requested, effective int, beginUS, endUS float64)
 		s.ImbalancePct = 100 * (maxBusy - mean) / mean
 	}
 
+	s.Phases = phaseProfile(jobs)
+	var estPriorUS, durPriorUS float64
+	for _, j := range jobs {
+		if j.executed() && j.EstSource == EstPrior && j.EstUS > 0 {
+			estPriorUS += j.EstUS
+			durPriorUS += j.DurUS
+		}
+	}
+	if estPriorUS > 0 {
+		s.DilationX = durPriorUS / estPriorUS
+	}
+
 	serialWallUS, serialBusyUS := concurrencyProfile(jobs, beginUS, endUS)
 	s.SerialUS = serialWallUS
 	if s.TotalBusyUS > 0 {
 		s.SerialFraction = serialBusyUS / s.TotalBusyUS
+		// The two sides accumulate the same intervals in different orders,
+		// so a fully serial timeline can land an ulp past 1.
+		if s.SerialFraction > 1 {
+			s.SerialFraction = 1
+		}
 	}
 	if s.WallUS > 0 {
 		s.MeasuredSpeedupX = s.TotalBusyUS / s.WallUS
@@ -394,6 +512,46 @@ func Compute(jobs []JobRecord, requested, effective int, beginUS, endUS float64)
 		s.ImpliedSerialFraction = 1
 	}
 	return s
+}
+
+// phaseProfile folds executed jobs into per-phase lines, in fixed
+// setup/measure/render order, omitting phases with no jobs.  Wall per
+// phase is the claim-to-finish extent of its jobs — valid because the
+// batch runs its stages sequentially, never interleaved.
+func phaseProfile(jobs []JobRecord) []PhaseStats {
+	order := []string{"setup", "measure", "render"}
+	byPhase := make(map[string]*PhaseStats, len(order))
+	ext := make(map[string][2]float64, len(order))
+	for _, j := range jobs {
+		if !j.executed() {
+			continue
+		}
+		ph := PhaseOf(j.Kind)
+		p := byPhase[ph]
+		if p == nil {
+			p = &PhaseStats{Phase: ph}
+			byPhase[ph] = p
+			ext[ph] = [2]float64{j.ClaimUS, j.FinishUS}
+		}
+		p.Jobs++
+		p.BusyUS += j.DurUS
+		e := ext[ph]
+		if j.ClaimUS < e[0] {
+			e[0] = j.ClaimUS
+		}
+		if j.FinishUS > e[1] {
+			e[1] = j.FinishUS
+		}
+		ext[ph] = e
+	}
+	var out []PhaseStats
+	for _, ph := range order {
+		if p := byPhase[ph]; p != nil {
+			p.WallUS = ext[ph][1] - ext[ph][0]
+			out = append(out, *p)
+		}
+	}
+	return out
 }
 
 // concurrencyProfile sweeps the executed jobs' start/finish timeline and

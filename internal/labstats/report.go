@@ -24,9 +24,13 @@ func (s *SchedStats) Brief() string {
 	if s == nil {
 		return "no scheduler ledger recorded"
 	}
-	return fmt.Sprintf("%d jobs on %d workers, wall %s, speedup %.2fx measured / %.2fx predicted, imbalance %.1f%%",
+	line := fmt.Sprintf("%d jobs on %d workers, wall %s, speedup %.2fx measured / %.2fx predicted, imbalance %.1f%%",
 		s.Jobs.Enqueued, s.WorkersEffective, fmtUS(s.WallUS),
 		s.MeasuredSpeedupX, s.PredictedSpeedupX, s.ImbalancePct)
+	if s.ClaimPolicy != "" {
+		line += ", " + s.ClaimPolicy + " claims"
+	}
+	return line
 }
 
 // WriteReport renders one batch's speedup ledger as text: the headline
@@ -47,6 +51,17 @@ func (s *SchedStats) WriteReport(w io.Writer, id string) error {
 		s.SerialFraction, s.ImpliedSerialFraction, fmtUS(s.SerialUS), fmtUS(s.WallUS))
 	fmt.Fprintf(w, "  work %s, critical path %s, imbalance %.1f%%, mutex wait %s\n",
 		fmtUS(s.TotalBusyUS), fmtUS(s.CriticalPathUS), s.ImbalancePct, fmtUS(s.ContentionWaitUS))
+	if s.ClaimPolicy != "" {
+		fmt.Fprintf(w, "  claims %s over %d cpus (gomaxprocs %d)", s.ClaimPolicy, s.CPUs, s.GOMAXPROCS)
+		if s.DilationX > 0 {
+			fmt.Fprintf(w, ", dilation %.2fx vs prior estimates", s.DilationX)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, ph := range s.Phases {
+		fmt.Fprintf(w, "  phase %-8s %4d jobs, wall %s, busy %s\n",
+			ph.Phase, ph.Jobs, fmtUS(ph.WallUS), fmtUS(ph.BusyUS))
+	}
 	if r := s.Runtime; r != nil {
 		fmt.Fprintf(w, "  runtime: %s alloc (%s/job), %d mallocs, %d gc cycles (%s pause), goroutines %d -> %d\n",
 			fmtBytes(r.AllocBytes), fmtBytes(uint64(r.AllocBytesPerJob)), r.Mallocs,
