@@ -13,8 +13,10 @@
 //	interp-lab sched-report [-json] manifest.json
 //	interp-lab bench-telemetry [-sched-parallelism n] [file]
 //
-// Experiments: table1 table2 table3 fig1 fig2 fig3 fig4 memmodel ablation,
-// or "all".  -parallel fans each experiment's measurements out over n
+// Experiments: table1 table2 table3 fig1 fig2 fig3 fig4 memmodel ablation
+// opt-matrix, or "all".  opt-matrix measures the optimization-tier matrix —
+// quickening and superinstructions per interpreter, each cell a distinct
+// manifest `variant` (see docs/EXPERIMENTS.md).  -parallel fans each experiment's measurements out over n
 // workers (default GOMAXPROCS; output is byte-identical to -parallel 1).
 // Parallel runs split each instruction-cache sweep into one job per
 // geometry point so a single sweep saturates the workers;

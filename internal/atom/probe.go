@@ -83,6 +83,14 @@ type Probe struct {
 	opNames  map[string]OpID
 	commands uint64
 
+	// countPairs switches on dynamic opcode-pair profiling: BeginCommand
+	// counts every (previous, current) command pair in pairs, keyed
+	// prev<<32|cur.  Off by default — the map update costs a few ns per
+	// command, so only hot-pair measurements pay it.
+	countPairs bool
+	lastOp     OpID
+	pairs      map[uint64]uint64
+
 	// attrVersion increments whenever the attribution state a sink could
 	// observe (frame stack, current routine, open command, phase) changes.
 	// Profiling sinks use it to re-resolve their sample stack only on
@@ -143,6 +151,7 @@ func NewProbe(img *Image, sink trace.Sink) *Probe {
 		batch:       trace.NewBatcher(sink),
 		batching:    true,
 		curOp:       -1,
+		lastOp:      -1,
 		opNames:     make(map[string]OpID),
 		regionNames: make(map[string]RegionID),
 		depRng:      0x9e3779b9,
@@ -237,6 +246,25 @@ func (p *Probe) BeginCommand(op OpID) {
 	p.ops[op].count++
 	p.commands++
 	p.phase = PhaseFetchDecode
+	if p.countPairs {
+		if p.lastOp >= 0 {
+			p.pairs[uint64(p.lastOp)<<32|uint64(uint32(op))]++
+		}
+		p.lastOp = op
+	}
+}
+
+// CountPairs switches dynamic opcode-pair counting on or off: while on,
+// every BeginCommand records the (previous, current) command pair, and
+// Stats reports the hottest pairs (Stats.Pairs).  The counts are the
+// profile layer's superinstruction-selection input (the fused-pair tables
+// in internal/jvm and internal/mipsi cite them); they are off by default
+// so ordinary measurements don't pay for the map update.
+func (p *Probe) CountPairs(on bool) {
+	p.countPairs = on
+	if on && p.pairs == nil {
+		p.pairs = make(map[uint64]uint64)
+	}
 }
 
 // BeginExecute switches attribution of the open command to its execute

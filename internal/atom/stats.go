@@ -14,6 +14,16 @@ type OpStats struct {
 // Total returns the command's combined instruction count.
 func (o OpStats) Total() uint64 { return o.FetchDecode + o.Execute }
 
+// PairStats counts one ordered pair of consecutively dispatched virtual
+// commands: Second was dispatched immediately after First.  Pair counts
+// drive superinstruction selection (the fused-pair tables in internal/jvm
+// and internal/mipsi) and are collected only when Probe.CountPairs is on.
+type PairStats struct {
+	First  string `json:"first"`
+	Second string `json:"second"`
+	Count  uint64 `json:"count"`
+}
+
 // RegionStats reports the accounting for one attribution region.
 type RegionStats struct {
 	Name         string `json:"name"`
@@ -41,7 +51,16 @@ type Stats struct {
 	Stores       uint64        `json:"stores"`
 	Ops          []OpStats     `json:"ops,omitempty"`     // sorted by descending total instructions
 	Regions      []RegionStats `json:"regions,omitempty"` // in registration order
+	// Pairs holds the hottest consecutively-dispatched command pairs,
+	// sorted by descending count (schema v1 additive field; present only
+	// when the run counted pairs, capped at maxPairStats entries).
+	Pairs []PairStats `json:"pairs,omitempty"`
 }
+
+// maxPairStats bounds the pair table a Stats snapshot carries: hot-pair
+// reports read the top of the distribution, and an uncapped table would
+// bloat manifests quadratically in the opcode count.
+const maxPairStats = 64
 
 // InstructionsPerCommand returns the average native instructions per virtual
 // command, split as in Table 2.  Startup (precompilation) instructions are
@@ -79,6 +98,25 @@ func (p *Probe) Stats() Stats {
 	})
 	for _, r := range p.regions {
 		s.Regions = append(s.Regions, RegionStats{Name: r.name, Instructions: r.instr, Accesses: r.accesses})
+	}
+	for key, count := range p.pairs {
+		s.Pairs = append(s.Pairs, PairStats{
+			First:  p.ops[key>>32].name,
+			Second: p.ops[uint32(key)].name,
+			Count:  count,
+		})
+	}
+	sort.Slice(s.Pairs, func(i, j int) bool {
+		if s.Pairs[i].Count != s.Pairs[j].Count {
+			return s.Pairs[i].Count > s.Pairs[j].Count
+		}
+		if s.Pairs[i].First != s.Pairs[j].First {
+			return s.Pairs[i].First < s.Pairs[j].First
+		}
+		return s.Pairs[i].Second < s.Pairs[j].Second
+	})
+	if len(s.Pairs) > maxPairStats {
+		s.Pairs = s.Pairs[:maxPairStats]
 	}
 	return s
 }

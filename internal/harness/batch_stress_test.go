@@ -3,6 +3,7 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -205,6 +206,12 @@ func TestBatchKeepGoingStress(t *testing.T) {
 		}
 	}
 	if claimed < 2 {
+		// On a single hardware thread one goroutine can legitimately
+		// drain the whole queue before another is ever scheduled, so the
+		// overlap assertion only means something with real parallelism.
+		if runtime.GOMAXPROCS(0) < 2 {
+			t.Skipf("only %d workers claimed jobs on a GOMAXPROCS=1 machine; overlap needs >= 2 CPUs", claimed)
+		}
 		t.Errorf("only %d workers claimed jobs; the stress needs real overlap", claimed)
 	}
 }

@@ -137,21 +137,22 @@ func (o Options) decomposeSweeps() bool {
 
 // Experiments lists the runnable experiment ids, in presentation order.
 var Experiments = []string{
-	"table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "memmodel", "ablation",
+	"table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "memmodel", "ablation", "opt-matrix",
 }
 
 // experimentFns dispatches experiment ids; Known and Run share it, so an
 // id is runnable exactly when it is known.
 var experimentFns = map[string]func(Options) error{
-	"table1":   Table1,
-	"table2":   Table2,
-	"table3":   Table3,
-	"fig1":     Fig1,
-	"fig2":     Fig2,
-	"fig3":     Fig3,
-	"fig4":     Fig4,
-	"memmodel": MemModel,
-	"ablation": Ablation,
+	"table1":     Table1,
+	"table2":     Table2,
+	"table3":     Table3,
+	"fig1":       Fig1,
+	"fig2":       Fig2,
+	"fig3":       Fig3,
+	"fig4":       Fig4,
+	"memmodel":   MemModel,
+	"ablation":   Ablation,
+	"opt-matrix": OptMatrix,
 }
 
 // Known reports whether id names an experiment.
@@ -248,6 +249,7 @@ func NewMeasurement(kind string, res core.Result, dur time.Duration, sweep *alph
 		Program:    res.Program.ID(),
 		System:     string(res.Program.System),
 		Name:       res.Program.Name,
+		Variant:    res.Program.Variant,
 		SizeBytes:  res.SizeBytes,
 		Events:     res.Counter.Total,
 		Kind:       kind,

@@ -90,7 +90,43 @@ const (
 	OpBastore
 	OpArrayLen
 
-	NumOpcodes = int(OpArrayLen) + 1
+	// --- optimization-tier extension ---------------------------------
+	//
+	// Everything below models the interpreter after it climbs the §5
+	// optimization tiers; none of it is dispatched (or registered with
+	// the instrumentation image) unless VM.Quicken or
+	// VM.Superinstructions is set, so the 1996-level baseline above is
+	// untouched.
+
+	// Quickened forms (Brunthaler-style operand specialization): the
+	// generic opcode is rewritten in place at its first execution, its
+	// operand pre-resolved, so later executions skip the generic decode
+	// and resolution work.  Encodings are identical to the originals.
+	OpIconstQ
+	OpLdcQ
+	OpGetStaticQ
+	OpPutStaticQ
+	OpGetFieldQ
+	OpPutFieldQ
+	OpInvokeStaticQ
+
+	// Superinstructions: statically fused common opcode pairs, selected
+	// from the profile layer's hot-pair counts (Probe.CountPairs on the
+	// des workload; see fusedPairs in vm.go).  The fused byte replaces
+	// only the first opcode of the pair — operands and the second opcode
+	// stay in place, so branches into either original position remain
+	// valid.
+	OpFusedIloadIconst    // iload + iconst
+	OpFusedIconstIand     // iconst + iand
+	OpFusedIandIstore     // iand + istore
+	OpFusedIstoreIload    // istore + iload
+	OpFusedGetstaticIload // getstatic + iload
+	OpFusedIloadIload     // iload + iload
+
+	// NumBaseOpcodes bounds the baseline bytecode set; NumOpcodes also
+	// spans the quick and fused extension.
+	NumBaseOpcodes = int(OpArrayLen) + 1
+	NumOpcodes     = int(OpFusedIloadIload) + 1
 )
 
 var opNames = [NumOpcodes]string{
@@ -103,6 +139,8 @@ var opNames = [NumOpcodes]string{
 	"getstatic", "putstatic",
 	"new", "getfield", "putfield",
 	"newarray_i", "newarray_b", "iaload", "iastore", "baload", "bastore", "arraylength",
+	"iconst_q", "ldc_q", "getstatic_q", "putstatic_q", "getfield_q", "putfield_q", "invokestatic_q",
+	"iload+iconst", "iconst+iand", "iand+istore", "istore+iload", "getstatic+iload", "iload+iload",
 }
 
 // String returns the mnemonic.
@@ -114,28 +152,78 @@ func (o Opcode) String() string {
 }
 
 // OperandBytes returns the operand length that follows the opcode byte.
+// Quick forms keep their generic encoding; a fused opcode reports the
+// first half's operand length, so pc+1+OperandBytes() is the second
+// half's position and linear code walks stay in step.
 func (o Opcode) OperandBytes() int {
 	switch o {
-	case OpIconst:
+	case OpIconst, OpIconstQ:
 		return 4
 	case OpLdc, OpInvokeStatic, OpInvokeNative, OpGetStatic, OpPutStatic,
 		OpNew, OpGetField, OpPutField,
 		OpGoto, OpIfeq, OpIfne, OpIflt, OpIfle, OpIfgt, OpIfge,
-		OpIfIcmpeq, OpIfIcmpne, OpIfIcmplt, OpIfIcmple, OpIfIcmpgt, OpIfIcmpge:
+		OpIfIcmpeq, OpIfIcmpne, OpIfIcmplt, OpIfIcmple, OpIfIcmpgt, OpIfIcmpge,
+		OpLdcQ, OpGetStaticQ, OpPutStaticQ, OpGetFieldQ, OpPutFieldQ, OpInvokeStaticQ,
+		OpFusedGetstaticIload:
 		return 2
-	case OpIload, OpIstore:
+	case OpIload, OpIstore, OpFusedIloadIconst, OpFusedIloadIload, OpFusedIstoreIload:
 		return 1
 	case OpIinc:
 		return 2
+	case OpFusedIconstIand:
+		return 4
+	case OpFusedIandIstore:
+		return 0
 	}
 	return 0
 }
 
+// quickForms maps each quickenable generic opcode to its specialized form.
+var quickForms = map[Opcode]Opcode{
+	OpIconst:       OpIconstQ,
+	OpLdc:          OpLdcQ,
+	OpGetStatic:    OpGetStaticQ,
+	OpPutStatic:    OpPutStaticQ,
+	OpGetField:     OpGetFieldQ,
+	OpPutField:     OpPutFieldQ,
+	OpInvokeStatic: OpInvokeStaticQ,
+}
+
+// Quick returns the quickened form of a generic opcode, if it has one.
+func (o Opcode) Quick() (Opcode, bool) {
+	q, ok := quickForms[o]
+	return q, ok
+}
+
+// IsQuick reports whether the opcode is a quickened form.
+func (o Opcode) IsQuick() bool { return o >= OpIconstQ && o <= OpInvokeStaticQ }
+
+// IsFused reports whether the opcode is a fused superinstruction.
+func (o Opcode) IsFused() bool { return o >= OpFusedIloadIconst && o <= OpFusedIloadIload }
+
 // IsBranch reports whether the opcode is a conditional branch.
 func (o Opcode) IsBranch() bool { return o >= OpIfeq && o <= OpIfIcmpge }
 
-// Category groups opcodes the way Figure 2 groups Java commands.
+// Category groups opcodes the way Figure 2 groups Java commands.  Quick
+// forms report their generic opcode's category; fused opcodes report the
+// first half's.
 func (o Opcode) Category() string {
+	switch o {
+	case OpIconstQ, OpLdcQ:
+		return "st_load"
+	case OpGetStaticQ, OpPutStaticQ, OpGetFieldQ, OpPutFieldQ:
+		return "field"
+	case OpInvokeStaticQ:
+		return "call"
+	case OpFusedIloadIconst, OpFusedIloadIload:
+		return "st_load"
+	case OpFusedIconstIand, OpFusedIandIstore:
+		return "alu"
+	case OpFusedIstoreIload:
+		return "st_store"
+	case OpFusedGetstaticIload:
+		return "field"
+	}
 	switch {
 	case o == OpIload || o == OpLdc || o == OpIconst:
 		return "st_load"

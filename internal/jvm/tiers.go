@@ -1,0 +1,206 @@
+package jvm
+
+// Optimization tiers: quickening (in-place operand specialization at first
+// execution, à la Brunthaler's speculative staging) and superinstructions
+// (static fusion of hot opcode pairs).  Both are semantically transparent —
+// guest-visible behavior is byte-identical to the baseline interpreter —
+// and change only the dispatch and execution cost signature, which is
+// exactly what the opt-matrix experiment measures.
+
+// fusedPairs lists the statically fused opcode pairs.  Selection comes
+// from the profile layer's hot-pair counts (atom.Probe.CountPairs over the
+// des workload; the opt-matrix experiment's hot-pair report reproduces the
+// table): iconst+iand, iload+iconst, istore+iload, getstatic+iload,
+// iload+iload and iand+istore are the hottest pairs whose first half
+// always falls through.  That constraint is load-bearing: the first opcode
+// of a fused pair must be non-control (no branch, call, or return), so the
+// second half is always reached and a pair is always one command.
+var fusedPairs = []struct {
+	a, b  Opcode
+	fused Opcode
+}{
+	{OpIload, OpIconst, OpFusedIloadIconst},
+	{OpIconst, OpIand, OpFusedIconstIand},
+	{OpIand, OpIstore, OpFusedIandIstore},
+	{OpIstore, OpIload, OpFusedIstoreIload},
+	{OpGetStatic, OpIload, OpFusedGetstaticIload},
+	{OpIload, OpIload, OpFusedIloadIload},
+}
+
+// fusedSpec maps a fused opcode to its two halves.
+var fusedSpec = func() [NumOpcodes]struct{ a, b Opcode } {
+	var t [NumOpcodes]struct{ a, b Opcode }
+	for _, fp := range fusedPairs {
+		t[fp.fused] = struct{ a, b Opcode }{fp.a, fp.b}
+	}
+	return t
+}()
+
+// fuseOf maps an adjacent opcode pair to its fused form.
+var fuseOf = func() map[[2]Opcode]Opcode {
+	m := make(map[[2]Opcode]Opcode, len(fusedPairs))
+	for _, fp := range fusedPairs {
+		m[[2]Opcode{fp.a, fp.b}] = fp.fused
+	}
+	return m
+}()
+
+// ensureTiers prepares the enabled optimization tiers before the first
+// Step.  Handler routines and op names for the quick and fused forms join
+// the instrumentation image here — in fixed opcode order, so the layout is
+// deterministic per knob combination — and the superinstruction tier runs
+// its static fusion pass.  With both tiers off this is a no-op and the
+// baseline image is untouched.
+func (vm *VM) ensureTiers() {
+	if vm.tiersReady {
+		return
+	}
+	vm.tiersReady = true
+	if vm.p != nil && vm.img != nil {
+		if vm.Quicken {
+			vm.rQuicken = vm.img.Routine("jvm.quicken", 48)
+			for op := int(OpIconstQ); op <= int(OpInvokeStaticQ); op++ {
+				o := Opcode(op)
+				// Specialized handlers are leaner than their generic
+				// originals: resolution happened once, at rewrite time.
+				size := 10
+				if o == OpInvokeStaticQ {
+					size = 30
+				}
+				vm.handlers[op] = vm.img.Routine("jvm.op."+o.String(), size)
+				vm.opIDs[op] = vm.p.OpName(o.String())
+			}
+		}
+		if vm.Superinstructions {
+			vm.rFuse = vm.img.Routine("jvm.fuse", 64)
+			for op := int(OpFusedIloadIconst); op < NumOpcodes; op++ {
+				o := Opcode(op)
+				spec := fusedSpec[op]
+				// A fused handler's body is both halves' bodies plus
+				// glue: superinstructions trade instruction-cache
+				// footprint for dispatch — part of the signature the
+				// opt-matrix sweeps measure.
+				size := baseHandlerSize(spec.a) + baseHandlerSize(spec.b) + 6
+				vm.handlers[op] = vm.img.Routine("jvm.op."+o.String(), size)
+				vm.opIDs[op] = vm.p.OpName(o.String())
+			}
+		}
+	}
+	if vm.Superinstructions {
+		vm.fuseAll()
+	}
+}
+
+// baseHandlerSize mirrors the baseline handler footprints New registers.
+func baseHandlerSize(o Opcode) int {
+	switch o.Category() {
+	case "call":
+		return 40
+	case "array", "field":
+		return 28
+	case "native":
+		return 36
+	}
+	return 14
+}
+
+// fuseAll rewrites every function's code, replacing the first byte of each
+// fusedPairs occurrence (greedy, left to right, never overlapping).  Only
+// that one byte changes: operands and the second opcode stay in place, so
+// a branch into either original position still executes correctly — the
+// second half simply runs as a standalone command when entered directly.
+// The pass is charged to the startup phase, like class loading.
+func (vm *VM) fuseAll() {
+	p := vm.p
+	if p != nil {
+		p.SetStartup(true)
+		p.Call(vm.rFuse)
+	}
+	for fi, fn := range vm.Mod.Funcs {
+		pos := 0
+		for pos < len(fn.Code) {
+			op := Opcode(fn.Code[pos])
+			next := pos + 1 + op.OperandBytes()
+			if p != nil {
+				p.Exec(vm.rFuse, costFusePerSite)
+			}
+			if next < len(fn.Code) {
+				pair := [2]Opcode{op, Opcode(fn.Code[next])}
+				if fop, ok := fuseOf[pair]; ok {
+					fn.Code[pos] = byte(fop)
+					vm.FusedSites++
+					if p != nil {
+						p.Store(vm.codeReg.Addr(vm.codeOff[fi] + uint32(pos)))
+					}
+					// Skip the whole pair: fusions never overlap.
+					next += 1 + pair[1].OperandBytes()
+				}
+			}
+			pos = next
+		}
+	}
+	if p != nil {
+		p.Ret()
+		p.SetStartup(false)
+	}
+}
+
+// maybeQuicken rewrites the generic opcode at (fi, pc) to its quick form
+// after its first execution.  Quick forms have no quick form and fused
+// bytes are not in the quick table, so a site is rewritten at most once —
+// re-executing a quickened site never rewrites again (the idempotence the
+// tier tests pin).
+func (vm *VM) maybeQuicken(fi int, fn *Function, pc int, op Opcode) {
+	q, ok := op.Quick()
+	if !ok {
+		return
+	}
+	fn.Code[pc] = byte(q)
+	vm.QuickenRewrites++
+	if vm.p != nil {
+		// The one-time specialization cost: re-resolve the operand and
+		// store the rewritten opcode into the code region.
+		vm.p.Exec(vm.rQuicken, costQuicken)
+		vm.p.Store(vm.codeReg.Addr(vm.codeOff[fi] + uint32(pc)))
+	}
+}
+
+// stepFused dispatches one fused superinstruction: one command and one
+// trip through the dispatch loop, then both halves execute inside the
+// fused handler's body.
+func (vm *VM) stepFused(f *jframe, fn *Function, fop Opcode) error {
+	spec := fusedSpec[fop]
+	vm.Steps++
+	p := vm.p
+	if p != nil {
+		p.BeginCommand(vm.opIDs[fop])
+		dispatch := costDispatch
+		if vm.Threaded {
+			dispatch = 4
+		}
+		// One dispatch covers the pair; the first half's operand decode
+		// happens here, the second half's inside the handler below.
+		p.Exec(vm.rDispatch, dispatch+1+spec.a.OperandBytes())
+		p.Load(vm.codeReg.Addr(vm.codeOff[f.fn] + uint32(f.pc)))
+		p.BeginExecute()
+		vm.fusedH = vm.handlers[fop]
+	}
+	err := vm.exec(f, fn, spec.a, fn.Code[f.pc+1:])
+	if err == nil {
+		// The first half is non-control, so it fell through and f.pc now
+		// sits on the second half.  Re-read the byte rather than trusting
+		// spec.b: a branch-targeted second half may have been quickened
+		// under the quick+super combination.
+		pos := f.pc
+		op2 := Opcode(fn.Code[pos])
+		if p != nil {
+			p.Exec(vm.fusedH, op2.OperandBytes())
+		}
+		err = vm.exec(f, fn, op2, fn.Code[pos+1:])
+	}
+	vm.fusedH = nil
+	if p != nil {
+		p.EndCommand()
+	}
+	return err
+}

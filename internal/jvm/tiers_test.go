@@ -1,0 +1,199 @@
+package jvm
+
+import (
+	"testing"
+
+	"interplab/internal/atom"
+	"interplab/internal/trace"
+	"interplab/internal/vfs"
+)
+
+// tierModule builds a module exercising every quickenable opcode and every
+// fused pair: a loop over iload/iconst/iand/istore (the hot fused ops), a
+// static accumulator, object fields, an ldc'd constant written to stdout,
+// and a static call.
+func tierModule(t *testing.T) (*Module, *vfs.OS) {
+	t.Helper()
+	osys := vfs.New()
+	mod := &Module{
+		Statics: []*Static{{Name: "acc", Init: 3}},
+		Consts:  [][]byte{[]byte("ok\n")},
+		Natives: []*NativeFn{{Name: "_write", Arity: 3}},
+	}
+	step := buildFn(t, "step", 1, 1, func(a *Asm) {
+		// return (arg & 0x0f) + acc, acc += 1, via an object field bounce
+		a.U16(OpNew, 2).U8(OpIstore, 0)
+		a.U8(OpIload, 0).U8(OpIload, 0).U16(OpGetField, 0).U16(OpPutField, 1)
+		a.U16(OpGetStatic, 0).I32(OpIconst, 1).Op(OpIadd).U16(OpPutStatic, 0)
+		a.U8(OpIload, 0).I32(OpIconst, 0x0f).Op(OpIand).U16(OpGetStatic, 0).Op(OpIadd)
+		a.Op(OpIreturn)
+	})
+	main := buildFn(t, "main", 0, 3, func(a *Asm) {
+		a.I32(OpIconst, 0).U8(OpIstore, 0) // sum
+		a.I32(OpIconst, 40).U8(OpIstore, 1)
+		a.Label("loop")
+		// iload+iload, iload+iconst, iconst+iand, iand+istore, istore+iload
+		a.U8(OpIload, 0).U8(OpIload, 1)
+		a.I32(OpIconst, 0xff).Op(OpIand)
+		a.Op(OpIadd).U8(OpIstore, 0)
+		a.U8(OpIload, 1).U16(OpInvokeStatic, 1).U8(OpIstore, 2)
+		a.U8(OpIload, 0).U8(OpIload, 2).Op(OpIadd).U8(OpIstore, 0)
+		a.Iinc(1, -1)
+		a.U8(OpIload, 1).Br(OpIfgt, "loop")
+		a.I32(OpIconst, 1).U16(OpLdc, 0).I32(OpIconst, 3).U16(OpInvokeNative, 0).Op(OpPop)
+		a.U8(OpIload, 0).Op(OpIreturn)
+	})
+	mod.Funcs = []*Function{main, step}
+	if err := mod.Bind(OSNatives(osys)); err != nil {
+		t.Fatal(err)
+	}
+	return mod, osys
+}
+
+// runTier executes tierModule under one tier combination and returns the
+// VM (for counters), the result, stdout, and the probe stats.
+func runTier(t *testing.T, quicken, super bool) (*VM, int32, string, atom.Stats) {
+	t.Helper()
+	mod, osys := tierModule(t)
+	img := atom.NewImage()
+	p := atom.NewProbe(img, trace.Discard)
+	vm, err := New(mod, img, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.Quicken = quicken
+	vm.Superinstructions = super
+	ret, err := vm.Run("main", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm, ret, osys.Stdout.String(), p.Stats()
+}
+
+// TestTierEquivalence: every tier combination must be semantically
+// transparent — same return value and same guest-visible output as the
+// baseline interpreter.
+func TestTierEquivalence(t *testing.T) {
+	_, baseRet, baseOut, baseStats := runTier(t, false, false)
+	for _, tc := range []struct {
+		name           string
+		quicken, super bool
+	}{
+		{"quicken", true, false},
+		{"super", false, true},
+		{"quicken+super", true, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ret, out, st := runTier(t, tc.quicken, tc.super)
+			if ret != baseRet {
+				t.Errorf("return = %d, baseline %d", ret, baseRet)
+			}
+			if out != baseOut {
+				t.Errorf("stdout = %q, baseline %q", out, baseOut)
+			}
+			if st.FetchDecode >= baseStats.FetchDecode {
+				t.Errorf("fetch_decode = %d, must beat baseline %d",
+					st.FetchDecode, baseStats.FetchDecode)
+			}
+		})
+	}
+}
+
+// TestQuickeningRewritesOnceAndCounts: a quickened site must never be
+// rewritten twice — re-running the same code leaves QuickenRewrites (and
+// the code bytes) untouched.
+func TestQuickeningRewritesOnce(t *testing.T) {
+	mod, _ := tierModule(t)
+	img := atom.NewImage()
+	p := atom.NewProbe(img, trace.Discard)
+	vm, err := New(mod, img, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.Quicken = true
+	if _, err := vm.Run("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	first := vm.QuickenRewrites
+	if first == 0 {
+		t.Fatal("quickening made no rewrites")
+	}
+	snap := make([][]byte, len(mod.Funcs))
+	for i, fn := range mod.Funcs {
+		snap[i] = append([]byte(nil), fn.Code...)
+	}
+	if _, err := vm.Run("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if vm.QuickenRewrites != first {
+		t.Errorf("re-execution rewrote again: %d -> %d", first, vm.QuickenRewrites)
+	}
+	for i, fn := range mod.Funcs {
+		if string(fn.Code) != string(snap[i]) {
+			t.Errorf("func %d code changed on re-execution", i)
+		}
+	}
+}
+
+// TestSuperinstructionsFuseAndReduceDispatch: fusion must find sites and
+// each fused execution must save one dispatch (commands strictly drop).
+func TestSuperinstructionsReduceCommands(t *testing.T) {
+	_, _, _, base := runTier(t, false, false)
+	vm, _, _, st := runTier(t, false, true)
+	if vm.FusedSites == 0 {
+		t.Fatal("fusion pass found no sites")
+	}
+	if st.Commands >= base.Commands {
+		t.Errorf("commands = %d, must beat baseline %d", st.Commands, base.Commands)
+	}
+	if st.FetchDecode >= base.FetchDecode {
+		t.Errorf("fetch_decode = %d, must beat baseline %d", st.FetchDecode, base.FetchDecode)
+	}
+}
+
+// TestTiersWithoutProbe: the tiers must work uninstrumented too.
+func TestTiersWithoutProbe(t *testing.T) {
+	mod, osys := tierModule(t)
+	vm, err := New(mod, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.Quicken = true
+	vm.Superinstructions = true
+	ret, err := vm.Run("main", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wantRet, wantOut, _ := runTier(t, false, false)
+	if ret != wantRet || osys.Stdout.String() != wantOut {
+		t.Errorf("uninstrumented tiers: ret %d out %q, want %d %q",
+			ret, osys.Stdout.String(), wantRet, wantOut)
+	}
+}
+
+// TestQuickOpcodeMetadata pins the tier extension's opcode table.
+func TestQuickOpcodeMetadata(t *testing.T) {
+	for g, q := range quickForms {
+		if q.OperandBytes() != g.OperandBytes() {
+			t.Errorf("%v quick form %v changes encoding", g, q)
+		}
+		if !q.IsQuick() || g.IsQuick() {
+			t.Errorf("IsQuick wrong for %v/%v", g, q)
+		}
+		if _, again := q.Quick(); again {
+			t.Errorf("quick form %v has a quick form", q)
+		}
+	}
+	for _, fp := range fusedPairs {
+		if !fp.fused.IsFused() {
+			t.Errorf("%v not fused", fp.fused)
+		}
+		if fp.fused.OperandBytes() != fp.a.OperandBytes() {
+			t.Errorf("%v operand bytes %d != first half %v's %d",
+				fp.fused, fp.fused.OperandBytes(), fp.a, fp.a.OperandBytes())
+		}
+		if fp.a.Category() == "branch" || fp.a.Category() == "call" || fp.a.Category() == "native" {
+			t.Errorf("fused first half %v is control flow", fp.a)
+		}
+	}
+}

@@ -22,6 +22,18 @@ const (
 	costRet      = 14
 	costNative   = 12
 	costNew      = 20
+
+	// Optimization-tier costs.  A quickened opcode has its operand
+	// pre-resolved into an inline cache slot, so decode collapses to one
+	// fetch and the handler skips the generic resolution work; the
+	// one-time in-place rewrite at first execution costs costQuicken
+	// (re-resolution plus the code store).
+	costQuicken     = 10
+	costLdcQ        = 3  // generic: costField
+	costStaticQ     = 4  // generic: costField+3
+	costFieldQ      = 5  // generic: costField+4
+	costInvokeQ     = 20 // generic: costInvoke
+	costFusePerSite = 2  // startup fusion scan, per instruction visited
 )
 
 // Object is a heap entity: an array or a field object.
@@ -47,11 +59,39 @@ type VM struct {
 	// indirect jump through a handler table instead of a switch.
 	Threaded bool
 
+	// Quicken enables operand-specialized opcode rewriting à la
+	// Brunthaler: the first execution of a quickenable opcode (constant
+	// loads, static/field access, invokestatic) rewrites it in place to
+	// its _q form, which decodes and executes with the resolution work
+	// pre-done.  Guest-visible behavior is identical; only the cost
+	// signature changes.
+	Quicken bool
+	// QuickenRewrites counts in-place opcode rewrites performed; a site
+	// rewrites at most once (the quick form has no quick form).
+	QuickenRewrites uint64
+
+	// Superinstructions statically fuses the hot opcode pairs of
+	// fusedPairs before execution: one dispatch then executes both
+	// halves.  Only the first opcode byte of a pair is replaced, so
+	// branches into either original position stay valid.
+	Superinstructions bool
+	// FusedSites counts code positions rewritten to fused opcodes.
+	FusedSites uint64
+
 	p         *atom.Probe
+	img       *atom.Image
 	rDispatch *atom.Routine
 	rFrame    *atom.Routine
+	rQuicken  *atom.Routine
+	rFuse     *atom.Routine
 	handlers  [NumOpcodes]*atom.Routine
 	opIDs     [NumOpcodes]atom.OpID
+
+	// fusedH, while non-nil, redirects exec-cost attribution to the
+	// fused superinstruction's own handler routine (both halves of a
+	// fused pair execute inside one handler body).
+	fusedH     *atom.Routine
+	tiersReady bool
 
 	codeReg   *atom.DataRegion
 	stackReg  *atom.DataRegion
@@ -80,11 +120,15 @@ type VM struct {
 
 // New prepares a VM for mod.  img/p may be nil for uninstrumented tests.
 func New(mod *Module, img *atom.Image, p *atom.Probe) (*VM, error) {
-	vm := &VM{Mod: mod, p: p, codeOff: make(map[int]uint32)}
+	vm := &VM{Mod: mod, p: p, img: img, codeOff: make(map[int]uint32)}
 	if p != nil && img != nil {
 		vm.rDispatch = img.Routine("jvm.dispatch", 110)
 		vm.rFrame = img.Routine("jvm.frame", 160)
-		for op := 0; op < NumOpcodes; op++ {
+		// Only the baseline set is registered here: quick and fused
+		// handlers join the image lazily (ensureTiers) when a tier is
+		// switched on, so the baseline interpreter's code layout — and
+		// its cache signature — is byte-identical with the tiers off.
+		for op := 0; op < NumBaseOpcodes; op++ {
 			o := Opcode(op)
 			size := 14
 			switch o.Category() {
@@ -226,6 +270,7 @@ func (vm *VM) Call(fi int, args []int32) error {
 
 // Run executes function name until completion or maxSteps bytecodes.
 func (vm *VM) Run(name string, maxSteps uint64) (int32, error) {
+	vm.ensureTiers()
 	fi, err := vm.Mod.FuncIndex(name)
 	if err != nil {
 		return 0, err
@@ -252,6 +297,9 @@ func (vm *VM) Step() error {
 		return fmt.Errorf("jvm: pc past end of %s", fn.Name)
 	}
 	op := Opcode(fn.Code[f.pc])
+	if op.IsFused() {
+		return vm.stepFused(f, fn, op)
+	}
 	opnd := fn.Code[f.pc+1:]
 	vm.Steps++
 
@@ -262,11 +310,19 @@ func (vm *VM) Step() error {
 		if vm.Threaded {
 			dispatch = 4 // fetch, index, indirect jump
 		}
-		p.Exec(vm.rDispatch, dispatch+op.OperandBytes())
+		decode := op.OperandBytes()
+		if op.IsQuick() {
+			decode = 1 // operand pre-resolved by the quickening rewrite
+		}
+		p.Exec(vm.rDispatch, dispatch+decode)
 		p.Load(vm.codeReg.Addr(vm.codeOff[f.fn] + uint32(f.pc)))
 		p.BeginExecute()
 	}
+	fi, pc0 := f.fn, f.pc
 	err := vm.exec(f, fn, op, opnd)
+	if err == nil && vm.Quicken {
+		vm.maybeQuicken(fi, fn, pc0, op)
+	}
 	if p != nil {
 		p.EndCommand()
 	}
@@ -282,6 +338,9 @@ func (vm *VM) branch16(f *jframe, opnd []byte) {
 func (vm *VM) exec(f *jframe, fn *Function, op Opcode, opnd []byte) error {
 	p := vm.p
 	h := vm.handlers[op]
+	if vm.fusedH != nil {
+		h = vm.fusedH // both halves of a fused pair run in its handler
+	}
 	next := f.pc + 1 + op.OperandBytes()
 	exec := func(n int) {
 		if p != nil {
@@ -293,12 +352,16 @@ func (vm *VM) exec(f *jframe, fn *Function, op Opcode, opnd []byte) error {
 	case OpNop:
 		exec(1)
 
-	case OpIconst:
+	case OpIconst, OpIconstQ:
 		exec(costALU)
 		vm.push(int32(binary.LittleEndian.Uint32(opnd)))
 
-	case OpLdc:
-		exec(costField)
+	case OpLdc, OpLdcQ:
+		if op == OpLdcQ {
+			exec(costLdcQ) // the rewrite interned the constant already
+		} else {
+			exec(costField)
+		}
 		idx := vm.u16(opnd)
 		if idx >= len(vm.Mod.Consts) {
 			return fmt.Errorf("jvm: bad constant index %d", idx)
@@ -494,15 +557,19 @@ func (vm *VM) exec(f *jframe, fn *Function, op Opcode, opnd []byte) error {
 			return nil
 		}
 
-	case OpInvokeStatic:
+	case OpInvokeStatic, OpInvokeStaticQ:
 		fi := vm.u16(opnd)
 		if fi >= len(vm.Mod.Funcs) {
 			return fmt.Errorf("jvm: bad function index %d", fi)
 		}
 		callee := vm.Mod.Funcs[fi]
 		if p != nil {
+			cost := costInvoke
+			if op == OpInvokeStaticQ {
+				cost = costInvokeQ // callee resolved at rewrite time
+			}
 			p.Call(vm.rFrame)
-			p.Exec(vm.rFrame, costInvoke)
+			p.Exec(vm.rFrame, cost)
 			// Frame setup writes the callee's local slots.
 			for i := 0; i < callee.NLocals; i++ {
 				p.Store(vm.stackReg.Addr(uint32(len(vm.stack)+i) * 4))
@@ -561,23 +628,28 @@ func (vm *VM) exec(f *jframe, fn *Function, op Opcode, opnd []byte) error {
 		}
 		return nil
 
-	case OpGetStatic, OpPutStatic:
+	case OpGetStatic, OpPutStatic, OpGetStaticQ, OpPutStaticQ:
 		idx := vm.u16(opnd)
 		if idx >= len(vm.statics) {
 			return fmt.Errorf("jvm: bad static index %d", idx)
 		}
+		isGet := op == OpGetStatic || op == OpGetStaticQ
 		if p != nil {
+			cost := costField + 3 // resolution plus the handler body
+			if op.IsQuick() {
+				cost = costStaticQ // slot index cached by the rewrite
+			}
 			p.Enter(vm.fieldRegion)
 			p.CountAccess(vm.fieldRegion)
-			p.Exec(h, costField+3) // resolution plus the handler body
-			if op == OpGetStatic {
+			p.Exec(h, cost)
+			if isGet {
 				p.Load(vm.staticReg.Addr(uint32(idx) * 4))
 			} else {
 				p.Store(vm.staticReg.Addr(uint32(idx) * 4))
 			}
 			p.Leave()
 		}
-		if op == OpGetStatic {
+		if isGet {
 			vm.push(vm.statics[idx])
 		} else {
 			v, err := vm.pop()
@@ -598,9 +670,13 @@ func (vm *VM) exec(f *jframe, fn *Function, op Opcode, opnd []byte) error {
 		}
 		vm.push(ref)
 
-	case OpGetField, OpPutField:
+	case OpGetField, OpPutField, OpGetFieldQ, OpPutFieldQ:
 		idx := vm.u16(opnd)
-		if op == OpGetField {
+		fieldCost := costField + 4
+		if op.IsQuick() {
+			fieldCost = costFieldQ // field offset cached by the rewrite
+		}
+		if op == OpGetField || op == OpGetFieldQ {
 			ref, err := vm.pop()
 			if err != nil {
 				return err
@@ -615,7 +691,7 @@ func (vm *VM) exec(f *jframe, fn *Function, op Opcode, opnd []byte) error {
 			if p != nil {
 				p.Enter(vm.fieldRegion)
 				p.CountAccess(vm.fieldRegion)
-				p.Exec(h, costField+4)
+				p.Exec(h, fieldCost)
 				p.Load(vm.heapReg.Addr(o.off + uint32(idx)*4))
 				p.Leave()
 			}
@@ -639,7 +715,7 @@ func (vm *VM) exec(f *jframe, fn *Function, op Opcode, opnd []byte) error {
 			if p != nil {
 				p.Enter(vm.fieldRegion)
 				p.CountAccess(vm.fieldRegion)
-				p.Exec(h, costField+4)
+				p.Exec(h, fieldCost)
 				p.Store(vm.heapReg.Addr(o.off + uint32(idx)*4))
 				p.Leave()
 			}

@@ -483,8 +483,10 @@ func Compute(jobs []JobRecord, requested, effective int, beginUS, endUS float64)
 	if s.TotalBusyUS > 0 {
 		s.SerialFraction = serialBusyUS / s.TotalBusyUS
 		// The two sides accumulate the same intervals in different orders,
-		// so a fully serial timeline can land an ulp past 1.
-		if s.SerialFraction > 1 {
+		// so a fully serial timeline can land a few ulps off 1 in either
+		// direction.  Any real overlap is at least a whole microsecond out
+		// of the totals, orders of magnitude beyond this band.
+		if s.SerialFraction > 1 || 1-s.SerialFraction < 1e-12 {
 			s.SerialFraction = 1
 		}
 	}

@@ -49,12 +49,27 @@ type Interp struct {
 	// table, shrinking the per-command dispatch cost.
 	Threaded bool
 
+	// Superinstructions models the §5 superoperator direction: the
+	// guest text is predecoded at first Run and hot adjacent pairs
+	// (mipsiFusedPairs, selected from profile-layer pair counts) are
+	// dispatched as one fused virtual command through a combined
+	// handler.  FusedSites counts the static pair sites found.
+	Superinstructions bool
+	FusedSites        uint64
+
+	img        *atom.Image
 	rLoader    *atom.Routine
 	rFetch     *atom.Routine
 	rTranslate *atom.Routine
 	rDecode    *atom.Routine
+	rFuse      *atom.Routine
 	handlers   [mips.NumOps]*atom.Routine
 	opIDs      [mips.NumOps]atom.OpID
+
+	tiersReady bool
+	fusedAt    map[uint32]int // pc of a fused pair's first half -> pair index
+	fusedH     []*atom.Routine
+	fusedIDs   []atom.OpID
 
 	memRegion atom.RegionID
 
@@ -67,7 +82,7 @@ type Interp struct {
 // New loads prog into a machine and instruments the interpreter against
 // img/p.  The binary load is charged to the startup phase.
 func New(prog *mips.Program, os *vfs.OS, img *atom.Image, p *atom.Probe) (*Interp, error) {
-	ip := &Interp{p: p}
+	ip := &Interp{p: p, img: img}
 	// The interpreter's code layout: fetch loop, page-table walker, the
 	// decode switch, then one handler per mnemonic.  Sizes are static
 	// code footprints; together they come to ~7 KB, which is why MIPSI's
@@ -135,8 +150,10 @@ func (ip *Interp) translate(vaddr uint32) {
 	p.Load(ip.pt.Addr(8))
 }
 
-// Step interprets one guest instruction.
+// Step interprets one guest instruction (or one fused pair, when the
+// superinstruction tier predecoded one at this pc).
 func (ip *Interp) Step() error {
+	ip.ensureTiers()
 	m := ip.M
 	pc, in, err := m.Fetch()
 	if err != nil {
@@ -146,6 +163,13 @@ func (ip *Interp) Step() error {
 	op := in.Op
 	if op == mips.INVALID {
 		return fmt.Errorf("mipsi: invalid instruction at %#x", pc)
+	}
+	// A delay-slot instruction executes alone even at a fused site: its
+	// successor is the branch target, not the adjacent word.
+	if ip.fusedAt != nil && !m.delayActive {
+		if idx, ok := ip.fusedAt[pc]; ok {
+			return ip.stepFused(pc, in, idx)
+		}
 	}
 	p.BeginCommand(ip.opIDs[op])
 
@@ -178,8 +202,17 @@ func (ip *Interp) Step() error {
 		return err
 	}
 
-	h := ip.handlers[op]
-	switch op.Class() {
+	ip.chargeExec(ip.handlers[op], in, info)
+	p.EndCommand()
+	return nil
+}
+
+// chargeExec accounts one architecturally executed instruction against
+// handler routine h (its own handler normally, the fused handler when the
+// instruction ran as half of a superinstruction).
+func (ip *Interp) chargeExec(h *atom.Routine, in mips.Inst, info StepInfo) {
+	p := ip.p
+	switch in.Op.Class() {
 	case mips.ClassALU:
 		p.Exec(h, costALU)
 		p.Store(ip.regs.Addr(uint32(in.Rd) * 4))
@@ -218,15 +251,13 @@ func (ip *Interp) Step() error {
 		// copy into guest memory.
 		p.Exec(h, costSyscall)
 		if in.Op == mips.SYSCALL && info.SyscallNum == SysRead && info.SyscallBytes > 0 {
-			buf := m.Regs[mips.RegA1]
+			buf := ip.M.Regs[mips.RegA1]
 			for i := 0; i < info.SyscallBytes; i += 4 {
 				p.Exec(h, 1)
 				p.Store(guestBias | (buf + uint32(i)))
 			}
 		}
 	}
-	p.EndCommand()
-	return nil
 }
 
 // Run interprets until exit or maxSteps guest instructions (0 = no limit).

@@ -1,0 +1,124 @@
+package mipsi
+
+import (
+	"testing"
+
+	"interplab/internal/atom"
+	"interplab/internal/mips"
+	"interplab/internal/trace"
+	"interplab/internal/vfs"
+)
+
+// runSuper executes memProgram with the superinstruction tier and returns
+// the interpreter (runInterpWith verifies the exit code).
+func runSuper(t *testing.T) (*Interp, atom.Stats) {
+	t.Helper()
+	var ip *Interp
+	st := runInterpWith(t, func(i *Interp) {
+		i.Superinstructions = true
+		ip = i
+	})
+	return ip, st
+}
+
+// TestSuperinstructionsReduceDispatch: the fused tier must find sites
+// (memProgram's loop body contains lw+addiu, and la expands to lui+ori)
+// and both the command count and the dispatch cost must strictly drop.
+func TestSuperinstructionsReduceDispatch(t *testing.T) {
+	base := runInterpWith(t, func(*Interp) {})
+	ip, st := runSuper(t)
+	if ip.FusedSites == 0 {
+		t.Fatal("predecode found no fused sites")
+	}
+	if st.Commands >= base.Commands {
+		t.Errorf("commands = %d, must beat baseline %d", st.Commands, base.Commands)
+	}
+	if st.FetchDecode >= base.FetchDecode {
+		t.Errorf("fetch_decode = %d, must beat baseline %d", st.FetchDecode, base.FetchDecode)
+	}
+}
+
+// TestSuperinstructionsEquivalent: guest-visible state must be identical —
+// the tier only changes accounting, never architecture.
+func TestSuperinstructionsEquivalent(t *testing.T) {
+	var baseIP, superIP *Interp
+	runInterpWith(t, func(i *Interp) { baseIP = i })
+	runInterpWith(t, func(i *Interp) {
+		i.Superinstructions = true
+		superIP = i
+	})
+	if baseIP.M.Steps != superIP.M.Steps {
+		t.Errorf("architectural steps differ: %d vs %d", baseIP.M.Steps, superIP.M.Steps)
+	}
+	if baseIP.M.Regs != superIP.M.Regs {
+		t.Errorf("register files differ:\nbase  %v\nsuper %v", baseIP.M.Regs, superIP.M.Regs)
+	}
+	if baseIP.M.ExitCode != superIP.M.ExitCode {
+		t.Errorf("exit codes differ: %d vs %d", baseIP.M.ExitCode, superIP.M.ExitCode)
+	}
+}
+
+// TestFusionSkipsDelaySlot: a fused site whose first half executes in a
+// branch delay slot must run as a lone instruction — its architectural
+// successor is the branch target, not the adjacent word.
+func TestFusionSkipsDelaySlot(t *testing.T) {
+	// The delay slot of the taken branch holds lw, and the next word is
+	// addiu $s1 — a fused pair in the text, but the addiu must NOT
+	// execute on the branch's path.
+	src := `
+	.data
+word:	.word 7
+	.text
+main:
+	la $s0, word
+	li $s1, 100
+	beq $zero, $zero, out
+	lw $s2, 0($s0)
+	addiu $s1, $s1, 1
+out:
+	li $v0, 1
+	move $a0, $s1
+	syscall
+	nop
+`
+	run := func(super bool) *Interp {
+		prog := assemble(t, src)
+		img := atom.NewImage()
+		p := atom.NewProbe(img, trace.Discard)
+		osys := vfs.New()
+		osys.Instrument(img, p)
+		ip, err := New(prog, osys, img, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ip.Superinstructions = super
+		if err := ip.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return ip
+	}
+	base, super := run(false), run(true)
+	if base.M.ExitCode != 100 {
+		t.Fatalf("baseline exit = %d, want 100 (addiu must be skipped)", base.M.ExitCode)
+	}
+	if super.M.ExitCode != base.M.ExitCode {
+		t.Errorf("super exit = %d, baseline %d: fused pair executed across a delay slot",
+			super.M.ExitCode, base.M.ExitCode)
+	}
+	if super.M.Regs[18] != 7 { // $s2: the delay-slot lw must still happen
+		t.Errorf("$s2 = %d, want 7", super.M.Regs[18])
+	}
+}
+
+// TestFusedPairTableIsStraightLine pins the table invariant stepFused
+// relies on: every half falls through.
+func TestFusedPairTableIsStraightLine(t *testing.T) {
+	for _, pair := range mipsiFusedPairs {
+		for _, op := range pair {
+			switch op.Class() {
+			case mips.ClassBranch, mips.ClassJump, mips.ClassSyscall:
+				t.Errorf("fused half %v is control flow or a syscall", op)
+			}
+		}
+	}
+}

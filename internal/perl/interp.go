@@ -22,6 +22,12 @@ const (
 	costHashPerChar = 9
 	costRegexStep   = 3
 	costSubSetup    = 55 // entersub: @_ setup, context push
+
+	// Quickening-tier costs (see tiers.go): the specialized runops fast
+	// path and the one-time node rewrite.
+	costRunopsQ     = 42 // cached op pointer: load, call, minimal flags
+	costPerKidQ     = 8  // argument layout cached with the node
+	costQuickenFill = 40 // first execution: specialize the node in place
 )
 
 // control-flow signals.
@@ -41,6 +47,14 @@ type Interp struct {
 	OS   *vfs.OS
 
 	p *atom.Probe
+
+	// Quicken models Brunthaler-style operand quickening on the op tree:
+	// each node is specialized in place at its first execution and later
+	// visits take a reduced runops path (see tiers.go).  QuickenRewrites
+	// counts specializations; a node is specialized at most once.
+	Quicken         bool
+	QuickenRewrites uint64
+	rQuick          *atom.Routine
 
 	rRunops  *atom.Routine
 	rCompile *atom.Routine
@@ -184,11 +198,21 @@ func (i *Interp) beginOp(n *Node) {
 	}
 	name := n.opName()
 	i.p.BeginCommand(i.opID(name))
-	i.p.Exec(i.rRunops, costRunops+costPerKid*len(n.Kids))
 	addr := i.optree.Addr(uint32(n.Slot*8) + uint32(n.Op)*40)
-	i.p.Load(addr)
-	i.p.Load(addr + 8)
-	i.p.Load(addr + 16)
+	if i.Quicken && n.quick {
+		// Quickened node: the op pointer and argument layout were cached
+		// at first execution, so runops loads one word and calls through.
+		i.p.Exec(i.rRunops, costRunopsQ+costPerKidQ*len(n.Kids))
+		i.p.Load(addr)
+	} else {
+		i.p.Exec(i.rRunops, costRunops+costPerKid*len(n.Kids))
+		i.p.Load(addr)
+		i.p.Load(addr + 8)
+		i.p.Load(addr + 16)
+		if i.Quicken {
+			i.quickenNode(n, addr)
+		}
+	}
 	i.p.BeginExecute()
 	i.p.Exec(i.handler(name), 4)
 }

@@ -77,6 +77,11 @@ type Node struct {
 	Repl    string
 	Global  bool
 	IgnCase bool
+
+	// quick marks a node the quickening tier has specialized: its op
+	// function pointer and argument layout are cached in the node after
+	// the first execution (see tiers.go).  Set at most once per node.
+	quick bool
 }
 
 // opName returns the virtual-command label for distributions: builtins

@@ -1,0 +1,26 @@
+package perl
+
+// Quickening tier: Brunthaler-style operand quickening on the walked op
+// tree.  A bytecode VM rewrites opcode bytes in place; Perl 4's runops
+// loop dispatches heap-allocated tree nodes, so the equivalent
+// specialization rewrites the node — the resolved op function pointer and
+// the argument-stack layout are cached into it at first execution, and
+// every later visit skips the generic flag decoding and per-kid
+// bookkeeping.  The tree's guest-visible evaluation is untouched; only
+// the runops fetch/decode cost changes, which is the Table 2 number the
+// opt-matrix experiment tracks.
+
+// quickenNode specializes node n in place after its first execution and
+// charges the one-time rewrite (a store back into the op tree).
+func (i *Interp) quickenNode(n *Node, addr uint32) {
+	n.quick = true
+	i.QuickenRewrites++
+	if i.rQuick == nil {
+		// Lazy: the quickening machinery joins the instrumentation image
+		// only when the tier actually runs, so the baseline image layout
+		// is byte-identical with the tier off.
+		i.rQuick = i.img.Routine("perl.quicken", 120)
+	}
+	i.p.Exec(i.rQuick, costQuickenFill)
+	i.p.Store(addr)
+}

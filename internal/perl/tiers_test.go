@@ -1,0 +1,79 @@
+package perl
+
+import (
+	"testing"
+
+	"interplab/internal/atom"
+	"interplab/internal/trace"
+	"interplab/internal/vfs"
+)
+
+const tierScript = `
+$s = 0;
+for ($i = 0; $i < 50; $i++) {
+    $s = $s + $i * 3;
+}
+print "$s\n";
+`
+
+// runQuick executes tierScript with or without quickening.
+func runQuick(t *testing.T, quicken bool) (*Interp, atom.Stats, string) {
+	t.Helper()
+	img := atom.NewImage()
+	p := atom.NewProbe(img, trace.Discard)
+	osys := vfs.New()
+	i, err := New(tierScript, osys, img, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i.Quicken = quicken
+	if err := i.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return i, p.Stats(), osys.Stdout.String()
+}
+
+// TestQuickeningReducesFetchDecode: node specialization must cut the
+// runops dispatch cost without changing guest-visible behavior.
+func TestQuickeningReducesFetchDecode(t *testing.T) {
+	_, base, outBase := runQuick(t, false)
+	i, quick, outQuick := runQuick(t, true)
+	if outBase != outQuick {
+		t.Fatalf("quickening changed behavior: %q vs %q", outBase, outQuick)
+	}
+	if base.Commands != quick.Commands {
+		t.Errorf("command counts differ: %d vs %d", base.Commands, quick.Commands)
+	}
+	if quick.FetchDecode >= base.FetchDecode {
+		t.Errorf("quickened fetch_decode = %d, must beat baseline %d",
+			quick.FetchDecode, base.FetchDecode)
+	}
+	if i.QuickenRewrites == 0 {
+		t.Error("quickening specialized no nodes")
+	}
+}
+
+// TestQuickeningIdempotent: a node is specialized at most once — re-running
+// the program makes no further rewrites.
+func TestQuickeningIdempotent(t *testing.T) {
+	i, _, _ := runQuick(t, true)
+	first := i.QuickenRewrites
+	if first == 0 {
+		t.Fatal("no rewrites on first run")
+	}
+	if err := i.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if i.QuickenRewrites != first {
+		t.Errorf("re-execution rewrote again: %d -> %d", first, i.QuickenRewrites)
+	}
+}
+
+// TestQuickeningRewritesBounded: rewrites are per-node, so they can never
+// exceed the compiled node count.
+func TestQuickeningRewritesBounded(t *testing.T) {
+	i, _, _ := runQuick(t, true)
+	if i.QuickenRewrites > uint64(i.Prog.Nodes) {
+		t.Errorf("rewrites %d exceed node count %d", i.QuickenRewrites, i.Prog.Nodes)
+	}
+}

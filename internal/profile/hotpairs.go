@@ -1,0 +1,35 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+
+	"interplab/internal/atom"
+)
+
+// WriteHotPairs renders the hottest consecutively-dispatched command pairs
+// of one run — the selection evidence behind the superinstruction tables
+// in internal/jvm and internal/mipsi.  pairs comes from atom.Stats.Pairs
+// (collected with Probe.CountPairs); n bounds the rows printed.  Shares
+// are of the pairs shown, not of all dispatches: the atom layer caps the
+// table it snapshots, so the denominator an uncapped table would give is
+// not recoverable here.
+func WriteHotPairs(w io.Writer, program string, pairs []atom.PairStats, n int) error {
+	if n > len(pairs) {
+		n = len(pairs)
+	}
+	var total uint64
+	for _, pr := range pairs {
+		total += pr.Count
+	}
+	fmt.Fprintf(w, "%s: hot command pairs (top %d of %d tracked)\n", program, n, len(pairs))
+	if total == 0 {
+		fmt.Fprintf(w, "  (no pairs recorded — was Probe.CountPairs on?)\n")
+		return nil
+	}
+	for _, pr := range pairs[:n] {
+		fmt.Fprintf(w, "  %-24s %10d  %5.1f%%\n",
+			pr.First+" + "+pr.Second, pr.Count, 100*float64(pr.Count)/float64(total))
+	}
+	return nil
+}

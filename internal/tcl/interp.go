@@ -36,6 +36,12 @@ const (
 	costLookupChar = 7   // per character of the variable name
 	costCmdBase    = 130 // command dispatch: registry hash + argv setup
 	costProcCall   = 260 // frame push, arg binding
+
+	// Quickening-tier costs (see tiers.go): the inline-cache fast paths
+	// and the one-time cache fill.
+	costLookupQuick = 28 // cached entry pointer: revalidate and dereference
+	costCmdQuick    = 36 // cached CmdFunc pointer: revalidate and call
+	costQuickenFill = 40 // first execution: install the cache entry
 )
 
 // Signal is the Tcl result code (TCL_OK, TCL_BREAK, ...).
@@ -106,6 +112,16 @@ type Interp struct {
 	CachedParse bool
 	seenBodies  map[string]bool
 	cacheHot    bool
+
+	// Quicken models Brunthaler-style operand quickening for a string
+	// interpreter: name-keyed inline caches for variable lookups and
+	// command dispatch (see tiers.go).  QuickenRewrites counts cache
+	// fills; a filled entry is never filled again.
+	Quicken         bool
+	QuickenRewrites uint64
+	quickVars       map[string]bool
+	quickCmds       map[string]bool
+	rQuick          *atom.Routine
 
 	// Parse-time instrumentation buffering (see parse.go).
 	pend      *pending
@@ -250,6 +266,16 @@ func (i *Interp) chargeLookup(name string) {
 	i.p.Enter(i.memRgn)
 	i.p.CountAccess(i.memRgn)
 	i.p.Call(i.rLookup)
+	h := hashName(name)
+	if i.Quicken && i.quickVars[name] {
+		// Inline-cache hit: the hash and chain walk are skipped — the
+		// cached entry pointer is revalidated and dereferenced.
+		i.p.Exec(i.rLookup, costLookupQuick)
+		i.p.Load(i.symReg.Addr(h % i.symReg.Size))
+		i.p.Ret()
+		i.p.Leave()
+		return
+	}
 	// The cost grows with the table: longer chains in a fixed-bucket
 	// hash, as the paper observed on xf (206 for des → 514 for xf).
 	chain := len(i.globals)/24 + 1
@@ -257,10 +283,12 @@ func (i *Interp) chargeLookup(name string) {
 		chain = 12
 	}
 	i.p.Exec(i.rLookup, costLookupBase+costLookupChar*len(name)+22*chain)
-	h := hashName(name)
 	i.p.Load(i.symReg.Addr(h % i.symReg.Size))
 	for c := 0; c < chain; c++ {
 		i.p.Load(i.symReg.Addr((h + uint32(c)*56) % i.symReg.Size))
+	}
+	if i.Quicken {
+		i.fillQuickCache(&i.quickVars, name, h)
 	}
 	i.p.Ret()
 	i.p.Leave()

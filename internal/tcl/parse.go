@@ -394,7 +394,16 @@ func (i *Interp) runCommand(words []string) (string, error) {
 			ch()
 		}
 		i.parseCost = nil
-		i.p.Exec(i.rParse, costCmdBase)
+		if i.Quicken && i.quickCmds[name] {
+			// Inline-cache hit: the registry hash is skipped — the
+			// cached command pointer is revalidated and invoked.
+			i.p.Exec(i.rParse, costCmdQuick)
+		} else {
+			i.p.Exec(i.rParse, costCmdBase)
+			if i.Quicken {
+				i.fillQuickCache(&i.quickCmds, name, hashName(name))
+			}
+		}
 		i.p.BeginExecute()
 	}
 

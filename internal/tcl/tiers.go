@@ -1,0 +1,31 @@
+package tcl
+
+// Quickening tier: Brunthaler-style operand quickening translated to a
+// string interpreter.  A bytecode VM rewrites an opcode in place after
+// resolving its operand once; Tcl 7 has no bytecode to rewrite, so the
+// equivalent specialization is a name-keyed inline cache — the first
+// lookup of a variable or command pays the full hash-and-chain-walk cost
+// and installs a cache entry, and every later use revalidates the cached
+// pointer instead of re-resolving the name.  Values still flow through
+// the ordinary symbol table, so guest-visible behavior is untouched; only
+// the translation cost (the §3.3 overhead the paper measures at 206–514
+// native instructions per variable reference) changes.
+
+// fillQuickCache installs name into one of the quickening caches and
+// charges the one-time fill (the quickening "rewrite": resolving the name
+// generically just happened, the entry pointer is stored for reuse).
+func (i *Interp) fillQuickCache(cache *map[string]bool, name string, h uint32) {
+	if *cache == nil {
+		*cache = make(map[string]bool)
+	}
+	(*cache)[name] = true
+	i.QuickenRewrites++
+	if i.rQuick == nil {
+		// Lazy: the quickening machinery joins the instrumentation image
+		// only when the tier actually runs, so the baseline image layout
+		// is byte-identical with the tier off.
+		i.rQuick = i.img.Routine("tcl.quicken", 120)
+	}
+	i.p.Exec(i.rQuick, costQuickenFill)
+	i.p.Store(i.symReg.Addr(h % i.symReg.Size))
+}

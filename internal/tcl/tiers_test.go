@@ -1,0 +1,91 @@
+package tcl
+
+import (
+	"testing"
+
+	"interplab/internal/atom"
+	"interplab/internal/trace"
+	"interplab/internal/vfs"
+)
+
+const tierScript = `
+set s 0
+for {set i 0} {$i < 40} {incr i} { set s [expr $s + $i * 3] }
+puts $s
+`
+
+// runQuick evaluates tierScript with the given knobs and returns the
+// interpreter, its stats, and stdout.
+func runQuick(t *testing.T, quicken bool) (*Interp, atom.Stats, string) {
+	t.Helper()
+	img := atom.NewImage()
+	p := atom.NewProbe(img, trace.Discard)
+	osys := vfs.New()
+	i := New(osys, img, p)
+	i.Quicken = quicken
+	if _, err := i.Eval(tierScript); err != nil {
+		t.Fatal(err)
+	}
+	return i, p.Stats(), osys.Stdout.String()
+}
+
+// TestQuickeningReducesFetchDecode: the inline caches must cut the
+// dispatch cost without changing guest-visible behavior.
+func TestQuickeningReducesFetchDecode(t *testing.T) {
+	_, base, outBase := runQuick(t, false)
+	i, quick, outQuick := runQuick(t, true)
+	if outBase != outQuick {
+		t.Fatalf("quickening changed behavior: %q vs %q", outBase, outQuick)
+	}
+	if base.Commands != quick.Commands {
+		t.Errorf("command counts differ: %d vs %d", base.Commands, quick.Commands)
+	}
+	if quick.FetchDecode >= base.FetchDecode {
+		t.Errorf("quickened fetch_decode = %d, must beat baseline %d",
+			quick.FetchDecode, base.FetchDecode)
+	}
+	if i.QuickenRewrites == 0 {
+		t.Error("quickening filled no cache entries")
+	}
+}
+
+// TestQuickeningIdempotent: re-evaluating the same script resolves only
+// already-cached names, so no further rewrites happen.
+func TestQuickeningIdempotent(t *testing.T) {
+	i, _, _ := runQuick(t, true)
+	first := i.QuickenRewrites
+	if _, err := i.Eval(tierScript); err != nil {
+		t.Fatal(err)
+	}
+	if i.QuickenRewrites != first {
+		t.Errorf("re-evaluation rewrote again: %d -> %d", first, i.QuickenRewrites)
+	}
+}
+
+// TestQuickeningComposesWithCachedParse: both Tcl knobs on together must
+// still be transparent and strictly cheaper than either alone.
+func TestQuickeningComposesWithCachedParse(t *testing.T) {
+	run := func(quicken, cached bool) (uint64, string) {
+		img := atom.NewImage()
+		p := atom.NewProbe(img, trace.Discard)
+		osys := vfs.New()
+		i := New(osys, img, p)
+		i.Quicken = quicken
+		i.CachedParse = cached
+		if _, err := i.Eval(tierScript); err != nil {
+			t.Fatal(err)
+		}
+		return p.Stats().FetchDecode, osys.Stdout.String()
+	}
+	fdBase, outBase := run(false, false)
+	fdBoth, outBoth := run(true, true)
+	if outBase != outBoth {
+		t.Fatalf("combined tiers changed behavior: %q vs %q", outBase, outBoth)
+	}
+	fdQuick, _ := run(true, false)
+	fdCached, _ := run(false, true)
+	if fdBoth >= fdQuick || fdBoth >= fdCached || fdQuick >= fdBase {
+		t.Errorf("fd ordering wrong: base %d, quick %d, cached %d, both %d",
+			fdBase, fdQuick, fdCached, fdBoth)
+	}
+}

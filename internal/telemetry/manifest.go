@@ -116,9 +116,13 @@ func (r *RunEntry) AddProfile(pa ProfileArtifact) {
 // probe's software metrics (atom.Stats) and, when the run was simulated,
 // the processor results (alphasim.Stats).
 type Measurement struct {
-	Program    string  `json:"program"` // "system/name"
-	System     string  `json:"system"`
-	Name       string  `json:"name"`
+	Program string `json:"program"` // "system/name"
+	System  string `json:"system"`
+	Name    string `json:"name"`
+	// Variant distinguishes measurements of the same program under
+	// different configurations — optimization tiers, dispatch knobs
+	// (schema v1 additive field; empty for the default configuration).
+	Variant    string  `json:"variant,omitempty"`
 	SizeBytes  int     `json:"size_bytes,omitempty"`
 	Events     uint64  `json:"events"` // native-instruction stream length
 	Kind       string  `json:"kind"`   // "measure", "pipeline", "sweep"
